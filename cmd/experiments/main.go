@@ -1,0 +1,134 @@
+// Command experiments regenerates the tables and figures of the 2PCP paper
+// (ICDE 2016, §VIII) at a configurable scale.
+//
+// Usage:
+//
+//	experiments [flags] table1|fig11|table2|table3|fig12|fig13|all
+//
+// Default sizes are scaled down from the paper's billion-scale runs so a
+// full regeneration finishes in minutes on a laptop; -scale moves them
+// back up (e.g. -scale 4 quadruples tensor sides). See EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"twopcp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		scale = flag.Int("scale", 1, "size multiplier toward paper scale")
+		seed  = flag.Int64("seed", 1, "random seed")
+		runs  = flag.Int("runs", 3, "repetitions for Figure 13 medians")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|all")
+		os.Exit(2)
+	}
+	which := flag.Arg(0)
+	run := func(name string, f func() error) {
+		if which != name && which != "all" {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var table1 *experiments.Table1Result
+	run("table1", func() error {
+		cfg := experiments.Table1Config{
+			Sides: []int{32 * *scale, 48 * *scale, 64 * *scale},
+			Seed:  *seed,
+		}
+		// The reducer cap scales with the workload so the largest side
+		// exceeds it, as in the paper.
+		cfg.HaTen2MemoryBytes = int64(700<<10) * int64(*scale) * int64(*scale) * int64(*scale)
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		table1 = res
+		fmt.Print(res)
+		return nil
+	})
+
+	run("fig11", func() error {
+		if table1 == nil {
+			res, err := experiments.RunTable1(experiments.Table1Config{
+				Sides:             []int{24 * *scale, 32 * *scale, 48 * *scale, 64 * *scale},
+				Seed:              *seed,
+				HaTen2MemoryBytes: 1 << 40, // fig11 only needs the 2PCP series
+			})
+			if err != nil {
+				return err
+			}
+			table1 = res
+		}
+		fmt.Print(experiments.FormatFigure11(experiments.Figure11(table1)))
+		return nil
+	})
+
+	run("table2", func() error {
+		res, err := experiments.RunTable2(experiments.Table2Config{
+			Side: 128 * *scale,
+			Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+
+	run("table3", func() error {
+		fmt.Print(experiments.DefaultParamGrid())
+		return nil
+	})
+
+	run("fig12", func() error {
+		res, err := experiments.RunFigure12(experiments.Figure12Config{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+
+	run("convergence", func() error {
+		res, err := experiments.RunConvergence(experiments.ConvergenceConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+
+	run("fig13", func() error {
+		for _, iters := range []int{100, 200} {
+			res, err := experiments.RunFigure13(experiments.Figure13Config{
+				MaxVirtualIters: iters,
+				Runs:            *runs,
+				Seed:            *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			fmt.Println()
+		}
+		return nil
+	})
+}

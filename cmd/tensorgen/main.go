@@ -1,0 +1,114 @@
+// Command tensorgen generates the synthetic tensors used by the 2PCP
+// experiments and examples, in the twopcp binary formats.
+//
+// Usage:
+//
+//	tensorgen -kind dense -dims 100x100x100 -density 0.2 -out t.tpdn
+//	tensorgen -kind epinions -out epinions.tpsp
+//
+// Kinds: dense (uniform dense cube, -dims/-density), lowrank (-dims,
+// -rank, -noise), epinions, ciao, enron (paper-shaped sparse stand-ins),
+// face (-scale), ensemble (-dims).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"twopcp"
+	"twopcp/internal/cpals"
+	"twopcp/internal/datasets"
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tensorgen: ")
+
+	var (
+		kind    = flag.String("kind", "dense", "dense|lowrank|epinions|ciao|enron|face|ensemble")
+		dimsStr = flag.String("dims", "64x64x64", "mode sizes, e.g. 100x100x100")
+		density = flag.Float64("density", 0.2, "nonzero density (dense kind)")
+		rank    = flag.Int("rank", 5, "true rank (lowrank kind)")
+		noise   = flag.Float64("noise", 0.01, "additive noise level (lowrank kind)")
+		scale   = flag.Int("scale", 10, "downscale factor (face kind)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (required; .tpdn or .tpsp)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "dense":
+		dims := parseDims(*dimsStr)
+		x := datasets.DenseUniform(rng, *density, dims...)
+		save(*out, x, nil)
+	case "lowrank":
+		dims := parseDims(*dimsStr)
+		factors := make([]*mat.Matrix, len(dims))
+		for m, d := range dims {
+			factors[m] = mat.Random(d, *rank, rng)
+		}
+		x := cpals.NewKTensor(factors).Full()
+		if *noise > 0 {
+			for i := range x.Data {
+				x.Data[i] += *noise * rng.NormFloat64()
+			}
+		}
+		save(*out, x, nil)
+	case "epinions":
+		save(*out, nil, datasets.Epinions(rng))
+	case "ciao":
+		save(*out, nil, datasets.Ciao(rng))
+	case "enron":
+		save(*out, nil, datasets.Enron(rng))
+	case "face":
+		save(*out, datasets.Face(rng, *scale), nil)
+	case "ensemble":
+		dims := parseDims(*dimsStr)
+		if len(dims) != 3 {
+			log.Fatal("ensemble needs exactly 3 dims (configs x params x steps)")
+		}
+		save(*out, datasets.EnsembleSimulation(rng, dims[0], dims[1], dims[2]), nil)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}
+
+func parseDims(s string) []int {
+	parts := strings.Split(strings.ToLower(s), "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			log.Fatalf("bad dims %q", s)
+		}
+		dims[i] = v
+	}
+	return dims
+}
+
+func save(path string, d *tensor.Dense, c *tensor.COO) {
+	switch {
+	case d != nil:
+		if err := twopcp.SaveDense(path, d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: dense %v, %d nonzeros\n", path, d.Dims, d.NNZ())
+	case c != nil:
+		if err := twopcp.SaveCOO(path, c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: sparse %v, %d nonzeros\n", path, c.Dims, c.NNZ())
+	}
+}

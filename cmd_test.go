@@ -1,0 +1,125 @@
+package twopcp_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI smoke tests: build each command once and drive the full
+// generate → decompose → export workflow through real binaries.
+
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenerateDecomposeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tensorgen := buildCmd(t, dir, "tensorgen")
+	twopcpBin := buildCmd(t, dir, "twopcp")
+
+	// Dense low-rank tensor → decompose → factors exported as CSV.
+	tpath := filepath.Join(dir, "t.tpdn")
+	out := runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "16x16x16",
+		"-rank", "2", "-noise", "0", "-seed", "3", "-out", tpath)
+	if !strings.Contains(out, "dense [16 16 16]") {
+		t.Fatalf("tensorgen output: %s", out)
+	}
+	prefix := filepath.Join(dir, "factors")
+	out = runCmd(t, twopcpBin, "-in", tpath, "-rank", "2", "-parts", "2",
+		"-schedule", "HO", "-replacement", "FOR", "-buffer", "0.5",
+		"-out-prefix", prefix)
+	if !strings.Contains(out, "fit") || !strings.Contains(out, "data swaps") {
+		t.Fatalf("twopcp output: %s", out)
+	}
+	// An exactly low-rank tensor should report a high fit.
+	var fit float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fit") {
+			idx := strings.Index(line, ":")
+			if _, err := fmt.Sscan(strings.TrimSpace(line[idx+1:]), &fit); err != nil {
+				t.Fatalf("parse fit from %q: %v", line, err)
+			}
+		}
+	}
+	if fit < 0.9 {
+		t.Fatalf("CLI fit = %g\n%s", fit, out)
+	}
+	for m := 0; m < 3; m++ {
+		csv := prefix + "-mode" + string(rune('0'+m)) + ".csv"
+		data, err := os.ReadFile(csv)
+		if err != nil {
+			t.Fatalf("factor CSV missing: %v", err)
+		}
+		if lines := strings.Count(string(data), "\n"); lines != 16 {
+			t.Fatalf("%s has %d rows, want 16", csv, lines)
+		}
+	}
+}
+
+func TestCLISparseAndErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tensorgen := buildCmd(t, dir, "tensorgen")
+	twopcpBin := buildCmd(t, dir, "twopcp")
+
+	spath := filepath.Join(dir, "s.tpsp")
+	runCmd(t, tensorgen, "-kind", "epinions", "-seed", "4", "-out", spath)
+	out := runCmd(t, twopcpBin, "-in", spath, "-rank", "3", "-parts", "2")
+	if !strings.Contains(out, "tensor     : [170 1000 18]") {
+		t.Fatalf("sparse decompose output: %s", out)
+	}
+
+	// Unknown schedule must fail loudly.
+	cmd := exec.Command(twopcpBin, "-in", spath, "-schedule", "XX")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+	// Garbage input file must fail loudly.
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("GARBAGE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(twopcpBin, "-in", bad)
+	if err := cmd.Run(); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestCLIExperimentsTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	experiments := buildCmd(t, dir, "experiments")
+	out := runCmd(t, experiments, "table3")
+	for _, want := range []string{"Table III", "8×8×8", "FOR"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+}

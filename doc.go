@@ -1,0 +1,45 @@
+// Package twopcp implements 2PCP, the two-phase, block-based CP tensor
+// decomposition system of Li, Huang, Candan and Sapino (ICDE 2016), for
+// dense (and sparse) tensors that are too large to decompose in memory.
+//
+// # Overview
+//
+// CP (CANDECOMP/PARAFAC) decomposition factorizes an N-mode tensor X into F
+// rank-one components, X ≈ Σ_f λ_f · a_f ∘ b_f ∘ c_f. For large dense
+// tensors the classic in-memory ALS blows up; 2PCP instead:
+//
+//  1. partitions X into a grid of sub-tensors and decomposes each block
+//     independently (Phase 1, parallel), then
+//  2. iteratively stitches the per-block sub-factors into full factor
+//     matrices (Phase 2), streaming mode-partition "data units" through a
+//     bounded buffer with re-use-promoting block schedules (fiber, Z-order,
+//     Hilbert-order) and a forward-looking, schedule-aware replacement
+//     policy that together minimize disk I/O.
+//
+// # Quick start
+//
+//	x := twopcp.RandomDense(rand.New(rand.NewSource(1)), 64, 64, 64)
+//	res, err := twopcp.Decompose(x, twopcp.Options{
+//		Rank:        10,
+//		Partitions:  []int{2, 2, 2},
+//		Schedule:    twopcp.HilbertOrder,
+//		Replacement: twopcp.Forward,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("fit=%.4f swaps/iter=%.2f\n", res.Fit, res.SwapsPerIter)
+//
+// The resulting factors are in res.Model (a Kruskal tensor); res carries
+// timing, convergence and I/O statistics matching the paper's evaluation
+// metrics.
+//
+// # Architecture
+//
+// The public API wraps the internal packages: tensor (dense/sparse tensors,
+// MTTKRP), cpals (in-memory ALS), grid (partitioning), sfc + schedule
+// (traversal orders), blockstore + buffer (out-of-core data units and
+// replacement policies), phase1/refine (the two phases), mapreduce + haten2
+// (the MapReduce substrate and the paper's comparison baseline) and
+// experiments (regenerating every table and figure of the paper). See
+// DESIGN.md for the full inventory and EXPERIMENTS.md for reproduction
+// results.
+package twopcp

@@ -1,0 +1,60 @@
+// Outofcore: the paper's core experiment as an example — compare update
+// schedules and buffer replacement policies on the same tensor under a
+// tight memory budget, watching the I/O (data swaps) change while the
+// accuracy stays put. Uses a real file-backed store, so the data units
+// genuinely live on disk.
+//
+//	go run ./examples/outofcore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"twopcp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	x := twopcp.RandomDense(rng, 32, 32, 32)
+	fmt.Printf("input: %v dense tensor, buffer capped at 1/3 of the working set\n\n", x.Dims)
+
+	scratch, err := os.MkdirTemp("", "twopcp-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "schedule\treplacement\tswaps/iter\tfit\tphase2")
+	for _, sched := range []twopcp.Schedule{
+		twopcp.ModeCentric, twopcp.FiberOrder, twopcp.ZOrder, twopcp.HilbertOrder,
+	} {
+		for _, pol := range []twopcp.Replacement{twopcp.LRU, twopcp.MRU, twopcp.Forward} {
+			dir := filepath.Join(scratch, fmt.Sprintf("%s-%s", sched, pol))
+			res, err := twopcp.Decompose(x, twopcp.Options{
+				Rank:           8,
+				Partitions:     []int{4},
+				Schedule:       sched,
+				Replacement:    pol,
+				BufferFraction: 1.0 / 3,
+				MaxIters:       24,
+				Tol:            1e-6,
+				StoreDir:       dir,
+				Seed:           6,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.4f\t%v\n",
+				sched, pol, res.SwapsPerIter, res.Fit, res.Phase2Time.Round(1e6))
+		}
+	}
+	w.Flush()
+	fmt.Println("\nNote: accuracy is schedule- and policy-invariant; only I/O moves.")
+	fmt.Println("Hilbert-order + forward-looking replacement minimizes swaps (paper Fig. 12).")
+}

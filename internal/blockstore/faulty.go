@@ -1,0 +1,69 @@
+package blockstore
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected marks a fault produced by a FaultyStore.
+var ErrInjected = errors.New("blockstore: injected fault")
+
+// FaultyStore wraps a Store and fails the n-th read and/or write with
+// ErrInjected — a failure-injection harness for exercising the error paths
+// of Phase 2 and the buffer manager (a real disk can fail mid-run; the
+// engine must surface that instead of corrupting factors).
+type FaultyStore struct {
+	inner Store
+
+	mu         sync.Mutex
+	reads      int64
+	writes     int64
+	FailRead   int64 // 1-based index of the read to fail; 0 = never
+	FailWrite  int64 // 1-based index of the write to fail; 0 = never
+	ReadFails  int64 // count of injected read failures
+	WriteFails int64 // count of injected write failures
+}
+
+// NewFaultyStore wraps inner; configure FailRead/FailWrite before use.
+func NewFaultyStore(inner Store) *FaultyStore {
+	return &FaultyStore{inner: inner}
+}
+
+// Put implements Store.
+func (s *FaultyStore) Put(u *Unit) error {
+	s.mu.Lock()
+	s.writes++
+	fail := s.FailWrite > 0 && s.writes == s.FailWrite
+	if fail {
+		s.WriteFails++
+	}
+	s.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return s.inner.Put(u)
+}
+
+// Get implements Store.
+func (s *FaultyStore) Get(mode, part int) (*Unit, error) {
+	s.mu.Lock()
+	s.reads++
+	fail := s.FailRead > 0 && s.reads == s.FailRead
+	if fail {
+		s.ReadFails++
+	}
+	s.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	return s.inner.Get(mode, part)
+}
+
+// Stats implements Store.
+func (s *FaultyStore) Stats() Stats { return s.inner.Stats() }
+
+// ResetStats implements Store.
+func (s *FaultyStore) ResetStats() { s.inner.ResetStats() }
+
+// Close implements Store.
+func (s *FaultyStore) Close() error { return s.inner.Close() }

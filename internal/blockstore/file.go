@@ -1,0 +1,216 @@
+package blockstore
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"twopcp/internal/tensor"
+)
+
+// FileStore is a Store that keeps one file per unit under a directory,
+// giving genuinely out-of-core Phase-2 runs. File names are
+// "unit-<mode>-<part>.tpun" (".tpun.gz" when compression is enabled —
+// §VIII-C of the paper notes that on-disk compression trades CPU for I/O
+// volume; the stats expose both logical and on-disk bytes so the trade can
+// be measured).
+type FileStore struct {
+	dir      string
+	compress bool
+	mu       sync.Mutex
+	stats    Stats
+	diskW    int64 // on-disk bytes written (= logical unless compressing)
+}
+
+// FileStoreOption configures NewFileStore.
+type FileStoreOption func(*FileStore)
+
+// WithCompression stores units gzip-compressed.
+func WithCompression() FileStoreOption {
+	return func(s *FileStore) { s.compress = true }
+}
+
+// NewFileStore creates (if needed) dir and returns a store rooted there.
+func NewFileStore(dir string, opts ...FileStoreOption) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	s := &FileStore{dir: dir}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+func (s *FileStore) unitPath(mode, part int) string {
+	name := fmt.Sprintf("unit-%d-%d.tpun", mode, part)
+	if s.compress {
+		name += ".gz"
+	}
+	return filepath.Join(s.dir, name)
+}
+
+// Put implements Store.
+func (s *FileStore) Put(u *Unit) error {
+	path := s.unitPath(u.Mode, u.Part)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	var encodeErr error
+	if s.compress {
+		zw := gzip.NewWriter(f)
+		encodeErr = EncodeUnit(zw, u)
+		if err := zw.Close(); encodeErr == nil && err != nil {
+			encodeErr = fmt.Errorf("blockstore: gzip: %w", err)
+		}
+	} else {
+		encodeErr = EncodeUnit(f, u)
+	}
+	if encodeErr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return encodeErr
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	var disk int64
+	if fi, err := os.Stat(path); err == nil {
+		disk = fi.Size()
+	}
+	s.mu.Lock()
+	s.stats.Writes++
+	s.stats.BytesWritten += u.Bytes()
+	s.diskW += disk
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(mode, part int) (*Unit, error) {
+	f, err := os.Open(s.unitPath(mode, part))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: ⟨%d,%d⟩", ErrNotFound, mode, part)
+		}
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	defer f.Close()
+	var u *Unit
+	if s.compress {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("blockstore: gzip: %w", err)
+		}
+		u, err = DecodeUnit(zr)
+		if err != nil {
+			return nil, err
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("blockstore: gzip: %w", err)
+		}
+	} else {
+		u, err = DecodeUnit(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	s.stats.Reads++
+	s.stats.BytesRead += u.Bytes()
+	s.mu.Unlock()
+	return u, nil
+}
+
+// DiskBytesWritten reports the cumulative on-disk bytes of all Puts (lower
+// than Stats().BytesWritten when compression is on).
+func (s *FileStore) DiskBytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskW
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats implements Store.
+func (s *FileStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// Close implements Store. The files are left on disk; callers that want
+// cleanup should remove the directory.
+func (s *FileStore) Close() error { return nil }
+
+// ChunkStore persists dense tensor chunks (Phase-1 input blocks), one file
+// per block position, standing in for TensorDB's chunked array storage.
+type ChunkStore struct {
+	dir   string
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewChunkStore creates (if needed) dir and returns a chunk store.
+func NewChunkStore(dir string) (*ChunkStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	return &ChunkStore{dir: dir}, nil
+}
+
+func (s *ChunkStore) chunkPath(vec []int) string {
+	name := "chunk"
+	for _, v := range vec {
+		name += fmt.Sprintf("-%d", v)
+	}
+	return filepath.Join(s.dir, name+".tpdn")
+}
+
+// PutChunk writes the dense block stored at grid position vec.
+func (s *ChunkStore) PutChunk(vec []int, t *tensor.Dense) error {
+	if err := tensor.SaveDense(s.chunkPath(vec), t); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Writes++
+	s.stats.BytesWritten += int64(len(t.Data)) * 8
+	s.mu.Unlock()
+	return nil
+}
+
+// GetChunk reads the dense block stored at grid position vec.
+func (s *ChunkStore) GetChunk(vec []int) (*tensor.Dense, error) {
+	t, err := tensor.LoadDense(s.chunkPath(vec))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Reads++
+	s.stats.BytesRead += int64(len(t.Data)) * 8
+	s.mu.Unlock()
+	return t, nil
+}
+
+// Stats returns a snapshot of the chunk I/O counters.
+func (s *ChunkStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,147 @@
+// Package blockstore implements the out-of-core storage substrate of 2PCP,
+// standing in for the chunk-based array store (SciDB/TensorDB) of the
+// paper's weak-configuration experiments. It persists the Phase-2
+// mode-partition data units ⟨i,ki⟩ = {A(i)_(ki); U(i)_[*,..,ki,..,*]} and
+// Phase-1 tensor chunks, and counts every read and write so experiments can
+// report exact I/O — the paper's primary evaluation metric.
+//
+// Two backends are provided: MemStore, an in-memory store with disk
+// semantics (deep copies on Put/Get) for fast, precisely-counted
+// simulation, and FileStore, which writes real files through
+// encoding/binary for true out-of-core runs.
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"twopcp/internal/mat"
+)
+
+// Unit is the payload of one mode-partition data unit (paper Definition 4).
+type Unit struct {
+	Mode int // mode i
+	Part int // partition ki along mode i
+	// A is the sub-factor A(i)_(ki), (I_i/K_i)×F.
+	A *mat.Matrix
+	// U maps the linear block id of every block l in the mode-i slab
+	// [*,..,ki,..,*] to its Phase-1 sub-factor U(i)_l.
+	U map[int]*mat.Matrix
+}
+
+// Bytes returns the payload size in bytes (8 bytes per float64).
+func (u *Unit) Bytes() int64 {
+	n := int64(len(u.A.Data))
+	for _, m := range u.U {
+		n += int64(len(m.Data))
+	}
+	return n * 8
+}
+
+// clone deep-copies the unit so store and caller never alias.
+func (u *Unit) clone() *Unit {
+	c := &Unit{Mode: u.Mode, Part: u.Part, A: u.A.Clone(), U: make(map[int]*mat.Matrix, len(u.U))}
+	for id, m := range u.U {
+		c.U[id] = m.Clone()
+	}
+	return c
+}
+
+// Stats counts store traffic. Reads/Writes count operations; the byte
+// counters accumulate payload volume.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+}
+
+// ErrNotFound is returned by Get for units that were never Put.
+var ErrNotFound = errors.New("blockstore: unit not found")
+
+// Store persists data units and counts the I/O they generate. Stores are
+// safe for concurrent use.
+type Store interface {
+	// Put durably records the unit, overwriting any previous version.
+	Put(u *Unit) error
+	// Get fetches the unit for (mode, part); the result is owned by the
+	// caller (mutations do not write through).
+	Get(mode, part int) (*Unit, error)
+	// Stats returns a snapshot of the I/O counters.
+	Stats() Stats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+type unitKey struct{ mode, part int }
+
+// MemStore is an in-memory Store with disk semantics: units are deep-copied
+// on both Put and Get, so callers observe exactly the behaviour of a
+// file-backed store while experiments measure pure I/O counts.
+type MemStore struct {
+	mu    sync.Mutex
+	units map[unitKey]*Unit
+	stats Stats
+}
+
+// NewMemStore returns an empty in-memory unit store.
+func NewMemStore() *MemStore {
+	return &MemStore{units: make(map[unitKey]*Unit)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(u *Unit) error {
+	c := u.clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.units[unitKey{u.Mode, u.Part}] = c
+	s.stats.Writes++
+	s.stats.BytesWritten += c.Bytes()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(mode, part int) (*Unit, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.units[unitKey{mode, part}]
+	if !ok {
+		return nil, fmt.Errorf("%w: ⟨%d,%d⟩", ErrNotFound, mode, part)
+	}
+	s.stats.Reads++
+	s.stats.BytesRead += u.Bytes()
+	return u.clone(), nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats implements Store.
+func (s *MemStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.units = nil
+	return nil
+}

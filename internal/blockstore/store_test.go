@@ -1,0 +1,324 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+func testUnit(rng *rand.Rand) *Unit {
+	return &Unit{
+		Mode: 1,
+		Part: 2,
+		A:    mat.Random(4, 3, rng),
+		U: map[int]*mat.Matrix{
+			0: mat.Random(4, 3, rng),
+			5: mat.Random(4, 3, rng),
+			9: mat.Random(4, 3, rng),
+		},
+	}
+}
+
+func unitsEqual(a, b *Unit) bool {
+	if a.Mode != b.Mode || a.Part != b.Part || !a.A.Equal(b.A) || len(a.U) != len(b.U) {
+		return false
+	}
+	for id, m := range a.U {
+		if bm, ok := b.U[id]; !ok || !m.Equal(bm) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnitBytes(t *testing.T) {
+	u := testUnit(rand.New(rand.NewSource(1)))
+	want := int64(4*3*4) * 8 // A plus three U matrices, 12 floats each
+	if got := u.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, Writes: 2, BytesRead: 3, BytesWritten: 4}
+	a.Add(Stats{Reads: 10, Writes: 20, BytesRead: 30, BytesWritten: 40})
+	if a.Reads != 11 || a.Writes != 22 || a.BytesRead != 33 || a.BytesWritten != 44 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+// storeContract exercises the Store interface invariants on any backend.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	u := testUnit(rng)
+
+	if _, err := s.Get(1, 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unitsEqual(got, u) {
+		t.Fatal("Get returned different unit")
+	}
+	// Mutating the fetched unit must not write through.
+	got.A.Set(0, 0, 12345)
+	again, err := s.Get(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.A.At(0, 0) == 12345 {
+		t.Fatal("store aliases fetched unit")
+	}
+	// Overwrite.
+	u2 := testUnit(rng)
+	u2.A.Set(0, 0, -7)
+	if err := s.Put(u2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A.At(0, 0) != -7 {
+		t.Fatal("Put did not overwrite")
+	}
+	// Stats: 1+1+1 gets (one failed — not counted), 2 puts.
+	st := s.Stats()
+	if st.Reads != 3 || st.Writes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesRead != 3*u.Bytes() || st.BytesWritten != 2*u.Bytes() {
+		t.Fatalf("byte stats = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Reads != 0 || st.BytesWritten != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	storeContract(t, NewMemStore())
+}
+
+func TestFileStoreContract(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+}
+
+func TestEncodeDecodeUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := testUnit(rng)
+	var buf bytes.Buffer
+	if err := EncodeUnit(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUnit(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unitsEqual(got, u) {
+		t.Fatal("codec round trip failed")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	u := testUnit(rng)
+	var b1, b2 bytes.Buffer
+	if err := EncodeUnit(&b1, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeUnit(&b2, u); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodeUnitBadMagic(t *testing.T) {
+	if _, err := DecodeUnit(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDecodeUnitTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := EncodeUnit(&buf, testUnit(rng)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := DecodeUnit(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Fatal("expected error for truncated unit")
+	}
+}
+
+func TestFileStorePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(6))
+	u := testUnit(rng)
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unitsEqual(got, u) {
+		t.Fatal("unit not persisted")
+	}
+}
+
+func TestChunkStore(t *testing.T) {
+	s, err := NewChunkStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	blk := tensor.RandomDense(rng, 3, 4, 2)
+	if err := s.PutChunk([]int{0, 1, 1}, blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetChunk([]int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(blk, 0) {
+		t.Fatal("chunk round trip failed")
+	}
+	if _, err := s.GetChunk([]int{9, 9, 9}); err == nil {
+		t.Fatal("missing chunk should error")
+	}
+	st := s.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("chunk stats = %+v", st)
+	}
+	if st.BytesWritten != 24*8 || st.BytesRead != 24*8 {
+		t.Fatalf("chunk byte stats = %+v", st)
+	}
+}
+
+func TestMemStoreConcurrentAccess(t *testing.T) {
+	s := NewMemStore()
+	rng := rand.New(rand.NewSource(8))
+	u := testUnit(rng)
+	if err := s.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := s.Get(1, 2); err != nil {
+					done <- err
+					return
+				}
+				if err := s.Put(u); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Reads != 400 || st.Writes != 401 {
+		t.Fatalf("concurrent stats = %+v", st)
+	}
+}
+
+func TestFileStoreCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	u := testUnit(rng)
+	plain, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := NewFileStore(t.TempDir(), WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through the compressed store.
+	got, err := gz.Get(u.Mode, u.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unitsEqual(got, u) {
+		t.Fatal("compressed round trip failed")
+	}
+	// Logical byte accounting identical; on-disk differs.
+	if plain.Stats().BytesWritten != gz.Stats().BytesWritten {
+		t.Fatal("logical byte accounting should not depend on compression")
+	}
+	if gz.DiskBytesWritten() <= 0 || plain.DiskBytesWritten() <= 0 {
+		t.Fatal("disk byte accounting missing")
+	}
+	// A highly compressible unit (all-zero factors) must shrink on disk.
+	zero := testUnit(rng)
+	zero.A.Zero()
+	for _, m := range zero.U {
+		m.Zero()
+	}
+	gz2, err := NewFileStore(t.TempDir(), WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain2, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gz2.Put(zero); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain2.Put(zero); err != nil {
+		t.Fatal(err)
+	}
+	if gz2.DiskBytesWritten() >= plain2.DiskBytesWritten() {
+		t.Fatalf("compression did not shrink zero unit: %d vs %d",
+			gz2.DiskBytesWritten(), plain2.DiskBytesWritten())
+	}
+}
+
+func TestFileStoreCompressedContract(t *testing.T) {
+	s, err := NewFileStore(t.TempDir(), WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+}

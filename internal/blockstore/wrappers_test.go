@@ -1,0 +1,137 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"twopcp/internal/mat"
+)
+
+func TestWriteReadMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := mat.Random(5, 3, rng)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("matrix codec round trip failed")
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Negative shape.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0})
+	if _, err := ReadMatrix(&buf); err == nil {
+		t.Fatal("negative shape accepted")
+	}
+}
+
+func TestFaultyStorePassthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	u := testUnit(rng)
+	s := NewFaultyStore(NewMemStore())
+	if err := s.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(u.Mode, u.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unitsEqual(got, u) {
+		t.Fatal("passthrough altered the unit")
+	}
+	if st := s.Stats(); st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Reads != 0 {
+		t.Fatal("ResetStats did not pass through")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultyStoreInjectsAtIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	u := testUnit(rng)
+	s := NewFaultyStore(NewMemStore())
+	s.FailWrite = 2
+	s.FailRead = 3
+	if err := s.Put(u); err != nil {
+		t.Fatal(err) // write 1 passes
+	}
+	if err := s.Put(u); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: err = %v", err) // write 2 fails
+	}
+	if err := s.Put(u); err != nil {
+		t.Fatal(err) // write 3 passes again
+	}
+	for i := 1; i <= 4; i++ {
+		_, err := s.Get(u.Mode, u.Part)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read %d: err = %v, want injected", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if s.ReadFails != 1 || s.WriteFails != 1 {
+		t.Fatalf("fail counters = %d/%d", s.ReadFails, s.WriteFails)
+	}
+}
+
+func TestLatencyStoreDelaysAndCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	u := testUnit(rng)
+	s := WithLatency(NewMemStore(), 3*time.Millisecond, 2*time.Millisecond)
+	start := time.Now()
+	if err := s.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(u.Mode, u.Part); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+	if got := s.Waited(); got != 5*time.Millisecond {
+		t.Fatalf("Waited = %v, want 5ms", got)
+	}
+	if st := s.Stats(); st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats passthrough = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Writes != 0 {
+		t.Fatal("ResetStats did not pass through")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyStoreZeroLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	u := testUnit(rng)
+	s := WithLatency(NewMemStore(), 0, 0)
+	if err := s.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	if s.Waited() != 0 {
+		t.Fatal("zero latency should not accumulate wait")
+	}
+}

@@ -1,0 +1,311 @@
+// Package buffer implements 2PCP's buffer manager for Phase-2 data units
+// (paper §VII): a bounded cache over a blockstore.Store with pinning,
+// dirty-tracking write-back, and three replacement policies — LRU, MRU and
+// the paper's forward-looking (FOR) policy, which exploits the regularity
+// of the update schedule to evict the unit whose next use lies furthest in
+// the future (Belady's rule made practical by the known cyclic access
+// string).
+//
+// A "data swap" in the paper's evaluation is one unit fetched from the
+// store into the buffer; Stats.Fetches counts exactly that.
+package buffer
+
+import (
+	"fmt"
+	"sort"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/grid"
+	"twopcp/internal/schedule"
+)
+
+// Policy selects the replacement strategy.
+type Policy int
+
+const (
+	// LRU evicts the least-recently-used unpinned unit.
+	LRU Policy = iota
+	// MRU evicts the most-recently-used unpinned unit; the paper argues
+	// this fits the cyclic "temporal a-locality" of fiber traversals.
+	MRU
+	// Forward is the paper's forward-looking, schedule-aware policy:
+	// evict the unpinned unit whose next scheduled use is furthest away.
+	Forward
+)
+
+// Policies lists all replacement policies in the paper's order.
+var Policies = []Policy{LRU, MRU, Forward}
+
+// String returns the paper's abbreviation.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case MRU:
+		return "MRU"
+	case Forward:
+		return "FOR"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the paper's abbreviations to policies.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "LRU", "lru":
+		return LRU, nil
+	case "MRU", "mru":
+		return MRU, nil
+	case "FOR", "for", "forward":
+		return Forward, nil
+	}
+	return 0, fmt.Errorf("buffer: unknown policy %q", s)
+}
+
+// Stats counts buffer activity. Fetches is the paper's "data swaps".
+type Stats struct {
+	Fetches    int64 // store reads caused by misses
+	Hits       int64 // acquisitions served from the buffer
+	Evictions  int64 // units dropped to make space
+	WriteBacks int64 // dirty units written to the store on eviction/flush
+	Overflows  int64 // times pinned data exceeded nominal capacity
+}
+
+type entry struct {
+	unit     *blockstore.Unit
+	bytes    int64
+	lastUsed int64
+	pins     int
+	dirty    bool
+}
+
+// Manager is the buffer manager. It is not safe for concurrent use; the
+// Phase-2 refinement is strictly sequential (it runs "on a single worker
+// machine", §I), matching the paper's setting.
+type Manager struct {
+	store    blockstore.Store
+	pattern  *grid.Pattern
+	capacity int64
+	policy   Policy
+
+	resident map[int]*entry // unit id → entry
+	used     int64
+	clock    int64
+	stats    Stats
+
+	// Forward-policy state: the cyclic unit-access string (as unit ids),
+	// per-unit sorted occurrence positions, and the current cursor.
+	cycle  []int
+	occ    map[int][]int
+	cursor int
+}
+
+// Config assembles a Manager.
+type Config struct {
+	// Store is the backing unit store (required).
+	Store blockstore.Store
+	// Pattern is the grid pattern; unit ids are derived from it (required).
+	Pattern *grid.Pattern
+	// CapacityBytes bounds resident unit payload. The paper sizes it as a
+	// fraction of schedule.TotalBytes.
+	CapacityBytes int64
+	// Policy selects the replacement strategy.
+	Policy Policy
+	// Schedule must be supplied for the Forward policy (its access string
+	// defines next-use distances); ignored otherwise.
+	Schedule *schedule.Schedule
+}
+
+// NewManager validates cfg and builds the manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Store == nil || cfg.Pattern == nil {
+		return nil, fmt.Errorf("buffer: Store and Pattern are required")
+	}
+	if cfg.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("buffer: capacity %d must be positive", cfg.CapacityBytes)
+	}
+	m := &Manager{
+		store:    cfg.Store,
+		pattern:  cfg.Pattern,
+		capacity: cfg.CapacityBytes,
+		policy:   cfg.Policy,
+		resident: make(map[int]*entry),
+	}
+	if cfg.Policy == Forward {
+		if cfg.Schedule == nil {
+			return nil, fmt.Errorf("buffer: Forward policy requires a Schedule")
+		}
+		accesses := cfg.Schedule.AccessString()
+		m.cycle = make([]int, len(accesses))
+		m.occ = make(map[int][]int)
+		for i, a := range accesses {
+			id := schedule.UnitID(cfg.Pattern, a.Mode, a.Part)
+			m.cycle[i] = id
+			m.occ[id] = append(m.occ[id], i)
+		}
+	}
+	return m, nil
+}
+
+// Acquire pins the unit ⟨mode, part⟩ in the buffer, fetching it from the
+// store on a miss (possibly evicting). Every call advances the schedule
+// cursor, so callers must acquire units in exactly the schedule's access
+// order when using the Forward policy.
+func (m *Manager) Acquire(mode, part int) (*blockstore.Unit, error) {
+	id := schedule.UnitID(m.pattern, mode, part)
+	m.clock++
+	pos := m.cursor
+	if len(m.cycle) > 0 {
+		if m.cycle[pos] != id {
+			return nil, fmt.Errorf("buffer: access ⟨%d,%d⟩ deviates from schedule position %d", mode, part, pos)
+		}
+		m.cursor = (m.cursor + 1) % len(m.cycle)
+	}
+	if e, ok := m.resident[id]; ok {
+		e.lastUsed = m.clock
+		e.pins++
+		m.stats.Hits++
+		return e.unit, nil
+	}
+	u, err := m.store.Get(mode, part)
+	if err != nil {
+		return nil, err
+	}
+	m.stats.Fetches++
+	e := &entry{unit: u, bytes: u.Bytes(), lastUsed: m.clock, pins: 1}
+	m.resident[id] = e
+	m.used += e.bytes
+	if err := m.shrink(pos); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Release unpins a previously acquired unit; dirty marks it modified so
+// eviction (or FlushAll) writes it back.
+func (m *Manager) Release(mode, part int, dirty bool) {
+	id := schedule.UnitID(m.pattern, mode, part)
+	e, ok := m.resident[id]
+	if !ok || e.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Release of unpinned unit ⟨%d,%d⟩", mode, part))
+	}
+	e.pins--
+	if dirty {
+		e.dirty = true
+	}
+}
+
+// shrink evicts unpinned units until usage fits capacity. If everything
+// resident is pinned the buffer temporarily overflows (counted, not fatal),
+// mirroring a real buffer manager that must keep its working set.
+func (m *Manager) shrink(pos int) error {
+	for m.used > m.capacity {
+		victim := m.pickVictim(pos)
+		if victim == -1 {
+			m.stats.Overflows++
+			return nil
+		}
+		if err := m.evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim returns the unit id to evict, or -1 when nothing is evictable.
+func (m *Manager) pickVictim(pos int) int {
+	best := -1
+	var bestKey int64
+	for id, e := range m.resident {
+		if e.pins > 0 {
+			continue
+		}
+		var key int64
+		switch m.policy {
+		case LRU:
+			key = -e.lastUsed // oldest wins
+		case MRU:
+			key = e.lastUsed // newest wins
+		case Forward:
+			key = int64(m.nextUseDistance(id, pos)) // furthest wins
+		}
+		if best == -1 || key > bestKey || (key == bestKey && id < best) {
+			best, bestKey = id, key
+		}
+	}
+	return best
+}
+
+// nextUseDistance returns how many accesses ahead of pos unit id is next
+// used, wrapping around the cycle. Units never used again in the cycle
+// (impossible for tensor-filling schedules) get the maximal distance.
+func (m *Manager) nextUseDistance(id, pos int) int {
+	occ := m.occ[id]
+	n := len(m.cycle)
+	if len(occ) == 0 {
+		return n + 1
+	}
+	// First occurrence strictly after pos.
+	j := sort.SearchInts(occ, pos+1)
+	if j < len(occ) {
+		return occ[j] - pos
+	}
+	return occ[0] + n - pos
+}
+
+func (m *Manager) evict(id int) error {
+	e := m.resident[id]
+	if e.dirty {
+		if err := m.store.Put(e.unit); err != nil {
+			return err
+		}
+		m.stats.WriteBacks++
+	}
+	delete(m.resident, id)
+	m.used -= e.bytes
+	m.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty resident unit back to the store (keeping it
+// resident and clean). Phase 2 calls this at termination.
+func (m *Manager) FlushAll() error {
+	// Deterministic order for reproducible store traffic.
+	ids := make([]int, 0, len(m.resident))
+	for id := range m.resident {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := m.resident[id]
+		if !e.dirty {
+			continue
+		}
+		if err := m.store.Put(e.unit); err != nil {
+			return err
+		}
+		m.stats.WriteBacks++
+		e.dirty = false
+	}
+	return nil
+}
+
+// Contains reports whether the unit is resident (for tests/diagnostics).
+func (m *Manager) Contains(mode, part int) bool {
+	_, ok := m.resident[schedule.UnitID(m.pattern, mode, part)]
+	return ok
+}
+
+// UsedBytes returns the resident payload volume.
+func (m *Manager) UsedBytes() int64 { return m.used }
+
+// Capacity returns the configured capacity in bytes.
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (the cursor and residency are kept, so a
+// warmed-up buffer can be measured in steady state).
+func (m *Manager) ResetStats() { m.stats = Stats{} }

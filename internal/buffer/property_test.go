@@ -1,0 +1,148 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/grid"
+	"twopcp/internal/mat"
+	"twopcp/internal/schedule"
+)
+
+// buildFixture populates a store for an arbitrary pattern.
+func buildFixture(t *testing.T, p *grid.Pattern, rank int) (*blockstore.MemStore, int64) {
+	t.Helper()
+	store := blockstore.NewMemStore()
+	rng := rand.New(rand.NewSource(99))
+	var unitBytes int64
+	for i := 0; i < p.NModes(); i++ {
+		for ki := 0; ki < p.K[i]; ki++ {
+			_, rows := p.ModeRange(i, ki)
+			u := &blockstore.Unit{Mode: i, Part: ki, A: mat.Random(rows, rank, rng), U: map[int]*mat.Matrix{}}
+			for _, id := range p.Slab(i, ki) {
+				u.U[id] = mat.Random(rows, rank, rng)
+			}
+			if err := store.Put(u); err != nil {
+				t.Fatal(err)
+			}
+			if b := u.Bytes(); b > unitBytes {
+				unitBytes = b
+			}
+		}
+	}
+	store.ResetStats()
+	return store, unitBytes
+}
+
+// runPolicy drives a manager through `cycles` full cycles of the schedule
+// and returns total fetches (cold start included — identical across
+// policies for the comparison to be fair).
+func runPolicy(t *testing.T, p *grid.Pattern, sched *schedule.Schedule, capacity int64, pol Policy, cycles int) int64 {
+	t.Helper()
+	store, _ := buildFixture(t, p, 2)
+	m, err := NewManager(Config{
+		Store: store, Pattern: p, CapacityBytes: capacity,
+		Policy: pol, Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := sched.AccessString()
+	for c := 0; c < cycles; c++ {
+		for _, a := range accesses {
+			if _, err := m.Acquire(a.Mode, a.Part); err != nil {
+				t.Fatal(err)
+			}
+			m.Release(a.Mode, a.Part, false)
+		}
+	}
+	return m.Stats().Fetches
+}
+
+// TestForwardBeladyOptimalProperty: the forward-looking policy implements
+// Belady's offline-optimal rule for the known cyclic access string, so for
+// any UNIFORM pattern (equal partition counts per mode — the paper's
+// setting, under which all data units have the same size), any schedule and
+// any buffer size, it must fetch no more than LRU or MRU.
+// testing/quick randomizes the configuration.
+//
+// The uniformity restriction is substantive: with unequal partition counts
+// the units have different sizes and eviction becomes a weighted-caching
+// problem, for which Belady's rule is not optimal — quick.Check finds
+// counterexamples (e.g. K = (3,1,1)) if the restriction is lifted.
+func TestForwardBeladyOptimalProperty(t *testing.T) {
+	f := func(k1, fracSel, kindSel uint8) bool {
+		kk := int(k1%3) + 1
+		k := []int{kk, kk, kk}
+		dims := []int{kk * 4, kk * 4, kk * 4}
+		p := grid.MustNew(dims, k)
+		kind := schedule.Kinds[int(kindSel)%len(schedule.Kinds)]
+		sched := schedule.New(kind, p)
+		total := schedule.TotalBytes(p, 2)
+		fracs := []float64{1.0 / 3, 1.0 / 2, 2.0 / 3}
+		capacity := int64(fracs[int(fracSel)%3] * float64(total))
+		if capacity <= 0 {
+			capacity = 1
+		}
+		forward := runPolicy(t, p, sched, capacity, Forward, 3)
+		lru := runPolicy(t, p, sched, capacity, LRU, 3)
+		mru := runPolicy(t, p, sched, capacity, MRU, 3)
+		return forward <= lru && forward <= mru
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapCountsScaleFreeProperty: per-iteration swaps depend on the
+// pattern and buffer fraction, not on absolute tensor size (paper
+// §VIII-C.1) — doubling every mode size must not change fetch counts.
+func TestSwapCountsScaleFreeProperty(t *testing.T) {
+	f := func(kindSel, fracSel uint8) bool {
+		kind := schedule.Kinds[int(kindSel)%len(schedule.Kinds)]
+		fracs := []float64{1.0 / 3, 1.0 / 2, 2.0 / 3}
+		frac := fracs[int(fracSel)%3]
+		count := func(scale int) int64 {
+			p := grid.UniformCube(3, 8*scale, 4)
+			sched := schedule.New(kind, p)
+			capacity := int64(frac * float64(schedule.TotalBytes(p, 2)))
+			return runPolicy(t, p, sched, capacity, Forward, 2)
+		}
+		return count(1) == count(3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyNeverFetchesResident: acquiring a resident unit is never a
+// fetch, whatever the policy — a basic soundness property.
+func TestPolicyNeverFetchesResident(t *testing.T) {
+	p := grid.UniformCube(3, 8, 2)
+	sched := schedule.New(schedule.FiberOrder, p)
+	for _, pol := range Policies {
+		store, ub := buildFixture(t, p, 2)
+		m, err := NewManager(Config{
+			Store: store, Pattern: p, CapacityBytes: 100 * ub,
+			Policy: pol, Schedule: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accesses := sched.AccessString()
+		for c := 0; c < 3; c++ {
+			for _, a := range accesses {
+				if _, err := m.Acquire(a.Mode, a.Part); err != nil {
+					t.Fatal(err)
+				}
+				m.Release(a.Mode, a.Part, false)
+			}
+		}
+		// Capacity is huge: only the ΣK cold misses are allowed.
+		if got := m.Stats().Fetches; got != int64(p.SumK()) {
+			t.Fatalf("%v: fetches = %d, want %d cold misses", pol, got, p.SumK())
+		}
+	}
+}

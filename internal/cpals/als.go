@@ -1,0 +1,156 @@
+package cpals
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+// Options configures a CP-ALS run.
+type Options struct {
+	// Rank is the target decomposition rank F; it must be positive.
+	Rank int
+	// MaxIters bounds the number of ALS sweeps (default 50).
+	MaxIters int
+	// Tol stops the iteration once the fit improves by less than Tol
+	// between consecutive sweeps (default 1e-4). The paper's §VIII-C uses
+	// 1e-2 per (virtual) iteration.
+	Tol float64
+	// Rng supplies factor initialization randomness; required unless Init
+	// is given. Passing the generator explicitly keeps every run
+	// reproducible.
+	Rng *rand.Rand
+	// Init optionally supplies initial factor matrices (Dims[k]×Rank);
+	// they are cloned, not mutated.
+	Init []*mat.Matrix
+}
+
+// Info reports how an ALS run went.
+type Info struct {
+	Iters     int       // sweeps executed
+	Fit       float64   // final fit 1 − ‖X−X̂‖/‖X‖
+	FitTrace  []float64 // fit after each sweep
+	Converged bool      // true if the tolerance was met before MaxIters
+}
+
+// ErrBadOptions is returned for invalid option combinations.
+var ErrBadOptions = errors.New("cpals: invalid options")
+
+func (o *Options) normalize(dims []int) (Options, error) {
+	out := *o
+	if out.Rank <= 0 {
+		return out, fmt.Errorf("%w: rank %d", ErrBadOptions, out.Rank)
+	}
+	if out.MaxIters <= 0 {
+		out.MaxIters = 50
+	}
+	if out.Tol <= 0 {
+		out.Tol = 1e-4
+	}
+	if out.Init != nil {
+		if len(out.Init) != len(dims) {
+			return out, fmt.Errorf("%w: %d init factors for %d modes", ErrBadOptions, len(out.Init), len(dims))
+		}
+		for k, m := range out.Init {
+			if m.Rows != dims[k] || m.Cols != out.Rank {
+				return out, fmt.Errorf("%w: init factor %d is %d×%d, want %d×%d",
+					ErrBadOptions, k, m.Rows, m.Cols, dims[k], out.Rank)
+			}
+		}
+	} else if out.Rng == nil {
+		return out, fmt.Errorf("%w: need Rng or Init", ErrBadOptions)
+	}
+	return out, nil
+}
+
+// Decompose runs CP-ALS on a dense tensor.
+func Decompose(x *tensor.Dense, opts Options) (*KTensor, Info, error) {
+	return alsCore(x.Dims, x.Norm(), func(factors []*mat.Matrix, n int) *mat.Matrix {
+		return tensor.MTTKRP(x, factors, n)
+	}, opts)
+}
+
+// DecomposeSparse runs CP-ALS on a sparse tensor.
+func DecomposeSparse(x *tensor.COO, opts Options) (*KTensor, Info, error) {
+	return alsCore(x.Dims, x.Norm(), func(factors []*mat.Matrix, n int) *mat.Matrix {
+		return tensor.MTTKRPSparse(x, factors, n)
+	}, opts)
+}
+
+// alsCore is the shared ALS loop, parameterized only by the MTTKRP kernel
+// so dense and sparse inputs share one implementation.
+func alsCore(dims []int, normX float64, mttkrp func([]*mat.Matrix, int) *mat.Matrix, opts Options) (*KTensor, Info, error) {
+	o, err := opts.normalize(dims)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	n := len(dims)
+	f := o.Rank
+
+	factors := make([]*mat.Matrix, n)
+	if o.Init != nil {
+		for k := range factors {
+			factors[k] = o.Init[k].Clone()
+		}
+	} else {
+		for k := range factors {
+			factors[k] = mat.Random(dims[k], f, o.Rng)
+		}
+	}
+	lambda := make([]float64, f)
+	for i := range lambda {
+		lambda[i] = 1
+	}
+	// Cache the Gram matrices A(k)ᵀA(k); refresh after each factor update.
+	grams := make([]*mat.Matrix, n)
+	for k := range grams {
+		grams[k] = mat.Gram(factors[k])
+	}
+
+	info := Info{}
+	prevFit := 0.0
+	for iter := 1; iter <= o.MaxIters; iter++ {
+		var lastM *mat.Matrix
+		for mode := 0; mode < n; mode++ {
+			m := mttkrp(factors, mode)
+			// V = ⊛_{k≠mode} A(k)ᵀA(k)
+			v := mat.New(f, f)
+			v.Fill(1)
+			for k := 0; k < n; k++ {
+				if k != mode {
+					v.HadamardInPlace(grams[k])
+				}
+			}
+			a := mat.RightSolveSPD(m, v)
+			norms := a.NormalizeColumns(1e-300)
+			copy(lambda, norms)
+			factors[mode] = a
+			mat.GramInto(grams[mode], a)
+			lastM = m
+		}
+		// Fit via the last mode's MTTKRP: ⟨X,X̂⟩ = Σ_f λ_f Σ_i M[i,f]A[i,f].
+		inner := innerFromMTTKRP(lastM, factors[n-1], lambda)
+		kt := &KTensor{Lambda: lambda, Factors: factors}
+		fit := fitFromParts(normX, kt.Norm(), inner)
+		info.FitTrace = append(info.FitTrace, fit)
+		info.Iters = iter
+		info.Fit = fit
+		if iter > 1 && abs(fit-prevFit) < o.Tol {
+			info.Converged = true
+			break
+		}
+		prevFit = fit
+	}
+	out := &KTensor{Lambda: append([]float64(nil), lambda...), Factors: factors}
+	return out, info, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,216 @@
+package cpals
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+func TestDecomposeRecoversLowRank(t *testing.T) {
+	// An exactly rank-2 tensor must be recovered to fit ≈ 1.
+	rng := rand.New(rand.NewSource(100))
+	truth := randomKTensor(rng, 2, 6, 5, 4)
+	x := truth.Full()
+	kt, info, err := Decompose(x, Options{Rank: 2, MaxIters: 200, Tol: 1e-9, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain ALS can crawl through a "swamp" on random inits, so accept a
+	// near-perfect fit rather than machine precision.
+	if info.Fit < 0.995 {
+		t.Fatalf("fit = %g after %d iters, want ≈1", info.Fit, info.Iters)
+	}
+	if got := kt.Fit(x); math.Abs(got-info.Fit) > 1e-6 {
+		t.Fatalf("reported fit %g != recomputed %g", info.Fit, got)
+	}
+}
+
+func TestDecomposeFitMonotoneNonDecreasing(t *testing.T) {
+	// ALS is a block-coordinate descent: the fit trace must be
+	// (numerically) non-decreasing.
+	rng := rand.New(rand.NewSource(101))
+	x := tensor.RandomDense(rng, 6, 7, 5)
+	_, info, err := Decompose(x, Options{Rank: 3, MaxIters: 30, Tol: 1e-12, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(info.FitTrace); i++ {
+		if info.FitTrace[i] < info.FitTrace[i-1]-1e-9 {
+			t.Fatalf("fit decreased at sweep %d: %v", i, info.FitTrace)
+		}
+	}
+}
+
+func TestDecomposeConvergesAndStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	truth := randomKTensor(rng, 1, 5, 5, 5)
+	x := truth.Full()
+	_, info, err := Decompose(x, Options{Rank: 1, MaxIters: 500, Tol: 1e-8, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Converged {
+		t.Fatal("rank-1 recovery did not converge")
+	}
+	if info.Iters >= 500 {
+		t.Fatal("convergence should stop before MaxIters")
+	}
+}
+
+func TestDecomposeDeterministicWithSeed(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	x := tensor.RandomDense(rand.New(rand.NewSource(1)), 4, 4, 4)
+	k1, i1, err := Decompose(x, Options{Rank: 2, MaxIters: 10, Rng: rng1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, i2, err := Decompose(x, Options{Rank: 2, MaxIters: 10, Rng: rng2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Fit != i2.Fit {
+		t.Fatalf("fits differ: %g vs %g", i1.Fit, i2.Fit)
+	}
+	for m := range k1.Factors {
+		if !k1.Factors[m].Equal(k2.Factors[m]) {
+			t.Fatal("factors differ across identically seeded runs")
+		}
+	}
+}
+
+func TestDecomposeWithInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	truth := randomKTensor(rng, 2, 5, 4, 3)
+	x := truth.Full()
+	// Initialize near the truth (small perturbation) so ALS converges to
+	// the global optimum; the test verifies Init plumbing, not swamps.
+	init := make([]*mat.Matrix, 3)
+	for k := range init {
+		init[k] = truth.Factors[k].Clone()
+		noise := mat.Random(init[k].Rows, init[k].Cols, rng)
+		noise.Scale(0.01)
+		init[k].AddInPlace(noise)
+	}
+	orig := init[0].Clone()
+	kt, info, err := Decompose(x, Options{Rank: 2, MaxIters: 100, Tol: 1e-10, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fit < 0.999 {
+		t.Fatalf("fit with explicit init = %g", info.Fit)
+	}
+	if !init[0].Equal(orig) {
+		t.Fatal("Decompose mutated the Init matrices")
+	}
+	if kt.Rank() != 2 {
+		t.Fatalf("rank = %d", kt.Rank())
+	}
+}
+
+func TestDecomposeSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	c := tensor.RandomCOO(rng, 0.3, 6, 5, 4)
+	d := c.Dense()
+	init := make([]*mat.Matrix, 3)
+	for k, dim := range []int{6, 5, 4} {
+		init[k] = mat.Random(dim, 2, rng)
+	}
+	_, infoS, err := DecomposeSparse(c, Options{Rank: 2, MaxIters: 20, Tol: 1e-12, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, infoD, err := Decompose(d, Options{Rank: 2, MaxIters: 20, Tol: 1e-12, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(infoS.Fit-infoD.Fit) > 1e-9 {
+		t.Fatalf("sparse fit %g != dense fit %g", infoS.Fit, infoD.Fit)
+	}
+}
+
+func TestDecomposeOptionValidation(t *testing.T) {
+	x := tensor.NewDense(2, 2)
+	cases := []Options{
+		{Rank: 0, Rng: rand.New(rand.NewSource(1))},
+		{Rank: -1, Rng: rand.New(rand.NewSource(1))},
+		{Rank: 2}, // no Rng and no Init
+		{Rank: 2, Init: []*mat.Matrix{mat.New(2, 2)}},                // wrong count
+		{Rank: 2, Init: []*mat.Matrix{mat.New(2, 3), mat.New(2, 2)}}, // wrong shape
+	}
+	for i, o := range cases {
+		if _, _, err := Decompose(x, o); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("case %d: err = %v, want ErrBadOptions", i, err)
+		}
+	}
+}
+
+func TestDecompose4Mode(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	truth := randomKTensor(rng, 2, 4, 3, 3, 2)
+	x := truth.Full()
+	_, info, err := Decompose(x, Options{Rank: 2, MaxIters: 300, Tol: 1e-10, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fit < 0.999 {
+		t.Fatalf("4-mode fit = %g", info.Fit)
+	}
+}
+
+func TestDecomposeZeroTensor(t *testing.T) {
+	x := tensor.NewDense(3, 3, 3)
+	kt, info, err := Decompose(x, Options{Rank: 2, MaxIters: 5, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fit != 1 {
+		t.Fatalf("fit of zero tensor = %g", info.Fit)
+	}
+	if kt == nil {
+		t.Fatal("nil ktensor")
+	}
+}
+
+func TestDecomposeRankHigherThanNeeded(t *testing.T) {
+	// Over-parameterized rank must still reach fit ≈ 1 (the extra
+	// components can be zero-weighted); mostly a numerical-robustness test
+	// for the singular normal equations it produces.
+	rng := rand.New(rand.NewSource(106))
+	truth := randomKTensor(rng, 1, 5, 5, 5)
+	x := truth.Full()
+	_, info, err := Decompose(x, Options{Rank: 3, MaxIters: 100, Tol: 1e-9, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fit < 0.999 {
+		t.Fatalf("over-ranked fit = %g", info.Fit)
+	}
+}
+
+func TestFitTraceLenMatchesIters(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	x := tensor.RandomDense(rng, 4, 4, 4)
+	_, info, err := Decompose(x, Options{Rank: 2, MaxIters: 7, Tol: 1e-15, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.FitTrace) != info.Iters {
+		t.Fatalf("trace len %d != iters %d", len(info.FitTrace), info.Iters)
+	}
+}
+
+func BenchmarkDecomposeDense16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandomDense(rng, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompose(x, Options{Rank: 5, MaxIters: 10, Rng: rand.New(rand.NewSource(2))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package cpals implements in-memory CP (CANDECOMP/PARAFAC) decomposition
+// via Alternating Least Squares for dense and sparse tensors, together with
+// the Kruskal-tensor (KTensor) representation of the result.
+//
+// This is the Phase-1 per-block solver of 2PCP and also serves as the
+// "Naive CP" baseline of the paper's Table II. The implementation follows
+// the reference cp_als of the MATLAB Tensor Toolbox: factor columns are
+// normalized after every mode update with the norms folded into the weight
+// vector λ, and the fit 1 − ‖X−X̂‖/‖X‖ is evaluated once per sweep without
+// materializing X̂.
+package cpals
+
+import (
+	"fmt"
+	"math"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+// KTensor is a Kruskal tensor: a weighted sum of F rank-one tensors.
+// X̂(i_1..i_N) = Σ_f λ_f · Π_k Factors[k][i_k, f].
+type KTensor struct {
+	Lambda  []float64     // F weights
+	Factors []*mat.Matrix // Factors[k] is Dims[k]×F with unit-norm columns
+}
+
+// NewKTensor builds a KTensor from factors with all weights 1.
+func NewKTensor(factors []*mat.Matrix) *KTensor {
+	if len(factors) == 0 {
+		panic("cpals: NewKTensor with no factors")
+	}
+	f := factors[0].Cols
+	lambda := make([]float64, f)
+	for i := range lambda {
+		lambda[i] = 1
+	}
+	for k, m := range factors {
+		if m.Cols != f {
+			panic(fmt.Sprintf("cpals: factor %d has %d cols, want %d", k, m.Cols, f))
+		}
+	}
+	return &KTensor{Lambda: lambda, Factors: factors}
+}
+
+// Rank returns the number of rank-one components F.
+func (k *KTensor) Rank() int { return len(k.Lambda) }
+
+// NModes returns the number of modes.
+func (k *KTensor) NModes() int { return len(k.Factors) }
+
+// Dims returns the mode sizes implied by the factor row counts.
+func (k *KTensor) Dims() []int {
+	d := make([]int, len(k.Factors))
+	for i, f := range k.Factors {
+		d[i] = f.Rows
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (k *KTensor) Clone() *KTensor {
+	lambda := append([]float64(nil), k.Lambda...)
+	factors := make([]*mat.Matrix, len(k.Factors))
+	for i, f := range k.Factors {
+		factors[i] = f.Clone()
+	}
+	return &KTensor{Lambda: lambda, Factors: factors}
+}
+
+// At evaluates the model at one multi-index.
+func (k *KTensor) At(idx ...int) float64 {
+	if len(idx) != len(k.Factors) {
+		panic(fmt.Sprintf("cpals: At: %d indexes for %d modes", len(idx), len(k.Factors)))
+	}
+	var s float64
+	for f, l := range k.Lambda {
+		p := l
+		for m, i := range idx {
+			p *= k.Factors[m].At(i, f)
+		}
+		s += p
+	}
+	return s
+}
+
+// Full materializes the model as a dense tensor.
+func (k *KTensor) Full() *tensor.Dense {
+	dims := k.Dims()
+	out := tensor.NewDense(dims...)
+	idx := make([]int, len(dims))
+	out.Fill(func(i []int) float64 {
+		copy(idx, i)
+		return k.At(idx...)
+	})
+	return out
+}
+
+// Norm returns ‖X̂‖ using the Kruskal identity
+// ‖X̂‖² = λᵀ (⊛_k A(k)ᵀA(k)) λ, clamped at 0 against round-off.
+func (k *KTensor) Norm() float64 {
+	f := k.Rank()
+	had := mat.New(f, f)
+	had.Fill(1)
+	for _, a := range k.Factors {
+		had.HadamardInPlace(mat.Gram(a))
+	}
+	v := mat.QuadForm(had, k.Lambda, k.Lambda)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Normalize rescales every factor to unit column norms, folding the norms
+// into λ, and returns k for chaining.
+func (k *KTensor) Normalize() *KTensor {
+	for _, a := range k.Factors {
+		norms := a.NormalizeColumns(1e-300)
+		for f := range k.Lambda {
+			k.Lambda[f] *= norms[f]
+		}
+	}
+	return k
+}
+
+// InnerDense returns ⟨X, X̂⟩ for a dense X with the same dims.
+func (k *KTensor) InnerDense(x *tensor.Dense) float64 {
+	m := tensor.MTTKRP(x, k.Factors, 0)
+	return innerFromMTTKRP(m, k.Factors[0], k.Lambda)
+}
+
+// InnerSparse returns ⟨X, X̂⟩ for a sparse X with the same dims.
+func (k *KTensor) InnerSparse(x *tensor.COO) float64 {
+	m := tensor.MTTKRPSparse(x, k.Factors, 0)
+	return innerFromMTTKRP(m, k.Factors[0], k.Lambda)
+}
+
+// innerFromMTTKRP folds a mode-n MTTKRP result with the corresponding
+// factor and λ: ⟨X, X̂⟩ = Σ_f λ_f Σ_i M[i,f]·A[i,f].
+func innerFromMTTKRP(m, a *mat.Matrix, lambda []float64) float64 {
+	var s float64
+	for f, l := range lambda {
+		var c float64
+		for i := 0; i < m.Rows; i++ {
+			c += m.At(i, f) * a.At(i, f)
+		}
+		s += l * c
+	}
+	return s
+}
+
+// Fit returns 1 − ‖X − X̂‖/‖X‖ for dense X (1 when ‖X‖ = 0).
+func (k *KTensor) Fit(x *tensor.Dense) float64 {
+	return fitFromParts(x.Norm(), k.Norm(), k.InnerDense(x))
+}
+
+// FitSparse returns 1 − ‖X − X̂‖/‖X‖ for sparse X.
+func (k *KTensor) FitSparse(x *tensor.COO) float64 {
+	return fitFromParts(x.Norm(), k.Norm(), k.InnerSparse(x))
+}
+
+// fitFromParts assembles the fit from ‖X‖, ‖X̂‖ and ⟨X,X̂⟩ using
+// ‖X−X̂‖² = ‖X‖² + ‖X̂‖² − 2⟨X,X̂⟩ (clamped at 0 against round-off).
+func fitFromParts(normX, normModel, inner float64) float64 {
+	if normX == 0 {
+		return 1
+	}
+	res2 := normX*normX + normModel*normModel - 2*inner
+	if res2 < 0 {
+		res2 = 0
+	}
+	return 1 - math.Sqrt(res2)/normX
+}

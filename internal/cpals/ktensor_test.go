@@ -1,0 +1,172 @@
+package cpals
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+func randomKTensor(rng *rand.Rand, rank int, dims ...int) *KTensor {
+	factors := make([]*mat.Matrix, len(dims))
+	for k, d := range dims {
+		factors[k] = mat.Random(d, rank, rng)
+	}
+	return NewKTensor(factors)
+}
+
+func TestNewKTensorDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := randomKTensor(rng, 3, 4, 5, 6)
+	if k.Rank() != 3 || k.NModes() != 3 {
+		t.Fatalf("Rank=%d NModes=%d", k.Rank(), k.NModes())
+	}
+	for _, l := range k.Lambda {
+		if l != 1 {
+			t.Fatal("lambda should default to 1")
+		}
+	}
+	d := k.Dims()
+	if d[0] != 4 || d[1] != 5 || d[2] != 6 {
+		t.Fatalf("Dims = %v", d)
+	}
+}
+
+func TestNewKTensorMismatchedRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewKTensor([]*mat.Matrix{mat.New(2, 2), mat.New(2, 3)})
+}
+
+func TestKTensorAtMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := randomKTensor(rng, 2, 3, 4, 2)
+	full := k.Full()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 2; l++ {
+				if math.Abs(k.At(i, j, l)-full.At(i, j, l)) > 1e-12 {
+					t.Fatalf("At(%d,%d,%d) disagrees with Full", i, j, l)
+				}
+			}
+		}
+	}
+}
+
+func TestKTensorRankOneKnown(t *testing.T) {
+	// X = 2 · a ∘ b with a = (1, 2), b = (3, 4, 5).
+	a := mat.FromRows([][]float64{{1}, {2}})
+	b := mat.FromRows([][]float64{{3}, {4}, {5}})
+	k := NewKTensor([]*mat.Matrix{a, b})
+	k.Lambda[0] = 2
+	if got := k.At(1, 2); got != 2*2*5 {
+		t.Fatalf("At = %g, want 20", got)
+	}
+}
+
+func TestKTensorNormMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		k := randomKTensor(rng, rng.Intn(3)+1, rng.Intn(4)+1, rng.Intn(4)+1, rng.Intn(4)+1)
+		for f := range k.Lambda {
+			k.Lambda[f] = rng.Float64()*2 - 0.5
+		}
+		if math.Abs(k.Norm()-k.Full().Norm()) > 1e-9 {
+			t.Fatalf("trial %d: Norm %g != full norm %g", trial, k.Norm(), k.Full().Norm())
+		}
+	}
+}
+
+func TestKTensorNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := randomKTensor(rng, 3, 5, 6)
+	k.Factors[0].Scale(7) // give the columns non-unit norms
+	before := k.Full()
+	k.Normalize()
+	// Model unchanged.
+	if !k.Full().EqualApprox(before, 1e-10) {
+		t.Fatal("Normalize changed the model")
+	}
+	// Columns now unit norm.
+	for _, f := range k.Factors {
+		for _, n := range f.ColumnNorms() {
+			if math.Abs(n-1) > 1e-10 {
+				t.Fatalf("column norm %g after Normalize", n)
+			}
+		}
+	}
+}
+
+func TestInnerDenseMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k := randomKTensor(rng, 2, 3, 4, 2)
+	x := tensor.RandomDense(rng, 3, 4, 2)
+	want := x.Dot(k.Full())
+	if math.Abs(k.InnerDense(x)-want) > 1e-10 {
+		t.Fatalf("InnerDense = %g, want %g", k.InnerDense(x), want)
+	}
+}
+
+func TestInnerSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k := randomKTensor(rng, 2, 4, 5, 3)
+	c := tensor.RandomCOO(rng, 0.3, 4, 5, 3)
+	want := k.InnerDense(c.Dense())
+	if math.Abs(k.InnerSparse(c)-want) > 1e-10 {
+		t.Fatal("InnerSparse disagrees with dense")
+	}
+}
+
+func TestFitExactModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := randomKTensor(rng, 2, 4, 3, 3)
+	x := k.Full()
+	if fit := k.Fit(x); math.Abs(fit-1) > 1e-8 {
+		t.Fatalf("fit of own full tensor = %g, want 1", fit)
+	}
+}
+
+func TestFitMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k := randomKTensor(rng, 2, 4, 3, 3)
+	x := tensor.RandomDense(rng, 4, 3, 3)
+	resid := x.Clone()
+	resid.SubInPlace(k.Full())
+	want := 1 - resid.Norm()/x.Norm()
+	if math.Abs(k.Fit(x)-want) > 1e-9 {
+		t.Fatalf("Fit = %g, want %g", k.Fit(x), want)
+	}
+}
+
+func TestFitZeroTensor(t *testing.T) {
+	k := NewKTensor([]*mat.Matrix{mat.New(2, 1), mat.New(2, 1)})
+	x := tensor.NewDense(2, 2)
+	if k.Fit(x) != 1 {
+		t.Fatal("fit of zero tensor should be 1")
+	}
+}
+
+func TestFitSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	k := randomKTensor(rng, 3, 5, 5, 4)
+	c := tensor.RandomCOO(rng, 0.2, 5, 5, 4)
+	if math.Abs(k.FitSparse(c)-k.Fit(c.Dense())) > 1e-9 {
+		t.Fatal("FitSparse disagrees with Fit")
+	}
+}
+
+func TestKTensorClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	k := randomKTensor(rng, 2, 3, 3)
+	c := k.Clone()
+	c.Lambda[0] = 99
+	c.Factors[0].Set(0, 0, 99)
+	if k.Lambda[0] == 99 || k.Factors[0].At(0, 0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}

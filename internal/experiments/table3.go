@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"twopcp/internal/buffer"
+	"twopcp/internal/schedule"
+)
+
+// ParamGrid reproduces the paper's Table III: the parameter settings used
+// by the stand-alone evaluation (Figures 12 and 13).
+type ParamGrid struct {
+	Partitions      []int
+	BufferFractions []float64
+	VirtualIters    []int
+	Schedules       []schedule.Kind
+	Replacements    []buffer.Policy
+}
+
+// DefaultParamGrid returns the paper's Table III values.
+func DefaultParamGrid() ParamGrid {
+	return ParamGrid{
+		Partitions:      []int{2, 4, 8},
+		BufferFractions: []float64{1.0 / 3, 1.0 / 2, 2.0 / 3},
+		VirtualIters:    []int{100, 200},
+		Schedules:       schedule.Kinds,
+		Replacements:    buffer.Policies,
+	}
+}
+
+// Combinations returns the size of the full cross-product.
+func (g ParamGrid) Combinations() int {
+	return len(g.Partitions) * len(g.BufferFractions) * len(g.VirtualIters) *
+		len(g.Schedules) * len(g.Replacements)
+}
+
+// String renders the grid in the paper's two-column layout.
+func (g ParamGrid) String() string {
+	var b strings.Builder
+	b.WriteString("Table III: parameter settings (unless otherwise specified)\n")
+	row := func(name, vals string) { fmt.Fprintf(&b, "%-28s %s\n", name, vals) }
+	parts := make([]string, len(g.Partitions))
+	for i, p := range g.Partitions {
+		parts[i] = fmt.Sprintf("%d×%d×%d", p, p, p)
+	}
+	row("# partitions", strings.Join(parts, "; "))
+	fracs := make([]string, len(g.BufferFractions))
+	for i, f := range g.BufferFractions {
+		fracs[i] = fmt.Sprintf("%.2g", f)
+	}
+	row("buffer size (× total req.)", strings.Join(fracs, "; "))
+	iters := make([]string, len(g.VirtualIters))
+	for i, n := range g.VirtualIters {
+		iters[i] = fmt.Sprintf("%d", n)
+	}
+	row("# (virtual) iterations", strings.Join(iters, "; "))
+	kinds := make([]string, len(g.Schedules))
+	for i, k := range g.Schedules {
+		kinds[i] = k.String()
+	}
+	row("schedules", strings.Join(kinds, "; "))
+	pols := make([]string, len(g.Replacements))
+	for i, p := range g.Replacements {
+		pols[i] = p.String()
+	}
+	row("replacement", strings.Join(pols, "; "))
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		dims, k []int
+	}{
+		{[]int{4, 4}, []int{2}},     // arity mismatch
+		{nil, nil},                  // empty
+		{[]int{0, 4}, []int{1, 2}},  // zero dim
+		{[]int{4, 4}, []int{0, 2}},  // zero partitions
+		{[]int{4, 4}, []int{5, 2}},  // more partitions than rows
+		{[]int{4, 4}, []int{-1, 2}}, // negative
+	}
+	for i, c := range cases {
+		if _, err := New(c.dims, c.k); err == nil {
+			t.Fatalf("case %d: New(%v, %v) should fail", i, c.dims, c.k)
+		}
+	}
+	if _, err := New([]int{4, 6, 8}, []int{2, 3, 4}); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	dims := []int{4, 4}
+	k := []int{2, 2}
+	p := MustNew(dims, k)
+	dims[0] = 99
+	k[0] = 99
+	if p.Dims[0] != 4 || p.K[0] != 2 {
+		t.Fatal("Pattern aliases caller slices")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := MustNew([]int{8, 8, 8}, []int{2, 4, 8})
+	if p.NumBlocks() != 64 {
+		t.Fatalf("NumBlocks = %d", p.NumBlocks())
+	}
+	if p.SumK() != 14 {
+		t.Fatalf("SumK = %d", p.SumK())
+	}
+	if p.NModes() != 3 {
+		t.Fatalf("NModes = %d", p.NModes())
+	}
+}
+
+func TestModeRangeEvenSplit(t *testing.T) {
+	p := MustNew([]int{8}, []int{4})
+	for ki := 0; ki < 4; ki++ {
+		from, size := p.ModeRange(0, ki)
+		if from != ki*2 || size != 2 {
+			t.Fatalf("ModeRange(0,%d) = (%d,%d)", ki, from, size)
+		}
+	}
+}
+
+func TestModeRangeRemainder(t *testing.T) {
+	// 10 rows into 4 partitions: 3,3,2,2.
+	p := MustNew([]int{10}, []int{4})
+	wantFrom := []int{0, 3, 6, 8}
+	wantSize := []int{3, 3, 2, 2}
+	total := 0
+	for ki := 0; ki < 4; ki++ {
+		from, size := p.ModeRange(0, ki)
+		if from != wantFrom[ki] || size != wantSize[ki] {
+			t.Fatalf("ModeRange(0,%d) = (%d,%d), want (%d,%d)", ki, from, size, wantFrom[ki], wantSize[ki])
+		}
+		total += size
+	}
+	if total != 10 {
+		t.Fatalf("partition sizes sum to %d", total)
+	}
+}
+
+func TestModeRangeCoversExactly(t *testing.T) {
+	f := func(dim8, k8 uint8) bool {
+		dim := int(dim8%30) + 1
+		k := int(k8)%dim + 1
+		p := MustNew([]int{dim}, []int{k})
+		next := 0
+		for ki := 0; ki < k; ki++ {
+			from, size := p.ModeRange(0, ki)
+			if from != next || size <= 0 {
+				return false
+			}
+			next = from + size
+		}
+		return next == dim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlock(t *testing.T) {
+	p := MustNew([]int{4, 6}, []int{2, 3})
+	from, size := p.Block([]int{1, 2})
+	if from[0] != 2 || from[1] != 4 || size[0] != 2 || size[1] != 2 {
+		t.Fatalf("Block = %v %v", from, size)
+	}
+}
+
+func TestLinearUnlinearRoundTrip(t *testing.T) {
+	p := MustNew([]int{8, 9, 10}, []int{2, 3, 5})
+	seen := map[int]bool{}
+	vec := make([]int, 3)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 5; c++ {
+				vec[0], vec[1], vec[2] = a, b, c
+				id := p.Linear(vec)
+				if id < 0 || id >= 30 || seen[id] {
+					t.Fatalf("Linear(%v) = %d (dup or out of range)", vec, id)
+				}
+				seen[id] = true
+				back := p.Unlinear(id, nil)
+				if back[0] != a || back[1] != b || back[2] != c {
+					t.Fatalf("Unlinear(%d) = %v, want %v", id, back, vec)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearFortranOrder(t *testing.T) {
+	p := MustNew([]int{4, 4}, []int{2, 2})
+	// Mode 0 fastest: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3
+	if p.Linear([]int{1, 0}) != 1 || p.Linear([]int{0, 1}) != 2 {
+		t.Fatal("Linear is not Fortran-ordered")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	p := MustNew([]int{4, 4}, []int{2, 2})
+	pos := p.Positions()
+	if len(pos) != 4 {
+		t.Fatalf("len(Positions) = %d", len(pos))
+	}
+	for id, vec := range pos {
+		if p.Linear(vec) != id {
+			t.Fatalf("Positions[%d] = %v", id, vec)
+		}
+	}
+}
+
+func TestSlab(t *testing.T) {
+	p := MustNew([]int{4, 4, 4}, []int{2, 2, 2})
+	slab := p.Slab(1, 1) // all blocks with k_1 = 1
+	if len(slab) != 4 || p.SlabSize(1) != 4 {
+		t.Fatalf("slab size %d", len(slab))
+	}
+	vec := make([]int, 3)
+	for _, id := range slab {
+		p.Unlinear(id, vec)
+		if vec[1] != 1 {
+			t.Fatalf("block %v in slab(1,1)", vec)
+		}
+	}
+}
+
+func TestSlabsPartitionAllBlocks(t *testing.T) {
+	p := MustNew([]int{6, 8, 4}, []int{3, 2, 2})
+	for i := 0; i < 3; i++ {
+		seen := map[int]bool{}
+		for ki := 0; ki < p.K[i]; ki++ {
+			for _, id := range p.Slab(i, ki) {
+				if seen[id] {
+					t.Fatalf("block %d in two slabs of mode %d", id, i)
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != p.NumBlocks() {
+			t.Fatalf("mode %d slabs cover %d of %d blocks", i, len(seen), p.NumBlocks())
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustNew([]int{4, 4}, []int{2, 2})
+	b := MustNew([]int{4, 4}, []int{2, 2})
+	c := MustNew([]int{4, 4}, []int{2, 1})
+	d := MustNew([]int{4}, []int{2})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestUniformCube(t *testing.T) {
+	p := UniformCube(3, 100, 4)
+	if p.NumBlocks() != 64 || p.Dims[2] != 100 || p.K[0] != 4 {
+		t.Fatalf("UniformCube = %v", p)
+	}
+	if s := p.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	p := MustNew([]int{4, 4}, []int{2, 2})
+	for name, f := range map[string]func(){
+		"ModeRange": func() { p.ModeRange(0, 2) },
+		"Linear":    func() { p.Linear([]int{2, 0}) },
+		"Unlinear":  func() { p.Unlinear(4, nil) },
+		"Slab":      func() { p.Slab(2, 0) },
+		"Block":     func() { p.Block([]int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

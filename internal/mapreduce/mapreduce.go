@@ -1,0 +1,242 @@
+// Package mapreduce is an in-process MapReduce engine standing in for the
+// Hadoop cluster of the paper's strong-configuration experiments. It runs
+// the classic map → shuffle → reduce pipeline with goroutine workers,
+// counts shuffle traffic byte-exactly (the "communication cost" the paper
+// argues dominates iterative MapReduce algorithms such as HaTen2), and can
+// enforce a per-reducer memory cap so that algorithms whose grouped
+// intermediate data outgrow memory fail the same way the paper observed
+// ("HaTen2 ... soon fails to run with the available resources").
+//
+// Values cross the shuffle boundary as byte slices, exactly as they would
+// over a real network, so the counters reflect true data volume.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Pair is a key-value record.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Mapper transforms one input record into zero or more key-value pairs via
+// emit. Mappers run concurrently and must not share mutable state.
+type Mapper func(input any, emit func(key string, value []byte)) error
+
+// Reducer folds all values of one key into zero or more output pairs.
+type Reducer func(key string, values [][]byte, emit func(key string, value []byte)) error
+
+// Config tunes a job.
+type Config struct {
+	// NumReducers is the reduce-side parallelism (default 4). Keys are
+	// assigned to reducers by FNV hash, as in Hadoop's default partitioner.
+	NumReducers int
+	// MapParallelism bounds concurrent mappers (default NumReducers).
+	MapParallelism int
+	// ReducerMemoryBytes caps the grouped input volume any one reducer may
+	// hold (keys + values). Zero means unlimited. Exceeding the cap aborts
+	// the job with ErrMemoryExceeded — the simulated OOM kill.
+	ReducerMemoryBytes int64
+}
+
+// Counters reports job volume.
+type Counters struct {
+	MapInputRecords  int64
+	MapOutputRecords int64
+	ShuffleBytes     int64 // Σ (len(key) + len(value)) crossing the shuffle
+	ReduceGroups     int64 // distinct keys
+	OutputRecords    int64
+	MaxReducerBytes  int64 // largest grouped input seen on one reducer
+}
+
+// ErrMemoryExceeded marks a simulated reducer out-of-memory failure.
+var ErrMemoryExceeded = errors.New("mapreduce: reducer memory exceeded")
+
+// Run executes a single MapReduce job over the input records and returns
+// the reduce output sorted by key (for determinism), plus the counters.
+func Run(inputs []any, mapper Mapper, reducer Reducer, cfg Config) ([]Pair, Counters, error) {
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = 4
+	}
+	if cfg.MapParallelism <= 0 {
+		cfg.MapParallelism = cfg.NumReducers
+	}
+	var counters Counters
+	counters.MapInputRecords = int64(len(inputs))
+
+	// Map phase: each worker accumulates its own partitioned output.
+	type mapShard [][]Pair // per-reducer buckets
+	shards := make([]mapShard, cfg.MapParallelism)
+	for w := range shards {
+		shards[w] = make([][]Pair, cfg.NumReducers)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		outRecs  int64
+		shufByts int64
+	)
+	chunk := (len(inputs) + cfg.MapParallelism - 1) / cfg.MapParallelism
+	for w := 0; w < cfg.MapParallelism; w++ {
+		lo := w * chunk
+		if lo >= len(inputs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var localRecs, localBytes int64
+			emit := func(key string, value []byte) {
+				r := partition(key, cfg.NumReducers)
+				// Copy the value: emitters may reuse buffers, and real
+				// shuffles serialize anyway.
+				v := append([]byte(nil), value...)
+				shards[w][r] = append(shards[w][r], Pair{Key: key, Value: v})
+				localRecs++
+				localBytes += int64(len(key) + len(v))
+			}
+			for i := lo; i < hi; i++ {
+				if err := mapper(inputs[i], emit); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("mapreduce: map record %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			outRecs += localRecs
+			shufByts += localBytes
+			mu.Unlock()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, counters, firstErr
+	}
+	counters.MapOutputRecords = outRecs
+	counters.ShuffleBytes = shufByts
+
+	// Shuffle: merge the per-worker buckets and group by key per reducer.
+	groups := make([]map[string][][]byte, cfg.NumReducers)
+	groupBytes := make([]int64, cfg.NumReducers)
+	for r := 0; r < cfg.NumReducers; r++ {
+		groups[r] = make(map[string][][]byte)
+	}
+	for w := range shards {
+		for r, bucket := range shards[w] {
+			for _, p := range bucket {
+				groups[r][p.Key] = append(groups[r][p.Key], p.Value)
+				groupBytes[r] += int64(len(p.Key) + len(p.Value))
+			}
+		}
+	}
+	for r, gb := range groupBytes {
+		if gb > counters.MaxReducerBytes {
+			counters.MaxReducerBytes = gb
+		}
+		if cfg.ReducerMemoryBytes > 0 && gb > cfg.ReducerMemoryBytes {
+			return nil, counters, fmt.Errorf("%w: reducer %d holds %d bytes (cap %d)",
+				ErrMemoryExceeded, r, gb, cfg.ReducerMemoryBytes)
+		}
+		counters.ReduceGroups += int64(len(groups[r]))
+	}
+
+	// Reduce phase: one goroutine per reducer.
+	outputs := make([][]Pair, cfg.NumReducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < cfg.NumReducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			// Deterministic key order within the reducer.
+			keys := make([]string, 0, len(groups[r]))
+			for k := range groups[r] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			emit := func(key string, value []byte) {
+				outputs[r] = append(outputs[r], Pair{Key: key, Value: append([]byte(nil), value...)})
+			}
+			for _, k := range keys {
+				if err := reducer(k, groups[r][k], emit); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("mapreduce: reduce key %q: %w", k, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(r)
+	}
+	rwg.Wait()
+	if firstErr != nil {
+		return nil, counters, firstErr
+	}
+	var out []Pair
+	for _, o := range outputs {
+		out = append(out, o...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	counters.OutputRecords = int64(len(out))
+	return out, counters, nil
+}
+
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Pipeline runs a sequence of jobs where each job consumes the previous
+// job's output pairs as inputs (each Pair becomes one input record),
+// accumulating counters. It aborts on the first failing stage.
+type Pipeline struct {
+	Config   Config
+	Counters Counters
+	Jobs     int
+}
+
+// Run executes one stage of the pipeline.
+func (p *Pipeline) Run(inputs []any, mapper Mapper, reducer Reducer) ([]Pair, error) {
+	out, c, err := Run(inputs, mapper, reducer, p.Config)
+	p.accumulate(c)
+	p.Jobs++
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Pipeline) accumulate(c Counters) {
+	p.Counters.MapInputRecords += c.MapInputRecords
+	p.Counters.MapOutputRecords += c.MapOutputRecords
+	p.Counters.ShuffleBytes += c.ShuffleBytes
+	p.Counters.ReduceGroups += c.ReduceGroups
+	p.Counters.OutputRecords += c.OutputRecords
+	if c.MaxReducerBytes > p.Counters.MaxReducerBytes {
+		p.Counters.MaxReducerBytes = c.MaxReducerBytes
+	}
+}
+
+// PairsToInputs converts job output to the input form of the next stage.
+func PairsToInputs(pairs []Pair) []any {
+	in := make([]any, len(pairs))
+	for i, p := range pairs {
+		in[i] = p
+	}
+	return in
+}

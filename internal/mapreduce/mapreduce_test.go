@@ -1,0 +1,242 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// wordCount is the canonical MapReduce correctness fixture.
+func wordCount(t *testing.T, docs []string, cfg Config) (map[string]int, Counters) {
+	t.Helper()
+	inputs := make([]any, len(docs))
+	for i, d := range docs {
+		inputs[i] = d
+	}
+	mapper := func(in any, emit func(string, []byte)) error {
+		for _, w := range strings.Fields(in.(string)) {
+			emit(w, []byte{1})
+		}
+		return nil
+	}
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error {
+		total := 0
+		for _, v := range values {
+			total += int(v[0])
+		}
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(total))
+		emit(key, buf)
+		return nil
+	}
+	out, counters, err := Run(inputs, mapper, reducer, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]int{}
+	for _, p := range out {
+		res[p.Key] = int(binary.LittleEndian.Uint64(p.Value))
+	}
+	return res, counters
+}
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a", "c c c"}
+	got, counters := wordCount(t, docs, Config{NumReducers: 3})
+	want := map[string]int{"a": 3, "b": 2, "c": 4}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if counters.MapInputRecords != 4 || counters.MapOutputRecords != 9 {
+		t.Fatalf("counters = %+v", counters)
+	}
+	if counters.ReduceGroups != 3 || counters.OutputRecords != 3 {
+		t.Fatalf("counters = %+v", counters)
+	}
+	// 9 emits of 1-byte keys + 1-byte values.
+	if counters.ShuffleBytes != 18 {
+		t.Fatalf("ShuffleBytes = %d", counters.ShuffleBytes)
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	docs := []string{"x y z", "x x", "q r s t u v w", "y z z z"}
+	r1, _ := wordCount(t, docs, Config{NumReducers: 1, MapParallelism: 1})
+	r2, _ := wordCount(t, docs, Config{NumReducers: 7, MapParallelism: 5})
+	if len(r1) != len(r2) {
+		t.Fatalf("outputs differ: %v vs %v", r1, r2)
+	}
+	for k, v := range r1 {
+		if r2[k] != v {
+			t.Fatalf("key %q: %d vs %d", k, v, r2[k])
+		}
+	}
+}
+
+func TestOutputSortedByKey(t *testing.T) {
+	inputs := []any{"banana apple cherry"}
+	mapper := func(in any, emit func(string, []byte)) error {
+		for _, w := range strings.Fields(in.(string)) {
+			emit(w, nil)
+		}
+		return nil
+	}
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error {
+		emit(key, nil)
+		return nil
+	}
+	out, _, err := Run(inputs, mapper, reducer, Config{NumReducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key > out[i].Key {
+			t.Fatalf("output not sorted: %q before %q", out[i-1].Key, out[i].Key)
+		}
+	}
+}
+
+func TestMapperErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	mapper := func(in any, emit func(string, []byte)) error { return boom }
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error { return nil }
+	if _, _, err := Run([]any{1}, mapper, reducer, Config{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReducerErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	mapper := func(in any, emit func(string, []byte)) error {
+		emit("k", nil)
+		return nil
+	}
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error { return boom }
+	if _, _, err := Run([]any{1}, mapper, reducer, Config{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReducerMemoryCap(t *testing.T) {
+	// One hot key receiving 1000 8-byte values: grouped bytes ≈ 9000.
+	mapper := func(in any, emit func(string, []byte)) error {
+		for i := 0; i < 1000; i++ {
+			emit("k", make([]byte, 8))
+		}
+		return nil
+	}
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error { return nil }
+	_, counters, err := Run([]any{1}, mapper, reducer, Config{NumReducers: 2, ReducerMemoryBytes: 4096})
+	if !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("err = %v, want ErrMemoryExceeded", err)
+	}
+	if counters.MaxReducerBytes < 4096 {
+		t.Fatalf("MaxReducerBytes = %d", counters.MaxReducerBytes)
+	}
+	// Same job with a big enough cap succeeds.
+	if _, _, err := Run([]any{1}, mapper, reducer, Config{NumReducers: 2, ReducerMemoryBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueBuffersAreCopied(t *testing.T) {
+	// A mapper that reuses its emit buffer must not corrupt the shuffle.
+	buf := []byte{0}
+	mapper := func(in any, emit func(string, []byte)) error {
+		for i := 0; i < 3; i++ {
+			buf[0] = byte(i + 1)
+			emit("k", buf)
+		}
+		return nil
+	}
+	var got []byte
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error {
+		for _, v := range values {
+			got = append(got, v[0])
+		}
+		return nil
+	}
+	if _, _, err := Run([]any{1}, mapper, reducer, Config{NumReducers: 1, MapParallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, b := range got {
+		sum += int(b)
+	}
+	if sum != 6 {
+		t.Fatalf("values = %v (buffer aliasing)", got)
+	}
+}
+
+func TestPipelineChainsJobs(t *testing.T) {
+	// Stage 1: word count. Stage 2: bucket counts by parity of count.
+	docs := []any{"a b a", "b c", "a", "c c c"} // a:3 b:2 c:4
+	p := &Pipeline{Config: Config{NumReducers: 2}}
+	stage1, err := p.Run(docs,
+		func(in any, emit func(string, []byte)) error {
+			for _, w := range strings.Fields(in.(string)) {
+				emit(w, []byte{1})
+			}
+			return nil
+		},
+		func(key string, values [][]byte, emit func(string, []byte)) error {
+			emit(key, []byte{byte(len(values))})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage2, err := p.Run(PairsToInputs(stage1),
+		func(in any, emit func(string, []byte)) error {
+			pair := in.(Pair)
+			parity := "even"
+			if pair.Value[0]%2 == 1 {
+				parity = "odd"
+			}
+			emit(parity, []byte{1})
+			return nil
+		},
+		func(key string, values [][]byte, emit func(string, []byte)) error {
+			emit(key, []byte{byte(len(values))})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]int{}
+	for _, pr := range stage2 {
+		res[pr.Key] = int(pr.Value[0])
+	}
+	if res["odd"] != 1 || res["even"] != 2 {
+		t.Fatalf("parity buckets = %v", res)
+	}
+	if p.Jobs != 2 || p.Counters.ShuffleBytes == 0 {
+		t.Fatalf("pipeline accounting: jobs=%d counters=%+v", p.Jobs, p.Counters)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, counters, err := Run(nil,
+		func(in any, emit func(string, []byte)) error { return nil },
+		func(key string, values [][]byte, emit func(string, []byte)) error { return nil },
+		Config{})
+	if err != nil || len(out) != 0 || counters.MapInputRecords != 0 {
+		t.Fatalf("empty run: %v %v %+v", out, err, counters)
+	}
+}
+
+func TestPartitionStable(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if partition(k, 7) != partition(k, 7) {
+			t.Fatal("partition not deterministic")
+		}
+		if p := partition(k, 7); p < 0 || p >= 7 {
+			t.Fatalf("partition out of range: %d", p)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %d×%d, want 3×4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("unexpected layout: %v", m)
+	}
+	// No copy: mutating the slice mutates the matrix.
+	d[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Fatal("FromSlice should not copy")
+	}
+}
+
+func TestFromSliceWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(2, 3, []float64{1})
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %d×%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %g", m.At(2, 1))
+	}
+	if got := FromRows(nil); got.Rows != 0 || got.Cols != 0 {
+		t.Fatalf("FromRows(nil) = %v", got)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(3)[%d,%d] = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtRow(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Fatal("Set/At mismatch")
+	}
+	r := m.Row(1)
+	r[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Fatal("Row should alias the matrix")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone should copy data")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := FromRows([][]float64{{1, 2}})
+	dst := New(1, 2)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched CopyFrom did not panic")
+		}
+	}()
+	dst.CopyFrom(New(2, 2))
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape %d×%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(r8, c8 uint8) bool {
+		r, c := int(r8%12)+1, int(c8%12)+1
+		m := Random(r, c, rng)
+		return m.T().T().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormAndMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{3, -4}})
+	if got := m.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %g, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %g, want 4", got)
+	}
+	if got := New(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("empty MaxAbs = %g", got)
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	n := FromRows([][]float64{{10, 20}})
+	m.AddInPlace(n)
+	if m.At(0, 1) != 22 {
+		t.Fatalf("AddInPlace: %v", m)
+	}
+	m.SubInPlace(n)
+	if m.At(0, 1) != 2 {
+		t.Fatalf("SubInPlace: %v", m)
+	}
+	m.Scale(3)
+	if m.At(0, 0) != 3 {
+		t.Fatalf("Scale: %v", m)
+	}
+}
+
+func TestColumnNormsAndNormalize(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {4, 0}})
+	norms := m.ColumnNorms()
+	if math.Abs(norms[0]-5) > 1e-12 || norms[1] != 0 {
+		t.Fatalf("ColumnNorms = %v", norms)
+	}
+	got := m.NormalizeColumns(1e-12)
+	if math.Abs(got[0]-5) > 1e-12 {
+		t.Fatalf("NormalizeColumns norms = %v", got)
+	}
+	// Zero column reports norm 1 and stays zero.
+	if got[1] != 1 || m.At(0, 1) != 0 {
+		t.Fatalf("zero-column handling: norms=%v m=%v", got, m)
+	}
+	if math.Abs(m.At(0, 0)-0.6) > 1e-12 || math.Abs(m.At(1, 0)-0.8) > 1e-12 {
+		t.Fatalf("normalized column wrong: %v", m)
+	}
+}
+
+func TestScaleColumns(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.ScaleColumns([]float64{2, 10})
+	want := FromRows([][]float64{{2, 20}, {6, 40}})
+	if !m.Equal(want) {
+		t.Fatalf("ScaleColumns: %v", m)
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0005, 2}})
+	if !a.EqualApprox(b, 1e-3) {
+		t.Fatal("EqualApprox(1e-3) should hold")
+	}
+	if a.EqualApprox(b, 1e-6) {
+		t.Fatal("EqualApprox(1e-6) should fail")
+	}
+	if a.EqualApprox(New(2, 1), 1) {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestVStack(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	s := VStack(a, b)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !s.Equal(want) {
+		t.Fatalf("VStack = %v", s)
+	}
+	if got := VStack(); got.Rows != 0 {
+		t.Fatalf("VStack() = %v", got)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	s := m.SliceRows(1, 3)
+	want := FromRows([][]float64{{2}, {3}})
+	if !s.Equal(want) {
+		t.Fatalf("SliceRows = %v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 2 {
+		t.Fatal("SliceRows must copy")
+	}
+}
+
+func TestVStackSliceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Random(10, 3, rng)
+	parts := []*Matrix{m.SliceRows(0, 4), m.SliceRows(4, 7), m.SliceRows(7, 10)}
+	if !VStack(parts...).Equal(m) {
+		t.Fatal("VStack(SliceRows...) != original")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if s := small.String(); s == "" {
+		t.Fatal("empty String for small matrix")
+	}
+	big := New(20, 20)
+	if s := big.String(); s != "Matrix(20×20)" {
+		t.Fatalf("big String = %q", s)
+	}
+}

@@ -1,0 +1,225 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mul returns a*b. It panics if the inner dimensions differ.
+func Mul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a*b, reusing dst's storage.
+// dst must be a.Rows×b.Cols and must not alias a or b.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul: %d×%d * %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: streams through b and dst rows sequentially.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulAddInto computes dst += a*b without zeroing dst first.
+func MulAddInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulAddInto: %d×%d * %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulAddInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Gram returns aᵀa, the F×F Gram matrix of a's columns.
+// This is the hot kernel of CP-ALS normal equations.
+func Gram(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Cols)
+	GramInto(out, a)
+	return out
+}
+
+// GramInto computes dst = aᵀa, exploiting symmetry.
+// dst must be a.Cols×a.Cols.
+func GramInto(dst, a *Matrix) {
+	n := a.Cols
+	if dst.Rows != n || dst.Cols != n {
+		panic(fmt.Sprintf("mat: GramInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, n, n))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, vj := range row {
+			if vj == 0 {
+				continue
+			}
+			drow := dst.Row(j)
+			for k := j; k < n; k++ {
+				drow[k] += vj * row[k]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for j := 1; j < n; j++ {
+		for k := 0; k < j; k++ {
+			dst.Data[j*n+k] = dst.Data[k*n+j]
+		}
+	}
+}
+
+// TMul returns aᵀb. a and b must have the same row count.
+func TMul(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	TMulInto(out, a, b)
+	return out
+}
+
+// TMulInto computes dst = aᵀb, reusing dst's storage.
+// dst must be a.Cols×b.Cols.
+func TMulInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: TMul: %d×%d ᵀ* %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: TMulInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(j)
+			for k, bv := range brow {
+				drow[k] += av * bv
+			}
+		}
+	}
+}
+
+// Hadamard returns the element-wise product a ⊛ b. Shapes must match.
+func Hadamard(a, b *Matrix) *Matrix {
+	out := a.Clone()
+	out.HadamardInPlace(b)
+	return out
+}
+
+// HadamardInPlace computes m = m ⊛ n element-wise. Shapes must match.
+func (m *Matrix) HadamardInPlace(n *Matrix) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic(fmt.Sprintf("mat: Hadamard: %d×%d ⊛ %d×%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	for i, v := range n.Data {
+		m.Data[i] *= v
+	}
+}
+
+// HadamardAll returns the element-wise product of all given matrices, or the
+// identity-of-Hadamard (all-ones) matrix of the given shape when the list is
+// empty. Used for P_l = ⊛_h U(h)ᵀ_l A(h)_(l_h) style products.
+func HadamardAll(r, c int, ms ...*Matrix) *Matrix {
+	out := New(r, c)
+	out.Fill(1)
+	for _, m := range ms {
+		out.HadamardInPlace(m)
+	}
+	return out
+}
+
+// DivElem returns a ⊘ b, the element-wise quotient. Entries where |b| < eps
+// yield 0 rather than Inf/NaN; the paper's update rules only divide factors
+// out of Hadamard products, so a zero denominator implies a zero numerator.
+func DivElem(a, b *Matrix, eps float64) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: DivElem: %d×%d ⊘ %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		d := b.Data[i]
+		if math.Abs(d) < eps {
+			out.Data[i] = 0
+			continue
+		}
+		out.Data[i] = v / d
+	}
+	return out
+}
+
+// Dot returns the Frobenius inner product ⟨a, b⟩ = Σ a_ij b_ij.
+func Dot(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Dot: %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// MulVec returns m*x for a vector x of length m.Cols.
+func MulVec(m *Matrix, x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec: %d×%d * vec(%d)", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// QuadForm returns xᵀ m y for vectors x (len m.Rows) and y (len m.Cols).
+// CP fit computation uses this with x = y = λ on the Hadamard of Grams.
+func QuadForm(m *Matrix, x, y []float64) float64 {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("mat: QuadForm: %d×%d with vec(%d), vec(%d)", m.Rows, m.Cols, len(x), len(y)))
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var ri float64
+		for j, v := range row {
+			ri += v * y[j]
+		}
+		s += x[i] * ri
+	}
+	return s
+}

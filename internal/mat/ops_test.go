@@ -1,0 +1,237 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is an independent reference implementation used to cross-check
+// the optimized kernels.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Random(7, 7, rng)
+	if !Mul(m, Identity(7)).EqualApprox(m, 1e-14) {
+		t.Fatal("m·I != m")
+	}
+	if !Mul(Identity(7), m).EqualApprox(m, 1e-14) {
+		t.Fatal("I·m != m")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(r8, k8, c8 uint8) bool {
+		r, k, c := int(r8%9)+1, int(k8%9)+1, int(c8%9)+1
+		a, b := Random(r, k, rng), Random(k, c, rng)
+		return Mul(a, b).EqualApprox(naiveMul(a, b), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with bad dims did not panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestMulAddInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := Random(4, 5, rng), Random(5, 6, rng)
+	dst := Random(4, 6, rng)
+	orig := dst.Clone()
+	MulAddInto(dst, a, b)
+	want := Mul(a, b)
+	want.AddInPlace(orig)
+	if !dst.EqualApprox(want, 1e-12) {
+		t.Fatal("MulAddInto mismatch")
+	}
+}
+
+func TestGramMatchesTMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(r8, c8 uint8) bool {
+		r, c := int(r8%15)+1, int(c8%10)+1
+		a := Random(r, c, rng)
+		return Gram(a).EqualApprox(TMul(a, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Gram(Random(9, 5, rng))
+	if !g.EqualApprox(g.T(), 1e-13) {
+		t.Fatal("Gram not symmetric")
+	}
+}
+
+func TestTMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b := Random(6, 4, rng), Random(6, 3, rng)
+	if !TMul(a, b).EqualApprox(naiveMul(a.T(), b), 1e-12) {
+		t.Fatal("TMul mismatch")
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{2, 2}, {0.5, -1}})
+	got := Hadamard(a, b)
+	want := FromRows([][]float64{{2, 4}, {1.5, -4}})
+	if !got.Equal(want) {
+		t.Fatalf("Hadamard = %v", got)
+	}
+	// a unchanged
+	if a.At(0, 0) != 1 {
+		t.Fatal("Hadamard mutated its argument")
+	}
+}
+
+func TestHadamardAll(t *testing.T) {
+	a := FromRows([][]float64{{2, 3}})
+	b := FromRows([][]float64{{5, 7}})
+	got := HadamardAll(1, 2, a, b)
+	want := FromRows([][]float64{{10, 21}})
+	if !got.Equal(want) {
+		t.Fatalf("HadamardAll = %v", got)
+	}
+	ones := HadamardAll(2, 2)
+	for _, v := range ones.Data {
+		if v != 1 {
+			t.Fatal("empty HadamardAll should be all-ones")
+		}
+	}
+}
+
+func TestDivElem(t *testing.T) {
+	a := FromRows([][]float64{{6, 1, 5}})
+	b := FromRows([][]float64{{2, 0, 1e-15}})
+	got := DivElem(a, b, 1e-12)
+	if got.At(0, 0) != 3 {
+		t.Fatalf("DivElem[0] = %g", got.At(0, 0))
+	}
+	// zero / tiny denominators clamp to 0 instead of Inf
+	if got.At(0, 1) != 0 || got.At(0, 2) != 0 {
+		t.Fatalf("DivElem guard failed: %v", got)
+	}
+}
+
+func TestDivElemUndoesHadamard(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := Random(4, 4, rng)
+	b := Random(4, 4, rng)
+	// entries are in (0,1) so all denominators are safe
+	prod := Hadamard(a, b)
+	back := DivElem(prod, b, 1e-300)
+	if !back.EqualApprox(a, 1e-12) {
+		t.Fatal("DivElem(Hadamard(a,b), b) != a")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := Dot(a, b); got != 5+12+21+32 {
+		t.Fatalf("Dot = %g", got)
+	}
+}
+
+func TestDotNormConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := Random(5, 5, rng)
+	if math.Abs(Dot(m, m)-m.Norm()*m.Norm()) > 1e-10 {
+		t.Fatal("Dot(m,m) != Norm(m)²")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := MulVec(m, []float64{10, 100})
+	if got[0] != 210 || got[1] != 430 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	x := []float64{1, 1}
+	// xᵀ m x = 1+2+3+4
+	if got := QuadForm(m, x, x); got != 10 {
+		t.Fatalf("QuadForm = %g", got)
+	}
+	// cross-check against MulVec
+	rng := rand.New(rand.NewSource(11))
+	a := Random(4, 4, rng)
+	v := []float64{0.1, 0.2, 0.3, 0.4}
+	mv := MulVec(a, v)
+	var want float64
+	for i, vi := range v {
+		want += vi * mv[i]
+	}
+	if math.Abs(QuadForm(a, v, v)-want) > 1e-12 {
+		t.Fatal("QuadForm inconsistent with MulVec")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a, b, c := Random(3, 4, rng), Random(4, 5, rng), Random(5, 2, rng)
+	left := Mul(Mul(a, b), c)
+	right := Mul(a, Mul(b, c))
+	if !left.EqualApprox(right, 1e-11) {
+		t.Fatal("(ab)c != a(bc)")
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := Random(64, 64, rng), Random(64, 64, rng)
+	dst := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkGram256x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Random(256, 32, rng)
+	dst := New(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GramInto(dst, x)
+	}
+}

@@ -1,0 +1,24 @@
+package mat
+
+import "math/rand"
+
+// Random returns an r×c matrix with entries drawn uniformly from [0, 1)
+// using the supplied generator. CP-ALS conventionally initializes factor
+// matrices with non-negative uniform noise; a nil rng panics so that all
+// randomness in the system stays explicitly seeded.
+func Random(r, c int, rng *rand.Rand) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// RandomNormal returns an r×c matrix with standard normal entries.
+func RandomNormal(r, c int, rng *rand.Rand) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

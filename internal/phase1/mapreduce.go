@@ -1,0 +1,161 @@
+package phase1
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/grid"
+	"twopcp/internal/mapreduce"
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+// RunMapReduce executes Phase 1 with the paper's §IV map/reduce operators
+// on the in-process MapReduce engine:
+//
+//	map:    ⟨b, i, j, k, X(i,j,k)⟩ on b — each nonzero is routed to the
+//	        reducer owning its block id b.
+//	reduce: ⟨b, {coords, values}⟩ — recompose the sub-tensor X_b, decompose
+//	        it with PARAFAC, emit each sub-factor U(n)_b.
+//
+// The returned counters expose the shuffle volume this phase generates.
+// Results are identical (bit-for-bit) to Run with the same Options because
+// per-block generators are seeded by block id.
+func RunMapReduce(x *tensor.COO, p *grid.Pattern, opts Options, cfg mapreduce.Config) (*Result, mapreduce.Counters, error) {
+	if opts.Rank <= 0 {
+		return nil, mapreduce.Counters{}, fmt.Errorf("phase1: rank %d", opts.Rank)
+	}
+	nModes := p.NModes()
+
+	// Inputs: one record per nonzero, carrying global coordinates + value.
+	type record struct {
+		coords []int
+		value  float64
+	}
+	inputs := make([]any, x.NNZ())
+	for n := range inputs {
+		r := record{coords: x.Coord(n, nil), value: x.Vals[n]}
+		inputs[n] = r
+	}
+
+	// Precompute mode partition boundaries for coordinate → block mapping.
+	findPart := func(mode, coord int) (part, local int) {
+		for ki := 0; ki < p.K[mode]; ki++ {
+			from, size := p.ModeRange(mode, ki)
+			if coord >= from && coord < from+size {
+				return ki, coord - from
+			}
+		}
+		panic(fmt.Sprintf("phase1: coordinate %d outside mode %d", coord, mode))
+	}
+
+	mapper := func(in any, emit func(string, []byte)) error {
+		r := in.(record)
+		vec := make([]int, nModes)
+		local := make([]int, nModes)
+		for m, c := range r.coords {
+			vec[m], local[m] = findPart(m, c)
+		}
+		b := p.Linear(vec)
+		var buf bytes.Buffer
+		for _, l := range local {
+			if err := binary.Write(&buf, binary.LittleEndian, int32(l)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, r.value); err != nil {
+			return err
+		}
+		emit(strconv.Itoa(b), buf.Bytes())
+		return nil
+	}
+
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error {
+		blockID, err := strconv.Atoi(key)
+		if err != nil {
+			return fmt.Errorf("phase1: bad block key %q: %w", key, err)
+		}
+		vec := p.Unlinear(blockID, nil)
+		_, size := p.Block(vec)
+		blk := tensor.NewCOO(size...)
+		local := make([]int, nModes)
+		for _, v := range values {
+			r := bytes.NewReader(v)
+			for m := range local {
+				var l int32
+				if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+					return err
+				}
+				local[m] = int(l)
+			}
+			var val float64
+			if err := binary.Read(r, binary.LittleEndian, &val); err != nil {
+				return err
+			}
+			blk.Append(local, val)
+		}
+		factors, _, err := DecomposeBlock(blk, blockID, p, opts)
+		if err != nil {
+			return err
+		}
+		// Emit each sub-factor U(n)_b as an independent record, keyed
+		// "U/<block>/<mode>" as in the paper's reducer output.
+		for m, f := range factors {
+			var buf bytes.Buffer
+			if err := blockstore.WriteMatrix(&buf, f); err != nil {
+				return err
+			}
+			emit(fmt.Sprintf("U/%d/%d", blockID, m), buf.Bytes())
+		}
+		return nil
+	}
+
+	out, counters, err := mapreduce.Run(inputs, mapper, reducer, cfg)
+	if err != nil {
+		return nil, counters, err
+	}
+
+	res := &Result{
+		Pattern: p,
+		Rank:    opts.Rank,
+		Sub:     make([][]*mat.Matrix, p.NumBlocks()),
+		Fits:    make([]float64, p.NumBlocks()),
+	}
+	for _, pair := range out {
+		parts := strings.Split(pair.Key, "/")
+		if len(parts) != 3 || parts[0] != "U" {
+			return nil, counters, fmt.Errorf("phase1: unexpected reduce key %q", pair.Key)
+		}
+		blockID, err1 := strconv.Atoi(parts[1])
+		mode, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, counters, fmt.Errorf("phase1: unparseable reduce key %q", pair.Key)
+		}
+		m, err := blockstore.ReadMatrix(bytes.NewReader(pair.Value))
+		if err != nil {
+			return nil, counters, err
+		}
+		if res.Sub[blockID] == nil {
+			res.Sub[blockID] = make([]*mat.Matrix, nModes)
+		}
+		res.Sub[blockID][mode] = m
+	}
+	// Empty blocks never reached a reducer: fill zero factors (footnote 3).
+	for id := range res.Sub {
+		if res.Sub[id] == nil {
+			vec := p.Unlinear(id, nil)
+			_, size := p.Block(vec)
+			factors := make([]*mat.Matrix, nModes)
+			for m, rows := range size {
+				factors[m] = mat.New(rows, opts.Rank)
+			}
+			res.Sub[id] = factors
+			res.Fits[id] = 1
+		}
+	}
+	return res, counters, nil
+}

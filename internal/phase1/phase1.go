@@ -1,0 +1,285 @@
+// Package phase1 implements the first phase of 2PCP (paper §IV): the input
+// tensor is partitioned into a grid of sub-tensors and every sub-tensor is
+// decomposed independently with CP-ALS — "potentially in parallel", which
+// here means a goroutine worker pool by default and, alternatively, the
+// paper's exact map/reduce operators on the in-process MapReduce engine
+// (see RunMapReduce).
+//
+// The per-block results are the sub-factors U(i)_k of equation (1),
+// X_k ≈ I ×₁ U(1)_k ... ×_N U(N)_k: the block's Kruskal weights λ are
+// folded into the factors (λ^(1/N) per mode) because the grid model has an
+// identity core. Empty blocks yield zero matrices (paper footnote 3).
+package phase1
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/cpals"
+	"twopcp/internal/grid"
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+// Source yields the sub-tensor at a grid position. Implementations may be
+// in-memory views or out-of-core chunk readers. Block may return either a
+// *tensor.Dense or a *tensor.COO; the appropriate ALS kernel is selected
+// per block.
+type Source interface {
+	Pattern() *grid.Pattern
+	Block(vec []int) (any, error)
+}
+
+// DenseSource serves blocks of an in-memory dense tensor.
+type DenseSource struct {
+	X *tensor.Dense
+	P *grid.Pattern
+}
+
+// NewDenseSource validates that the pattern matches the tensor shape.
+func NewDenseSource(x *tensor.Dense, p *grid.Pattern) (*DenseSource, error) {
+	if len(x.Dims) != len(p.Dims) {
+		return nil, fmt.Errorf("phase1: tensor has %d modes, pattern %d", len(x.Dims), len(p.Dims))
+	}
+	for i := range x.Dims {
+		if x.Dims[i] != p.Dims[i] {
+			return nil, fmt.Errorf("phase1: mode %d: tensor size %d != pattern size %d", i, x.Dims[i], p.Dims[i])
+		}
+	}
+	return &DenseSource{X: x, P: p}, nil
+}
+
+// Pattern implements Source.
+func (s *DenseSource) Pattern() *grid.Pattern { return s.P }
+
+// Block implements Source.
+func (s *DenseSource) Block(vec []int) (any, error) {
+	from, size := s.P.Block(vec)
+	return s.X.SubTensor(from, size), nil
+}
+
+// COOSource serves blocks of an in-memory sparse tensor.
+type COOSource struct {
+	X *tensor.COO
+	P *grid.Pattern
+}
+
+// NewCOOSource validates that the pattern matches the tensor shape.
+func NewCOOSource(x *tensor.COO, p *grid.Pattern) (*COOSource, error) {
+	if len(x.Dims) != len(p.Dims) {
+		return nil, fmt.Errorf("phase1: tensor has %d modes, pattern %d", len(x.Dims), len(p.Dims))
+	}
+	for i := range x.Dims {
+		if x.Dims[i] != p.Dims[i] {
+			return nil, fmt.Errorf("phase1: mode %d: tensor size %d != pattern size %d", i, x.Dims[i], p.Dims[i])
+		}
+	}
+	return &COOSource{X: x, P: p}, nil
+}
+
+// Pattern implements Source.
+func (s *COOSource) Pattern() *grid.Pattern { return s.P }
+
+// Block implements Source.
+func (s *COOSource) Block(vec []int) (any, error) {
+	from, size := s.P.Block(vec)
+	return s.X.SubTensorCOO(from, size), nil
+}
+
+// ChunkSource reads blocks from a blockstore.ChunkStore — the out-of-core
+// Phase 1 of the paper's weak configuration (TensorDB-backed).
+type ChunkSource struct {
+	Store *blockstore.ChunkStore
+	P     *grid.Pattern
+}
+
+// Pattern implements Source.
+func (s *ChunkSource) Pattern() *grid.Pattern { return s.P }
+
+// Block implements Source.
+func (s *ChunkSource) Block(vec []int) (any, error) {
+	return s.Store.GetChunk(vec)
+}
+
+// PartitionToChunks materializes every block of x into the chunk store,
+// preparing an out-of-core Phase-1 run.
+func PartitionToChunks(x *tensor.Dense, p *grid.Pattern, store *blockstore.ChunkStore) error {
+	for _, vec := range p.Positions() {
+		from, size := p.Block(vec)
+		if err := store.PutChunk(vec, x.SubTensor(from, size)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options configures Phase 1.
+type Options struct {
+	// Rank is the target decomposition rank F.
+	Rank int
+	// MaxIters and Tol are passed to the per-block ALS (defaults 50, 1e-4).
+	MaxIters int
+	Tol      float64
+	// Seed derives per-block generators (seed ^ blockID), keeping parallel
+	// runs bit-reproducible regardless of scheduling.
+	Seed int64
+	// Workers bounds parallel block decompositions (default GOMAXPROCS).
+	Workers int
+}
+
+// Result carries the Phase-1 sub-factors.
+type Result struct {
+	Pattern *grid.Pattern
+	Rank    int
+	// Sub[blockID][mode] is U(mode)_block with λ folded in; blockID is the
+	// pattern's linear block id.
+	Sub [][]*mat.Matrix
+	// Fits records the per-block ALS fit (1 for empty blocks).
+	Fits []float64
+}
+
+// SubFactor returns U(mode) of the block at linear id.
+func (r *Result) SubFactor(blockID, mode int) *mat.Matrix { return r.Sub[blockID][mode] }
+
+// Run decomposes every block of src with a worker pool.
+func Run(src Source, opts Options) (*Result, error) {
+	p := src.Pattern()
+	if opts.Rank <= 0 {
+		return nil, fmt.Errorf("phase1: rank %d", opts.Rank)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nb := p.NumBlocks()
+	res := &Result{
+		Pattern: p,
+		Rank:    opts.Rank,
+		Sub:     make([][]*mat.Matrix, nb),
+		Fits:    make([]float64, nb),
+	}
+	type job struct {
+		id  int
+		vec []int
+	}
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				block, err := src.Block(j.vec)
+				if err == nil {
+					var factors []*mat.Matrix
+					var fit float64
+					factors, fit, err = DecomposeBlock(block, j.id, p, opts)
+					if err == nil {
+						res.Sub[j.id] = factors
+						res.Fits[j.id] = fit
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("phase1: block %v: %w", j.vec, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	for id, vec := range p.Positions() {
+		jobs <- job{id: id, vec: vec}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// DecomposeBlock runs CP-ALS on one block (dense or COO) and returns its
+// λ-folded sub-factors plus the achieved fit. Empty blocks return zero
+// matrices and fit 1. The blockID seeds the per-block generator.
+func DecomposeBlock(block any, blockID int, p *grid.Pattern, opts Options) ([]*mat.Matrix, float64, error) {
+	vec := p.Unlinear(blockID, nil)
+	_, size := p.Block(vec)
+	rng := rand.New(rand.NewSource(opts.Seed ^ int64(blockID)*0x9E3779B9))
+	alsOpts := cpals.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Rng: rng}
+
+	var (
+		kt   *cpals.KTensor
+		info cpals.Info
+		err  error
+		nnz  int
+	)
+	switch b := block.(type) {
+	case *tensor.Dense:
+		nnz = b.NNZ()
+		if nnz > 0 {
+			kt, info, err = cpals.Decompose(b, alsOpts)
+		}
+	case *tensor.COO:
+		nnz = b.NNZ()
+		if nnz > 0 {
+			kt, info, err = cpals.DecomposeSparse(b, alsOpts)
+		}
+	default:
+		return nil, 0, fmt.Errorf("phase1: unsupported block type %T", block)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if nnz == 0 {
+		// Paper footnote 3: empty sub-tensors get zero factors.
+		factors := make([]*mat.Matrix, len(size))
+		for m, rows := range size {
+			factors[m] = mat.New(rows, opts.Rank)
+		}
+		return factors, 1, nil
+	}
+	return FoldLambda(kt), info.Fit, nil
+}
+
+// FoldLambda converts a Kruskal tensor to the identity-core form of
+// equation (1) by scaling each factor column by λ^(1/N). The KTensor is
+// consumed (its factors are returned, scaled).
+func FoldLambda(kt *cpals.KTensor) []*mat.Matrix {
+	n := len(kt.Factors)
+	scale := make([]float64, kt.Rank())
+	for f, l := range kt.Lambda {
+		if l < 0 {
+			// Defensive: our ALS produces non-negative λ, but fold the
+			// sign into the first mode if one ever appears.
+			scale[f] = pow(-l, 1/float64(n))
+		} else {
+			scale[f] = pow(l, 1/float64(n))
+		}
+	}
+	for m, a := range kt.Factors {
+		s := scale
+		if m == 0 {
+			s = append([]float64(nil), scale...)
+			for f, l := range kt.Lambda {
+				if l < 0 {
+					s[f] = -s[f]
+				}
+			}
+		}
+		a.ScaleColumns(s)
+	}
+	return kt.Factors
+}
+
+func pow(x, p float64) float64 { return math.Pow(x, p) }

@@ -1,0 +1,174 @@
+// Package refine implements Phase 2 of 2PCP (paper §IV–VII): the iterative
+// refinement that stitches the Phase-1 sub-factors U(i)_k into the full
+// factor matrices A(i) of the input tensor, scheduled either mode-centric
+// (Algorithm 1) or block-centric (Algorithm 2) over a buffer-managed store
+// of mode-partition data units.
+//
+// Update rule (from Phan & Cichocki's grid PARAFAC, the paper's eq. 3):
+//
+//	A(i)_(ki) ← T(i)_(ki) · (S(i)_(ki))⁻¹
+//	T(i)_(ki) = Σ_{l: l_i=ki} U(i)_l · ⊛_{h≠i} (U(h)ᵀ_l A(h)_(l_h))
+//	S(i)_(ki) = Σ_{l: l_i=ki} ⊛_{h≠i} (A(h)ᵀ_(l_h) A(h)_(l_h))
+//
+// The F×F products P[l][h] = U(h)ᵀ_l A(h)_(l_h) and Q[h][kh] =
+// A(h)ᵀ_(kh)A(h)_(kh) are maintained incrementally in memory as per-mode
+// components; the paper's Hadamard-division form P_l ⊘ (U(i)ᵀ_l A(i)_(ki))
+// is recovered by multiplying the h≠i components, which is algebraically
+// identical and avoids 0/0 (see DESIGN.md). Only the data units
+// {A(i)_(ki); U(i)_slab} ever move between disk and buffer, exactly as in
+// the paper's Definition 4.
+package refine
+
+import (
+	"math"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/mat"
+	"twopcp/internal/phase1"
+)
+
+// components holds the memory-resident F×F bookkeeping of Phase 2.
+type components struct {
+	pattern *grid.Pattern
+	rank    int
+	// p[blockID][mode] = U(mode)ᵀ_l A(mode)_(l_mode); the per-mode factor
+	// of the paper's P_l.
+	p [][]*mat.Matrix
+	// ugram[blockID][mode] = U(mode)ᵀ_l U(mode)_l, fixed after Phase 1;
+	// used for the I/O-free surrogate fit.
+	ugram [][]*mat.Matrix
+	// q[mode][part] = A(mode)ᵀ_(part) A(mode)_(part); the per-mode factor
+	// of the paper's Q_l.
+	q [][]*mat.Matrix
+	// unorm2 = Σ_l ‖[[U_l]]‖², the surrogate data norm.
+	unorm2 float64
+}
+
+func newComponents(p1 *phase1.Result) *components {
+	p := p1.Pattern
+	n := p.NModes()
+	c := &components{pattern: p, rank: p1.Rank}
+	c.p = make([][]*mat.Matrix, p.NumBlocks())
+	c.ugram = make([][]*mat.Matrix, p.NumBlocks())
+	for id := range c.p {
+		c.p[id] = make([]*mat.Matrix, n)
+		c.ugram[id] = make([]*mat.Matrix, n)
+		for m := 0; m < n; m++ {
+			c.ugram[id][m] = mat.Gram(p1.Sub[id][m])
+		}
+	}
+	c.q = make([][]*mat.Matrix, n)
+	for m := 0; m < n; m++ {
+		c.q[m] = make([]*mat.Matrix, p.K[m])
+	}
+	// ‖[[U_l]]‖² = 1ᵀ(⊛_h U(h)ᵀU(h))1 per block.
+	ones := onesVec(p1.Rank)
+	for id := range c.ugram {
+		had := hadamardAllModes(c.ugram[id], -1, p1.Rank)
+		c.unorm2 += mat.QuadForm(had, ones, ones)
+	}
+	return c
+}
+
+// setA refreshes the components that depend on A(mode)_(part): the Gram
+// q[mode][part] and, for every block l in the mode slab, p[l][mode] given
+// that block's U(mode)_l (supplied by the caller from the acquired unit).
+func (c *components) setA(mode, part int, a *mat.Matrix, slabU map[int]*mat.Matrix) {
+	if c.q[mode][part] == nil {
+		c.q[mode][part] = mat.New(c.rank, c.rank)
+	}
+	mat.GramInto(c.q[mode][part], a)
+	for _, id := range c.pattern.Slab(mode, part) {
+		u := slabU[id]
+		if c.p[id][mode] == nil {
+			c.p[id][mode] = mat.New(c.rank, c.rank)
+		}
+		mat.TMulInto(c.p[id][mode], u, a)
+	}
+}
+
+// gamma returns Γ_l^(i) = ⊛_{h≠i} P[l][h], the paper's
+// P_l ⊘ (U(i)ᵀ_l A(i)_(ki)).
+func (c *components) gamma(blockID, skipMode int) *mat.Matrix {
+	return hadamardAllModes(c.p[blockID], skipMode, c.rank)
+}
+
+// gammaInto computes gamma into dst, avoiding allocation in the hot loop.
+// Modes whose component is not yet seeded are treated as identity (they
+// only occur transiently during setup).
+func (c *components) gammaInto(dst *mat.Matrix, blockID, skipMode int) {
+	dst.Fill(1)
+	for h, m := range c.p[blockID] {
+		if h == skipMode || m == nil {
+			continue
+		}
+		dst.HadamardInPlace(m)
+	}
+}
+
+// sTerm returns ⊛_{h≠i} Q[h][l_h] for the block at blockID.
+func (c *components) sTerm(blockVec []int, skipMode int) *mat.Matrix {
+	out := mat.New(c.rank, c.rank)
+	out.Fill(1)
+	c.sTermMulInto(out, blockVec, skipMode)
+	return out
+}
+
+// sTermMulInto multiplies dst element-wise by ⊛_{h≠i} Q[h][l_h]; callers
+// accumulating S pre-fill a scratch matrix with ones.
+func (c *components) sTermMulInto(dst *mat.Matrix, blockVec []int, skipMode int) {
+	for h, kh := range blockVec {
+		if h == skipMode {
+			continue
+		}
+		dst.HadamardInPlace(c.q[h][kh])
+	}
+}
+
+// SurrogateFit returns the fit of the current grid model against the
+// Phase-1 surrogate ⋃_l [[U_l]] — computable entirely from memory-resident
+// components, so the termination check (paper Definition 3, virtual
+// iterations) costs no I/O:
+//
+//	‖X̃ − X̂‖² = Σ_l ( ‖[[U_l]]‖² − 2·1ᵀ(⊛_h P[l][h])1 + 1ᵀ(⊛_h Q_l)1 )
+func (c *components) SurrogateFit() float64 {
+	if c.unorm2 == 0 {
+		return 1
+	}
+	ones := onesVec(c.rank)
+	var err2 float64
+	vec := make([]int, c.pattern.NModes())
+	for id := range c.p {
+		c.pattern.Unlinear(id, vec)
+		cross := mat.QuadForm(hadamardAllModes(c.p[id], -1, c.rank), ones, ones)
+		model := mat.QuadForm(c.sTerm(vec, -1), ones, ones)
+		err2 += -2*cross + model
+	}
+	err2 += c.unorm2
+	if err2 < 0 {
+		err2 = 0
+	}
+	return 1 - math.Sqrt(err2)/math.Sqrt(c.unorm2)
+}
+
+// hadamardAllModes multiplies the given per-mode F×F matrices element-wise,
+// skipping index skip (-1 to include all) and unseeded (nil) entries.
+func hadamardAllModes(ms []*mat.Matrix, skip, rank int) *mat.Matrix {
+	out := mat.New(rank, rank)
+	out.Fill(1)
+	for h, m := range ms {
+		if h == skip || m == nil {
+			continue
+		}
+		out.HadamardInPlace(m)
+	}
+	return out
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/cpals"
+	"twopcp/internal/grid"
+	"twopcp/internal/mat"
+	"twopcp/internal/phase1"
+	"twopcp/internal/tensor"
+)
+
+// explicitSurrogateFit recomputes the surrogate fit by materializing every
+// block model — the slow reference for components.SurrogateFit.
+func explicitSurrogateFit(p1 *phase1.Result, parts map[int]*mat.Matrix) float64 {
+	p := p1.Pattern
+	var err2, norm2 float64
+	vec := make([]int, p.NModes())
+	for id := 0; id < p.NumBlocks(); id++ {
+		p.Unlinear(id, vec)
+		// Surrogate data: [[U_l]] materialized.
+		uk := cpals.NewKTensor(p1.Sub[id]).Full()
+		// Model: [[A(h)_(l_h)]].
+		factors := make([]*mat.Matrix, p.NModes())
+		for h, kh := range vec {
+			factors[h] = parts[h*1000+kh]
+		}
+		model := cpals.NewKTensor(factors).Full()
+		diff := uk.Clone()
+		diff.SubInPlace(model)
+		err2 += diff.Norm() * diff.Norm()
+		norm2 += uk.Norm() * uk.Norm()
+	}
+	return 1 - math.Sqrt(err2)/math.Sqrt(norm2)
+}
+
+func TestSurrogateFitMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.RandomDense(rng, 6, 6, 6)
+	p := grid.UniformCube(3, 6, 2)
+	src, err := phase1.NewDenseSource(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := phase1.Run(src, phase1.Options{Rank: 2, MaxIters: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random A parts installed into fresh components.
+	comps := newComponents(p1)
+	parts := map[int]*mat.Matrix{}
+	for mode := 0; mode < 3; mode++ {
+		for part := 0; part < 2; part++ {
+			_, rows := p.ModeRange(mode, part)
+			a := mat.Random(rows, 2, rng)
+			parts[mode*1000+part] = a
+			slabU := map[int]*mat.Matrix{}
+			for _, id := range p.Slab(mode, part) {
+				slabU[id] = p1.Sub[id][mode]
+			}
+			comps.setA(mode, part, a, slabU)
+		}
+	}
+	got := comps.SurrogateFit()
+	want := explicitSurrogateFit(p1, parts)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SurrogateFit = %g, explicit = %g", got, want)
+	}
+}
+
+func TestSurrogateFitPerfectModel(t *testing.T) {
+	// If A parts equal the sub-factors of a tensor whose blocks all share
+	// one decomposition, the surrogate fit of a single-block grid is 1.
+	rng := rand.New(rand.NewSource(11))
+	x := lowRank(rng, 2, 6, 6, 6)
+	p := grid.UniformCube(3, 6, 1) // one block
+	src, _ := phase1.NewDenseSource(x, p)
+	p1, err := phase1.Run(src, phase1.Options{Rank: 2, MaxIters: 200, Tol: 1e-12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := newComponents(p1)
+	for mode := 0; mode < 3; mode++ {
+		comps.setA(mode, 0, p1.Sub[0][mode], map[int]*mat.Matrix{0: p1.Sub[0][mode]})
+	}
+	if fit := comps.SurrogateFit(); math.Abs(fit-1) > 1e-9 {
+		t.Fatalf("perfect-model surrogate fit = %g", fit)
+	}
+}
+
+func TestSurrogateFitZeroSurrogate(t *testing.T) {
+	p := grid.UniformCube(3, 4, 2)
+	p1 := &phase1.Result{Pattern: p, Rank: 2}
+	p1.Sub = make([][]*mat.Matrix, p.NumBlocks())
+	p1.Fits = make([]float64, p.NumBlocks())
+	for id := range p1.Sub {
+		p1.Sub[id] = []*mat.Matrix{mat.New(2, 2), mat.New(2, 2), mat.New(2, 2)}
+	}
+	comps := newComponents(p1)
+	if fit := comps.SurrogateFit(); fit != 1 {
+		t.Fatalf("zero-surrogate fit = %g, want 1", fit)
+	}
+}

@@ -1,0 +1,119 @@
+package refine
+
+import (
+	"twopcp/internal/blockstore"
+	"twopcp/internal/mat"
+	"twopcp/internal/phase1"
+)
+
+// tracker abstracts the P/Q bookkeeping of Phase 2 so the engine can run
+// either representation:
+//
+//   - components (the default): per-mode factors P[l][h] are stored and the
+//     Hadamard product ⊛_{h≠i} is formed on demand (see components.go);
+//   - divide-update (this file): the paper's literal Algorithm 1/2 rule —
+//     the full products P_l are maintained in place, and the mode-i factor
+//     is removed by element-wise division P_l ⊘ (U(i)ᵀ_l A(i)_(ki)) using
+//     the old A from the pinned unit, then restored by multiplying the new
+//     U(i)ᵀ_l A(i)_(ki) back in.
+//
+// Both are algebraically identical (verified by TestDivideUpdateMatches
+// and benchmarked by the PQ ablation); the divide form performs one F×F
+// division per slab block instead of N−1 Hadamard multiplies, and needs a
+// guard for exact zeros in the denominator.
+type tracker interface {
+	// GammaInto writes Γ_l^(i) = ⊛_{h≠i} P-factor for block l, where i is
+	// the mode of the pinned unit u (u.A is still the pre-update value).
+	GammaInto(dst *mat.Matrix, blockID int, u *blockstore.Unit)
+	// STermMulInto multiplies dst by ⊛_{h≠skip} Q[h][l_h].
+	STermMulInto(dst *mat.Matrix, blockVec []int, skipMode int)
+	// SetA installs the updated A(mode)_(part), refreshing bookkeeping for
+	// every block in the slab (slabU supplies U(mode)_l).
+	SetA(mode, part int, a *mat.Matrix, slabU map[int]*mat.Matrix)
+	// SurrogateFit returns the fit of the current grid model against the
+	// Phase-1 surrogate (see components.SurrogateFit).
+	SurrogateFit() float64
+}
+
+// GammaInto implements tracker for the component store; the unit is not
+// needed because all per-mode factors are memory-resident.
+func (c *components) GammaInto(dst *mat.Matrix, blockID int, u *blockstore.Unit) {
+	c.gammaInto(dst, blockID, u.Mode)
+}
+
+// STermMulInto implements tracker.
+func (c *components) STermMulInto(dst *mat.Matrix, blockVec []int, skipMode int) {
+	c.sTermMulInto(dst, blockVec, skipMode)
+}
+
+// SetA implements tracker.
+func (c *components) SetA(mode, part int, a *mat.Matrix, slabU map[int]*mat.Matrix) {
+	c.setA(mode, part, a, slabU)
+}
+
+// prodComponents is the divide-update tracker. It embeds the component
+// store (whose per-mode state also powers the surrogate fit and the exact
+// fallback when a quotient denominator is zero) and additionally maintains
+// the in-place products P_l that the paper's pseudo-code revises.
+type prodComponents struct {
+	*components
+	prod       []*mat.Matrix       // prod[l] = ⊛_h U(h)ᵀ_l A(h)_(l_h)
+	gammaCache map[int]*mat.Matrix // Γ_l computed during the current update
+	scratch    *mat.Matrix
+}
+
+func newProdComponents(p1 *phase1.Result) *prodComponents {
+	pc := &prodComponents{
+		components: newComponents(p1),
+		prod:       make([]*mat.Matrix, p1.Pattern.NumBlocks()),
+		gammaCache: map[int]*mat.Matrix{},
+		scratch:    mat.New(p1.Rank, p1.Rank),
+	}
+	for id := range pc.prod {
+		pc.prod[id] = mat.New(p1.Rank, p1.Rank)
+		pc.prod[id].Fill(1)
+	}
+	return pc
+}
+
+// GammaInto divides the stored product by the mode-i factor recomputed
+// from the unit's U and (old) A — the paper's P_l ⊘ (U(i)ᵀ_l A(i)_(ki)).
+// If any denominator is exactly zero the quotient is undefined, so Γ is
+// rebuilt from the per-mode components instead.
+func (pc *prodComponents) GammaInto(dst *mat.Matrix, blockID int, u *blockstore.Unit) {
+	mat.TMulInto(pc.scratch, u.U[blockID], u.A)
+	for i, denom := range pc.scratch.Data {
+		if denom == 0 {
+			pc.components.gammaInto(dst, blockID, u.Mode)
+			break
+		}
+		dst.Data[i] = pc.prod[blockID].Data[i] / denom
+	}
+	g := pc.gammaCache[blockID]
+	if g == nil {
+		g = mat.New(dst.Rows, dst.Cols)
+		pc.gammaCache[blockID] = g
+	}
+	g.CopyFrom(dst)
+}
+
+// SetA folds the new mode factor back into every slab product in place:
+// P_l = Γ_l ⊛ (U(i)ᵀ_l A_new) — Algorithm 2's "update P_l and Q_l using
+// U(i)_l and A(i)_(ki)".
+func (pc *prodComponents) SetA(mode, part int, a *mat.Matrix, slabU map[int]*mat.Matrix) {
+	pc.components.setA(mode, part, a, slabU)
+	for _, id := range pc.pattern.Slab(mode, part) {
+		g := pc.gammaCache[id]
+		if g == nil {
+			// Seeding (no prior Γ): build the product from the per-mode
+			// components, which setA just refreshed.
+			pc.components.gammaInto(pc.prod[id], id, -1)
+			continue
+		}
+		mat.TMulInto(pc.scratch, slabU[id], a)
+		for i := range pc.prod[id].Data {
+			pc.prod[id].Data[i] = g.Data[i] * pc.scratch.Data[i]
+		}
+		delete(pc.gammaCache, id)
+	}
+}

@@ -1,0 +1,113 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/buffer"
+	"twopcp/internal/cpals"
+	"twopcp/internal/grid"
+	"twopcp/internal/phase1"
+	"twopcp/internal/schedule"
+	"twopcp/internal/tensor"
+)
+
+// runWith runs the refinement with or without the divide-update tracker.
+func runWith(t *testing.T, p1 *phase1.Result, divide bool, kind schedule.Kind, iters int) *Result {
+	t.Helper()
+	eng, err := New(Config{
+		Phase1: p1, Store: blockstore.NewMemStore(),
+		Schedule: kind, Policy: buffer.LRU,
+		MaxVirtualIters: iters, Tol: 1e-12,
+		DivideUpdate: divide,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDivideUpdateMatchesComponents(t *testing.T) {
+	// The paper's in-place Hadamard-division P/Q rule and the per-mode
+	// component store are algebraically identical; verify the refinement
+	// produces the same factors (up to division round-off) and the same
+	// fit trajectory.
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandomDense(rng, 8, 8, 8)
+	p := grid.UniformCube(3, 8, 2)
+	p1 := runPhase1(t, x, p, 3)
+
+	for _, kind := range []schedule.Kind{schedule.ModeCentric, schedule.HilbertOrder} {
+		a := runWith(t, p1, false, kind, 8)
+		b := runWith(t, p1, true, kind, 8)
+		if len(a.FitTrace) != len(b.FitTrace) {
+			t.Fatalf("%v: trace lengths differ: %d vs %d", kind, len(a.FitTrace), len(b.FitTrace))
+		}
+		for i := range a.FitTrace {
+			if math.Abs(a.FitTrace[i]-b.FitTrace[i]) > 1e-9 {
+				t.Fatalf("%v: fit diverges at virtual iteration %d: %g vs %g",
+					kind, i, a.FitTrace[i], b.FitTrace[i])
+			}
+		}
+		for m := range a.Factors {
+			if !a.Factors[m].EqualApprox(b.Factors[m], 1e-6) {
+				t.Fatalf("%v: mode %d factors diverge between trackers", kind, m)
+			}
+		}
+	}
+}
+
+func TestDivideUpdateHandlesEmptyBlocks(t *testing.T) {
+	// Empty blocks produce zero U factors and hence exact zeros in the
+	// denominators of the division rule; the fallback must keep the run
+	// finite and matching the component tracker.
+	x := tensor.NewCOO(8, 8, 8)
+	rng := rand.New(rand.NewSource(2))
+	idx := make([]int, 3)
+	for i := 0; i < 60; i++ {
+		for m := range idx {
+			idx[m] = rng.Intn(4) // only the first octant is populated
+		}
+		x.Append(idx, rng.Float64()+0.5)
+	}
+	x.Canonicalize()
+	p := grid.UniformCube(3, 8, 2)
+	src, err := phase1.NewCOOSource(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := phase1.Run(src, phase1.Options{Rank: 2, MaxIters: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runWith(t, p1, false, schedule.ZOrder, 10)
+	b := runWith(t, p1, true, schedule.ZOrder, 10)
+	for m := range b.Factors {
+		for _, v := range b.Factors[m].Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("divide tracker produced NaN/Inf on empty blocks")
+			}
+		}
+		if !a.Factors[m].EqualApprox(b.Factors[m], 1e-6) {
+			t.Fatalf("mode %d: trackers disagree on sparse data", m)
+		}
+	}
+}
+
+func TestDivideUpdateRecoversLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := lowRank(rng, 2, 8, 8, 8)
+	p := grid.UniformCube(3, 8, 2)
+	p1 := runPhase1(t, x, p, 2)
+	res := runWith(t, p1, true, schedule.HilbertOrder, 60)
+	kt := cpals.NewKTensor(res.Factors)
+	if fit := kt.Fit(x); fit < 0.98 {
+		t.Fatalf("divide-update fit = %g", fit)
+	}
+}

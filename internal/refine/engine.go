@@ -1,0 +1,349 @@
+package refine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/buffer"
+	"twopcp/internal/grid"
+	"twopcp/internal/mat"
+	"twopcp/internal/phase1"
+	"twopcp/internal/schedule"
+)
+
+// InitKind selects how the full-factor partitions A(i)_(ki) are seeded.
+type InitKind int
+
+const (
+	// InitReference seeds A(i)_(ki) with the mode-i sub-factor of a
+	// reference block in the partition's slab (falling back to random for
+	// empty slabs). This matches the grid-PARAFAC practice of starting the
+	// stitching from Phase-1 output.
+	InitReference InitKind = iota
+	// InitRandom seeds every partition with uniform [0,1) noise.
+	InitRandom
+)
+
+// Config assembles a Phase-2 engine.
+type Config struct {
+	// Phase1 supplies the per-block sub-factors (required).
+	Phase1 *phase1.Result
+	// Store receives the data units; Phase 2's I/O flows through it
+	// (required). Use blockstore.NewMemStore for counted simulation or
+	// NewFileStore for true out-of-core runs.
+	Store blockstore.Store
+	// Schedule picks the update schedule (paper §V–VI).
+	Schedule schedule.Kind
+	// Policy picks the buffer replacement strategy (paper §VII).
+	Policy buffer.Policy
+	// BufferFraction sizes the buffer as a fraction of the total space
+	// requirement (paper Table III: 1/3, 1/2, 2/3). Ignored when
+	// CapacityBytes is set. Defaults to 1 (everything fits).
+	BufferFraction float64
+	// CapacityBytes sizes the buffer absolutely when positive.
+	CapacityBytes int64
+	// MaxVirtualIters bounds the virtual iterations (default 100, the
+	// paper's Figure 13(a) budget).
+	MaxVirtualIters int
+	// Tol declares convergence when the surrogate fit improves by less
+	// than Tol across a virtual iteration (default 1e-2, paper §VIII-C).
+	// Pass math.Inf(-1) to disable convergence and always run
+	// MaxVirtualIters (used by the I/O-measurement experiments, which run
+	// "without any bound on iterations").
+	Tol float64
+	// Init selects factor seeding; Seed drives InitRandom.
+	Init InitKind
+	Seed int64
+	// DivideUpdate switches the P/Q bookkeeping to the paper's literal
+	// in-place Hadamard-division rule instead of the per-mode component
+	// store (see divide.go). Results are identical; this exists for the
+	// ablation benchmarks.
+	DivideUpdate bool
+	// WarmupVirtualIters runs this many virtual iterations before swap
+	// counting starts (buffer statistics are reset at the boundary), so
+	// experiments can report steady-state swaps per iteration without
+	// cold-start pollution (paper §VIII-C.1 averages long runs). The
+	// warm-up iterations do not count toward MaxVirtualIters or the trace,
+	// and convergence checks are suspended during warm-up.
+	WarmupVirtualIters int
+}
+
+// Result reports a Phase-2 run.
+type Result struct {
+	// Factors are the assembled full factor matrices A(i), one per mode.
+	Factors []*mat.Matrix
+	// VirtualIters is the number of completed virtual iterations.
+	VirtualIters int
+	// Converged is true when Tol fired before MaxVirtualIters.
+	Converged bool
+	// FitTrace holds the surrogate fit after each virtual iteration.
+	FitTrace []float64
+	// BufferStats exposes the paper's headline metric: Fetches = swaps.
+	BufferStats buffer.Stats
+	// StoreStats counts store traffic (unit reads/writes incl. setup).
+	StoreStats blockstore.Stats
+	// SwapsPerVirtualIter = BufferStats.Fetches / VirtualIters.
+	SwapsPerVirtualIter float64
+}
+
+// Engine runs Phase 2. Create with New, run once with Run.
+type Engine struct {
+	cfg     Config
+	pattern *grid.Pattern
+	sched   *schedule.Schedule
+	comps   tracker
+	mgr     *buffer.Manager
+
+	// Hot-loop scratch (see update).
+	scratchS   *mat.Matrix
+	scratchG   *mat.Matrix
+	scratchT   *mat.Matrix
+	scratchVec []int
+}
+
+// New validates cfg, prepares the data units in the store, initializes the
+// in-memory components and builds the buffer manager.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Phase1 == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("refine: Phase1 and Store are required")
+	}
+	if cfg.MaxVirtualIters <= 0 {
+		cfg.MaxVirtualIters = 100
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-2
+	}
+	if cfg.BufferFraction <= 0 {
+		cfg.BufferFraction = 1
+	}
+	p := cfg.Phase1.Pattern
+	e := &Engine{cfg: cfg, pattern: p}
+	e.sched = schedule.New(cfg.Schedule, p)
+
+	if err := e.prepareUnits(); err != nil {
+		return nil, err
+	}
+	if cfg.DivideUpdate {
+		e.comps = newProdComponents(cfg.Phase1)
+	} else {
+		e.comps = newComponents(cfg.Phase1)
+	}
+	e.seedComponents()
+
+	capacity := cfg.CapacityBytes
+	if capacity <= 0 {
+		capacity = int64(cfg.BufferFraction * float64(schedule.TotalBytes(p, cfg.Phase1.Rank)))
+	}
+	mgr, err := buffer.NewManager(buffer.Config{
+		Store:         cfg.Store,
+		Pattern:       p,
+		CapacityBytes: capacity,
+		Policy:        cfg.Policy,
+		Schedule:      e.sched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mgr = mgr
+	return e, nil
+}
+
+// initialA builds the seed for A(mode)_(part).
+func (e *Engine) initialA(mode, part int, rng *rand.Rand) *mat.Matrix {
+	_, rows := e.pattern.ModeRange(mode, part)
+	rank := e.cfg.Phase1.Rank
+	if e.cfg.Init == InitRandom {
+		return mat.Random(rows, rank, rng)
+	}
+	// Reference: the first block in the slab with a non-empty U(mode).
+	for _, id := range e.pattern.Slab(mode, part) {
+		u := e.cfg.Phase1.Sub[id][mode]
+		if u.MaxAbs() > 0 {
+			return u.Clone()
+		}
+	}
+	return mat.Random(rows, rank, rng)
+}
+
+// prepareUnits writes every ⟨mode, part⟩ unit into the store: the seeded
+// A(i)_(ki) plus the slab's Phase-1 U(i)_l matrices.
+func (e *Engine) prepareUnits() error {
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	for mode := 0; mode < e.pattern.NModes(); mode++ {
+		for part := 0; part < e.pattern.K[mode]; part++ {
+			u := &blockstore.Unit{
+				Mode: mode,
+				Part: part,
+				A:    e.initialA(mode, part, rng),
+				U:    make(map[int]*mat.Matrix),
+			}
+			for _, id := range e.pattern.Slab(mode, part) {
+				u.U[id] = e.cfg.Phase1.Sub[id][mode]
+			}
+			if err := e.cfg.Store.Put(u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seedComponents computes the initial P and Q from the seeded A parts,
+// reading A back from the store once (setup traffic, not counted as swaps).
+func (e *Engine) seedComponents() {
+	for mode := 0; mode < e.pattern.NModes(); mode++ {
+		for part := 0; part < e.pattern.K[mode]; part++ {
+			slabU := make(map[int]*mat.Matrix)
+			for _, id := range e.pattern.Slab(mode, part) {
+				slabU[id] = e.cfg.Phase1.Sub[id][mode]
+			}
+			// The store was just seeded by prepareUnits; regenerate the
+			// same initial A deterministically instead of re-reading.
+			u, err := e.cfg.Store.Get(mode, part)
+			if err != nil {
+				panic(fmt.Sprintf("refine: unit ⟨%d,%d⟩ vanished during setup: %v", mode, part, err))
+			}
+			e.comps.SetA(mode, part, u.A, slabU)
+		}
+	}
+	e.cfg.Store.ResetStats()
+}
+
+// update applies the grid-PARAFAC rule to A(mode)_(part) using the pinned
+// unit, then refreshes the dependent P and Q components in place
+// (Algorithm 2 step ii). Scratch matrices are reused across calls — this
+// is Phase 2's hot loop.
+func (e *Engine) update(u *blockstore.Unit) {
+	mode, part := u.Mode, u.Part
+	rank := e.cfg.Phase1.Rank
+	_, rows := e.pattern.ModeRange(mode, part)
+	t := mat.New(rows, rank)
+	if e.scratchS == nil {
+		e.scratchS = mat.New(rank, rank)
+		e.scratchG = mat.New(rank, rank)
+		e.scratchT = mat.New(rank, rank)
+		e.scratchVec = make([]int, e.pattern.NModes())
+	}
+	s, g, term, vec := e.scratchS, e.scratchG, e.scratchT, e.scratchVec
+	s.Zero()
+	for _, id := range e.pattern.Slab(mode, part) {
+		e.pattern.Unlinear(id, vec)
+		e.comps.GammaInto(g, id, u)
+		mat.MulAddInto(t, u.U[id], g)
+		term.Fill(1)
+		e.comps.STermMulInto(term, vec, mode)
+		s.AddInPlace(term)
+	}
+	aNew := mat.RightSolveSPD(t, s)
+	u.A = aNew
+	e.comps.SetA(mode, part, aNew, u.U)
+}
+
+// Run executes the refinement until convergence or MaxVirtualIters and
+// returns the assembled factors plus I/O statistics.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{}
+	virtLen := e.sched.VirtualIterationLength()
+	updates := 0
+	warmupLeft := e.cfg.WarmupVirtualIters
+	prevFit := e.comps.SurrogateFit()
+	done := false
+	// Termination is only evaluated once every block position has been
+	// visited at least once — i.e. from the second full cycle on (paper
+	// Figure 7). A block-centric cycle spans many virtual iterations, and
+	// a fit plateau before the first cycle completes only means the
+	// not-yet-visited partitions still hold their initialization.
+	minIters := int(math.Ceil(e.sched.VirtualIterationsPerCycle()))
+
+	for !done && res.VirtualIters < e.cfg.MaxVirtualIters {
+		for si := range e.sched.Steps {
+			step := &e.sched.Steps[si]
+			// Acquire the step's units in schedule order.
+			units := make([]*blockstore.Unit, len(step.Accesses))
+			for ai, a := range step.Accesses {
+				u, err := e.mgr.Acquire(a.Mode, a.Part)
+				if err != nil {
+					return nil, err
+				}
+				units[ai] = u
+			}
+			for _, u := range units {
+				if done {
+					break
+				}
+				e.update(u)
+				updates++
+				if updates%virtLen == 0 {
+					if warmupLeft > 0 {
+						warmupLeft--
+						if warmupLeft == 0 {
+							e.mgr.ResetStats()
+						}
+						prevFit = e.comps.SurrogateFit()
+						continue
+					}
+					res.VirtualIters++
+					fit := e.comps.SurrogateFit()
+					res.FitTrace = append(res.FitTrace, fit)
+					improvement := fit - prevFit
+					prevFit = fit
+					if improvement < e.cfg.Tol && res.VirtualIters > minIters {
+						res.Converged = true
+						done = true
+					}
+					if res.VirtualIters >= e.cfg.MaxVirtualIters {
+						done = true
+					}
+				}
+			}
+			for _, a := range step.Accesses {
+				e.mgr.Release(a.Mode, a.Part, true)
+			}
+			if done {
+				break
+			}
+		}
+	}
+
+	if err := e.mgr.FlushAll(); err != nil {
+		return nil, err
+	}
+	res.BufferStats = e.mgr.Stats()
+	res.StoreStats = e.cfg.Store.Stats()
+	if res.VirtualIters > 0 {
+		res.SwapsPerVirtualIter = float64(res.BufferStats.Fetches) / float64(res.VirtualIters)
+	}
+	factors, err := e.AssembleFactors()
+	if err != nil {
+		return nil, err
+	}
+	res.Factors = factors
+	return res, nil
+}
+
+// AssembleFactors stacks the per-partition A(i)_(ki) (as persisted in the
+// store) into the full factor matrices A(i).
+func (e *Engine) AssembleFactors() ([]*mat.Matrix, error) {
+	factors := make([]*mat.Matrix, e.pattern.NModes())
+	for mode := 0; mode < e.pattern.NModes(); mode++ {
+		parts := make([]*mat.Matrix, e.pattern.K[mode])
+		for part := 0; part < e.pattern.K[mode]; part++ {
+			u, err := e.cfg.Store.Get(mode, part)
+			if err != nil {
+				return nil, err
+			}
+			parts[part] = u.A
+		}
+		factors[mode] = mat.VStack(parts...)
+	}
+	return factors, nil
+}
+
+// SurrogateFit exposes the current surrogate fit (see components) for
+// diagnostics and tests.
+func (e *Engine) SurrogateFit() float64 { return e.comps.SurrogateFit() }
+
+// Schedule returns the engine's schedule (for tests).
+func (e *Engine) Schedule() *schedule.Schedule { return e.sched }

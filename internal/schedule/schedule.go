@@ -1,0 +1,216 @@
+// Package schedule implements 2PCP's update schedules (paper §V–VI): the
+// conventional mode-centric order of Algorithm 1 and the block-centric
+// tensor-filling cycles of Algorithm 2 under fiber-, Z- and Hilbert-order
+// block traversals, together with the data-unit access strings that the
+// buffer manager consumes and the virtual-iteration arithmetic used for
+// termination checks (Definition 3).
+package schedule
+
+import (
+	"fmt"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/sfc"
+)
+
+// Kind selects one of the paper's update schedules.
+type Kind int
+
+const (
+	// ModeCentric is Algorithm 1: for each mode i, for each partition ki,
+	// update A(i)_(ki) once. One data unit per step.
+	ModeCentric Kind = iota
+	// FiberOrder is Algorithm 2 with nested-loop block traversal (§VI-B).
+	FiberOrder
+	// ZOrder is Algorithm 2 with Morton-order block traversal (§VI-C.1).
+	ZOrder
+	// HilbertOrder is Algorithm 2 with Hilbert-order traversal (§VI-C.2).
+	HilbertOrder
+)
+
+// Kinds lists all schedule kinds in the paper's presentation order.
+var Kinds = []Kind{ModeCentric, FiberOrder, ZOrder, HilbertOrder}
+
+// String returns the paper's abbreviation for the schedule kind.
+func (k Kind) String() string {
+	switch k {
+	case ModeCentric:
+		return "MC"
+	case FiberOrder:
+		return "FO"
+	case ZOrder:
+		return "ZO"
+	case HilbertOrder:
+		return "HO"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps the paper's abbreviations (case-sensitive) to kinds.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "MC", "mode-centric":
+		return ModeCentric, nil
+	case "FO", "fiber":
+		return FiberOrder, nil
+	case "ZO", "zorder", "z-order":
+		return ZOrder, nil
+	case "HO", "hilbert":
+		return HilbertOrder, nil
+	}
+	return 0, fmt.Errorf("schedule: unknown kind %q", s)
+}
+
+// IsBlockCentric reports whether the kind schedules updates per block
+// position (Algorithm 2) rather than per mode partition (Algorithm 1).
+func (k Kind) IsBlockCentric() bool { return k != ModeCentric }
+
+// Access identifies one mode-partition data unit
+// ⟨i, ki⟩ = {A(i)_(ki); U(i)_[*,..,ki,..,*]} (paper Definition 4).
+type Access struct {
+	Mode int
+	Part int
+}
+
+// Step is one scheduling step of a cycle. A mode-centric step performs a
+// single sub-factor update and touches one unit; a block-centric step
+// processes one block position, performing N sub-factor updates and
+// touching the N units of that position, which are pinned together.
+type Step struct {
+	Block    []int    // block position vector; nil for mode-centric steps
+	Accesses []Access // units touched by this step
+}
+
+// Updates returns the number of sub-factor updates the step performs,
+// which is the unit of virtual-iteration accounting.
+func (s *Step) Updates() int { return len(s.Accesses) }
+
+// Schedule is one tensor-filling cycle C (Definition 2); Phase 2 repeats
+// it until the stopping condition fires.
+type Schedule struct {
+	Kind    Kind
+	Pattern *grid.Pattern
+	Steps   []Step
+}
+
+// New builds the cycle for the given kind over the given pattern.
+func New(kind Kind, p *grid.Pattern) *Schedule {
+	s := &Schedule{Kind: kind, Pattern: p}
+	switch kind {
+	case ModeCentric:
+		for i := 0; i < p.NModes(); i++ {
+			for ki := 0; ki < p.K[i]; ki++ {
+				s.Steps = append(s.Steps, Step{Accesses: []Access{{Mode: i, Part: ki}}})
+			}
+		}
+	case FiberOrder, ZOrder, HilbertOrder:
+		var order [][]int
+		switch kind {
+		case FiberOrder:
+			order = sfc.FiberOrder(p.K)
+		case ZOrder:
+			order = sfc.ZOrder(p.K)
+		default:
+			order = sfc.HilbertOrder(p.K)
+		}
+		for _, block := range order {
+			acc := make([]Access, len(block))
+			for i, ki := range block {
+				acc[i] = Access{Mode: i, Part: ki}
+			}
+			s.Steps = append(s.Steps, Step{Block: block, Accesses: acc})
+		}
+	default:
+		panic(fmt.Sprintf("schedule: unknown kind %d", int(kind)))
+	}
+	return s
+}
+
+// UpdatesPerCycle returns the number of sub-factor updates in one cycle:
+// Σ K_i for mode-centric, N·ΠK_i for block-centric.
+func (s *Schedule) UpdatesPerCycle() int {
+	total := 0
+	for i := range s.Steps {
+		total += s.Steps[i].Updates()
+	}
+	return total
+}
+
+// VirtualIterationLength returns Σ_i K_i, the number of sub-factor updates
+// per virtual iteration (Definition 3).
+func (s *Schedule) VirtualIterationLength() int { return s.Pattern.SumK() }
+
+// VirtualIterationsPerCycle returns how many virtual iterations one cycle
+// spans (may be fractional for odd patterns; callers that need exact
+// boundaries should count updates instead).
+func (s *Schedule) VirtualIterationsPerCycle() float64 {
+	return float64(s.UpdatesPerCycle()) / float64(s.VirtualIterationLength())
+}
+
+// AccessString flattens the cycle into the per-unit access sequence (in
+// step order, accesses within a step in mode order). The forward-looking
+// buffer policy precomputes next-use distances over this string.
+func (s *Schedule) AccessString() []Access {
+	out := make([]Access, 0, s.UpdatesPerCycle())
+	for i := range s.Steps {
+		out = append(out, s.Steps[i].Accesses...)
+	}
+	return out
+}
+
+// NumUnits returns the number of distinct mode-partition units, Σ K_i.
+func NumUnits(p *grid.Pattern) int { return p.SumK() }
+
+// UnitID maps a (mode, part) pair to a dense id in [0, NumUnits):
+// units are numbered mode-major.
+func UnitID(p *grid.Pattern, mode, part int) int {
+	if mode < 0 || mode >= p.NModes() || part < 0 || part >= p.K[mode] {
+		panic(fmt.Sprintf("schedule: UnitID(%d, %d) of pattern %v", mode, part, p.K))
+	}
+	id := part
+	for i := 0; i < mode; i++ {
+		id += p.K[i]
+	}
+	return id
+}
+
+// UnitFromID inverts UnitID.
+func UnitFromID(p *grid.Pattern, id int) (mode, part int) {
+	if id < 0 || id >= p.SumK() {
+		panic(fmt.Sprintf("schedule: UnitFromID(%d) of pattern %v", id, p.K))
+	}
+	for i, k := range p.K {
+		if id < k {
+			return i, id
+		}
+		id -= k
+	}
+	panic("unreachable")
+}
+
+// UnitBytes returns the size in bytes of unit ⟨mode, part⟩ under the
+// paper's accounting (§VI, 8-byte doubles):
+//
+//	(I_i/K_i·F + Π_{j≠i}K_j · I_i/K_i·F) · 8
+//
+// using the actual partition row count for uneven splits.
+func UnitBytes(p *grid.Pattern, mode, part, rank int) int64 {
+	_, rows := p.ModeRange(mode, part)
+	blocks := int64(p.SlabSize(mode))
+	per := int64(rows) * int64(rank) * 8
+	return per + blocks*per
+}
+
+// TotalBytes returns the total space requirement Σ units (§IV-A), the
+// denominator of the paper's "buffer size as a fraction of the total
+// space requirement".
+func TotalBytes(p *grid.Pattern, rank int) int64 {
+	var total int64
+	for i := 0; i < p.NModes(); i++ {
+		for ki := 0; ki < p.K[i]; ki++ {
+			total += UnitBytes(p, i, ki, rank)
+		}
+	}
+	return total
+}

@@ -1,0 +1,265 @@
+// Package sfc implements the space-filling-curve substrate behind 2PCP's
+// re-use-promoting update schedules (paper §VI): Morton (Z-order) and
+// Hilbert-order traversals of an N-dimensional block grid, plus the simple
+// nested-loop fiber order.
+//
+// Conventions. All curves operate on n-dimensional coordinates with b bits
+// per dimension. In the packed index, coordinate 0 contributes the most
+// significant bit of each n-bit group, matching the paper's example
+// CZ(010, 011) = 001101 (block position [2,3] ↦ Z-value 13).
+//
+// The Hilbert mapping uses Skilling's transpose algorithm ("Programming the
+// Hilbert curve", AIP 2004), which works for arbitrary dimension — the
+// paper notes that practical Hilbert implementations for very high mode
+// counts are hard; Skilling's construction is exact for any n while needing
+// only O(n) state.
+//
+// Grids whose side is not a power of two (or whose sides differ) are
+// traversed by walking the curve over the enclosing power-of-two hypercube
+// and skipping positions that fall outside the grid; the relative order of
+// in-grid positions is preserved, which retains the curves' clustering
+// property.
+package sfc
+
+import "fmt"
+
+// Interleave packs n coordinates of b bits each into a single index,
+// MSB-first, with x[0] supplying the most significant bit of each group.
+func Interleave(x []uint64, b int) uint64 {
+	n := len(x)
+	if n*b > 64 {
+		panic(fmt.Sprintf("sfc: Interleave: %d×%d bits exceed 64", n, b))
+	}
+	var h uint64
+	for j := b - 1; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			h = h<<1 | (x[i]>>uint(j))&1
+		}
+	}
+	return h
+}
+
+// Deinterleave is the inverse of Interleave, unpacking h into dst
+// (which must have the desired dimension count).
+func Deinterleave(h uint64, b int, dst []uint64) {
+	n := len(dst)
+	if n*b > 64 {
+		panic(fmt.Sprintf("sfc: Deinterleave: %d×%d bits exceed 64", n, b))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	total := n * b
+	for p := 0; p < total; p++ {
+		bit := h >> uint(total-1-p) & 1
+		i := p % n
+		j := b - 1 - p/n
+		dst[i] |= bit << uint(j)
+	}
+}
+
+// MortonIndex returns the Z-order value of the coordinate vector, with b
+// bits per dimension.
+func MortonIndex(coords []int, b int) uint64 {
+	x := make([]uint64, len(coords))
+	for i, c := range coords {
+		checkCoord(c, b)
+		x[i] = uint64(c)
+	}
+	return Interleave(x, b)
+}
+
+// MortonCoords inverts MortonIndex, filling and returning dst
+// (allocated when nil) with n coordinates.
+func MortonCoords(h uint64, n, b int, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, n)
+	}
+	x := make([]uint64, n)
+	Deinterleave(h, b, x)
+	for i, v := range x {
+		dst[i] = int(v)
+	}
+	return dst
+}
+
+// HilbertIndex returns the Hilbert-curve position of the coordinate vector,
+// with b bits per dimension, using Skilling's transform.
+func HilbertIndex(coords []int, b int) uint64 {
+	n := len(coords)
+	x := make([]uint64, n)
+	for i, c := range coords {
+		checkCoord(c, b)
+		x[i] = uint64(c)
+	}
+	axesToTranspose(x, b)
+	return Interleave(x, b)
+}
+
+// HilbertCoords inverts HilbertIndex, filling and returning dst
+// (allocated when nil) with n coordinates.
+func HilbertCoords(h uint64, n, b int, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, n)
+	}
+	x := make([]uint64, n)
+	Deinterleave(h, b, x)
+	transposeToAxes(x, b)
+	for i, v := range x {
+		dst[i] = int(v)
+	}
+	return dst
+}
+
+// axesToTranspose converts coordinates in place to Skilling's "transposed"
+// Hilbert form (the per-axis bit-slices of the Hilbert index).
+func axesToTranspose(x []uint64, b int) {
+	n := len(x)
+	m := uint64(1) << uint(b-1)
+	// Inverse undo of the excess-work loop.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert low bits of x[0]
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts Skilling's transposed form back to coordinates.
+func transposeToAxes(x []uint64, b int) {
+	n := len(x)
+	top := uint64(2) << uint(b-1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != top; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				tt := (x[0] ^ x[i]) & p
+				x[0] ^= tt
+				x[i] ^= tt
+			}
+		}
+	}
+}
+
+func checkCoord(c, b int) {
+	if c < 0 || c >= 1<<uint(b) {
+		panic(fmt.Sprintf("sfc: coordinate %d does not fit in %d bits", c, b))
+	}
+}
+
+// bitsFor returns the smallest b with 2^b >= max(k), minimum 1.
+func bitsFor(k []int) int {
+	b := 1
+	for _, v := range k {
+		for 1<<uint(b) < v {
+			b++
+		}
+	}
+	return b
+}
+
+// FiberOrder returns all positions of the grid k (k[i] positions along
+// dimension i) in fiber order: nested loops with the LAST dimension varying
+// fastest, matching the paper's §VI-B description where consecutive
+// positions differ in their N-th coordinate.
+func FiberOrder(k []int) [][]int {
+	total := 1
+	for _, v := range k {
+		checkGridDim(v)
+		total *= v
+	}
+	out := make([][]int, 0, total)
+	cur := make([]int, len(k))
+	for {
+		out = append(out, append([]int(nil), cur...))
+		// Increment with the last dimension fastest.
+		i := len(k) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < k[i] {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// ZOrder returns all positions of the grid k in Z-order (Morton) sequence.
+// Non-power-of-two or unequal grids are handled by traversing the bounding
+// power-of-two hypercube and skipping out-of-grid positions.
+func ZOrder(k []int) [][]int {
+	return curveOrder(k, MortonCoords)
+}
+
+// HilbertOrder returns all positions of the grid k in Hilbert-curve
+// sequence, with the same bounding-hypercube handling as ZOrder.
+func HilbertOrder(k []int) [][]int {
+	return curveOrder(k, HilbertCoords)
+}
+
+func curveOrder(k []int, decode func(h uint64, n, b int, dst []int) []int) [][]int {
+	n := len(k)
+	total := 1
+	for _, v := range k {
+		checkGridDim(v)
+		total *= v
+	}
+	b := bitsFor(k)
+	if n*b > 62 {
+		panic(fmt.Sprintf("sfc: grid %v needs %d×%d curve bits; too large", k, n, b))
+	}
+	out := make([][]int, 0, total)
+	coords := make([]int, n)
+	limit := uint64(1) << uint(n*b)
+scan:
+	for h := uint64(0); h < limit; h++ {
+		decode(h, n, b, coords)
+		for i, c := range coords {
+			if c >= k[i] {
+				continue scan
+			}
+		}
+		out = append(out, append([]int(nil), coords...))
+		if len(out) == total {
+			break
+		}
+	}
+	return out
+}
+
+func checkGridDim(v int) {
+	if v <= 0 {
+		panic(fmt.Sprintf("sfc: grid dimension %d", v))
+	}
+}

@@ -1,0 +1,238 @@
+package sfc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveDeinterleaveRoundTrip(t *testing.T) {
+	f := func(a, b16, c16 uint16, b8 uint8) bool {
+		b := int(b8%4) + 1 // 1..4 bits
+		mask := uint64(1)<<uint(b) - 1
+		x := []uint64{uint64(a) & mask, uint64(b16) & mask, uint64(c16) & mask}
+		h := Interleave(x, b)
+		back := make([]uint64, 3)
+		Deinterleave(h, b, back)
+		for i := range x {
+			if x[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMortonPaperExample(t *testing.T) {
+	// Paper Figure 9(b): CZ(010, 011) = 001101₂ = 13.
+	if got := MortonIndex([]int{2, 3}, 3); got != 13 {
+		t.Fatalf("MortonIndex([2,3], 3) = %d, want 13", got)
+	}
+	coords := MortonCoords(13, 2, 3, nil)
+	if coords[0] != 2 || coords[1] != 3 {
+		t.Fatalf("MortonCoords(13) = %v", coords)
+	}
+}
+
+func TestMortonBijection2D(t *testing.T) {
+	seen := map[uint64]bool{}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			h := MortonIndex([]int{x, y}, 3)
+			if h >= 64 || seen[h] {
+				t.Fatalf("Morton(%d,%d) = %d (dup or out of range)", x, y, h)
+			}
+			seen[h] = true
+			back := MortonCoords(h, 2, 3, nil)
+			if back[0] != x || back[1] != y {
+				t.Fatalf("Morton round trip (%d,%d) -> %d -> %v", x, y, h, back)
+			}
+		}
+	}
+}
+
+func TestMortonSelfSimilar(t *testing.T) {
+	// Z-order is self-similar: the index of a point in a 2^(b+1) grid,
+	// restricted to the low quadrant, equals its index in the 2^b grid.
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			small := MortonIndex([]int{x, y}, 2)
+			big := MortonIndex([]int{x, y}, 3)
+			if small != big {
+				t.Fatalf("Morton not self-similar at (%d,%d): %d vs %d", x, y, small, big)
+			}
+		}
+	}
+}
+
+func TestHilbertBijection(t *testing.T) {
+	for _, tc := range []struct{ n, b int }{{1, 3}, {2, 1}, {2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}, {5, 1}} {
+		size := 1
+		for i := 0; i < tc.n; i++ {
+			size <<= uint(tc.b)
+		}
+		seen := make([]bool, size)
+		coords := make([]int, tc.n)
+		for h := 0; h < size; h++ {
+			HilbertCoords(uint64(h), tc.n, tc.b, coords)
+			// Round trip.
+			if got := HilbertIndex(coords, tc.b); got != uint64(h) {
+				t.Fatalf("n=%d b=%d: HilbertIndex(HilbertCoords(%d)) = %d", tc.n, tc.b, h, got)
+			}
+			idx := 0
+			for _, c := range coords {
+				if c < 0 || c >= 1<<uint(tc.b) {
+					t.Fatalf("n=%d b=%d h=%d: coord %v out of range", tc.n, tc.b, h, coords)
+				}
+				idx = idx<<uint(tc.b) | c
+			}
+			if seen[idx] {
+				t.Fatalf("n=%d b=%d: coords %v visited twice", tc.n, tc.b, coords)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// The defining Hilbert property: consecutive curve positions are
+	// adjacent grid cells (exactly one coordinate changes, by ±1).
+	for _, tc := range []struct{ n, b int }{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}} {
+		size := uint64(1) << uint(tc.n*tc.b)
+		prev := HilbertCoords(0, tc.n, tc.b, nil)
+		for h := uint64(1); h < size; h++ {
+			cur := HilbertCoords(h, tc.n, tc.b, nil)
+			diff, dist := 0, 0
+			for i := range cur {
+				if cur[i] != prev[i] {
+					diff++
+					d := cur[i] - prev[i]
+					if d < 0 {
+						d = -d
+					}
+					dist += d
+				}
+			}
+			if diff != 1 || dist != 1 {
+				t.Fatalf("n=%d b=%d: jump at h=%d: %v -> %v", tc.n, tc.b, h, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestHilbert2x2(t *testing.T) {
+	// The order-1 2D Hilbert curve visits the four cells in a "U".
+	want := [][]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for h, w := range want {
+		got := HilbertCoords(uint64(h), 2, 1, nil)
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Fatalf("h=%d: %v, want %v", h, got, w)
+		}
+	}
+}
+
+func TestFiberOrderLastModeFastest(t *testing.T) {
+	got := FiberOrder([]int{2, 3})
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("FiberOrder[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOrdersCoverGridExactlyOnce(t *testing.T) {
+	grids := [][]int{{4, 4}, {2, 2, 2}, {8, 8, 8}, {3, 5}, {4, 2, 3}, {1, 7}}
+	for _, k := range grids {
+		for name, order := range map[string][][]int{
+			"fiber":   FiberOrder(k),
+			"zorder":  ZOrder(k),
+			"hilbert": HilbertOrder(k),
+		} {
+			total := 1
+			for _, v := range k {
+				total *= v
+			}
+			if len(order) != total {
+				t.Fatalf("%s over %v: %d positions, want %d", name, k, len(order), total)
+			}
+			seen := map[string]bool{}
+			for _, pos := range order {
+				key := ""
+				for i, c := range pos {
+					if c < 0 || c >= k[i] {
+						t.Fatalf("%s over %v: out-of-grid position %v", name, k, pos)
+					}
+					key += string(rune('A' + c))
+				}
+				if seen[key] {
+					t.Fatalf("%s over %v: position %v repeated", name, k, pos)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestZOrderMatchesPaperFigure(t *testing.T) {
+	// Figure 9(b): Z traversal of an 8×8 grid starts (0,0), (0,1), (1,0),
+	// (1,1) with the SECOND coordinate being the least significant axis.
+	order := ZOrder([]int{8, 8})
+	want := [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0, 2}}
+	for i, w := range want {
+		if order[i][0] != w[0] || order[i][1] != w[1] {
+			t.Fatalf("ZOrder[%d] = %v, want %v", i, order[i], w)
+		}
+	}
+}
+
+func TestHilbertOrderSmallerJumpsThanZ(t *testing.T) {
+	// The paper's motivation for Hilbert over Z: fewer/shorter jumps.
+	// Compare total L1 travel over an 8×8 grid.
+	travel := func(order [][]int) int {
+		total := 0
+		for i := 1; i < len(order); i++ {
+			for d := range order[i] {
+				diff := order[i][d] - order[i-1][d]
+				if diff < 0 {
+					diff = -diff
+				}
+				total += diff
+			}
+		}
+		return total
+	}
+	z := travel(ZOrder([]int{8, 8}))
+	h := travel(HilbertOrder([]int{8, 8}))
+	if h >= z {
+		t.Fatalf("Hilbert travel %d should beat Z travel %d", h, z)
+	}
+	// Hilbert over a power-of-two grid is a perfect walk: travel = cells-1.
+	if h != 63 {
+		t.Fatalf("Hilbert travel = %d, want 63", h)
+	}
+}
+
+func TestCoordinateRangePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"morton-neg":  func() { MortonIndex([]int{-1, 0}, 3) },
+		"morton-big":  func() { MortonIndex([]int{8, 0}, 3) },
+		"hilbert-big": func() { HilbertIndex([]int{4}, 2) },
+		"fiber-zero":  func() { FiberOrder([]int{0, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary file format (little-endian):
+//
+//	dense:  magic "TPDN", uint32 nmodes, nmodes × uint64 dims, then Π dims
+//	        float64 values in Fortran order.
+//	sparse: magic "TPSP", uint32 nmodes, nmodes × uint64 dims, uint64 nnz,
+//	        then nnz records of (nmodes × uint64 coords, float64 value).
+const (
+	denseMagic  = "TPDN"
+	sparseMagic = "TPSP"
+)
+
+// WriteDense serializes t to w in the twopcp dense binary format.
+func WriteDense(w io.Writer, t *Dense) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(denseMagic); err != nil {
+		return fmt.Errorf("tensor: write dense header: %w", err)
+	}
+	if err := writeDims(bw, t.Dims); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Data); err != nil {
+		return fmt.Errorf("tensor: write dense data: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadDense deserializes a dense tensor from r.
+func ReadDense(r io.Reader) (*Dense, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, denseMagic); err != nil {
+		return nil, err
+	}
+	dims, err := readDims(br)
+	if err != nil {
+		return nil, err
+	}
+	t := NewDense(dims...)
+	if err := binary.Read(br, binary.LittleEndian, t.Data); err != nil {
+		return nil, fmt.Errorf("tensor: read dense data: %w", err)
+	}
+	return t, nil
+}
+
+// WriteCOO serializes t to w in the twopcp sparse binary format.
+func WriteCOO(w io.Writer, t *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(sparseMagic); err != nil {
+		return fmt.Errorf("tensor: write sparse header: %w", err)
+	}
+	if err := writeDims(bw, t.Dims); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.NNZ())); err != nil {
+		return fmt.Errorf("tensor: write nnz: %w", err)
+	}
+	coords := make([]uint64, len(t.Dims))
+	for p, v := range t.Vals {
+		for m := range t.Dims {
+			coords[m] = uint64(t.Indices[m][p])
+		}
+		if err := binary.Write(bw, binary.LittleEndian, coords); err != nil {
+			return fmt.Errorf("tensor: write coords: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("tensor: write value: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCOO deserializes a sparse tensor from r.
+func ReadCOO(r io.Reader) (*COO, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, sparseMagic); err != nil {
+		return nil, err
+	}
+	dims, err := readDims(br)
+	if err != nil {
+		return nil, err
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, fmt.Errorf("tensor: read nnz: %w", err)
+	}
+	t := NewCOO(dims...)
+	coords := make([]uint64, len(dims))
+	idx := make([]int, len(dims))
+	for p := uint64(0); p < nnz; p++ {
+		if err := binary.Read(br, binary.LittleEndian, coords); err != nil {
+			return nil, fmt.Errorf("tensor: read coords: %w", err)
+		}
+		var v float64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("tensor: read value: %w", err)
+		}
+		for m := range idx {
+			idx[m] = int(coords[m])
+		}
+		t.Append(idx, v)
+	}
+	return t, nil
+}
+
+// SaveDense writes t to the named file, creating or truncating it.
+func SaveDense(path string, t *Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tensor: %w", err)
+	}
+	defer f.Close()
+	if err := WriteDense(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDense reads a dense tensor from the named file.
+func LoadDense(path string) (*Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: %w", err)
+	}
+	defer f.Close()
+	return ReadDense(f)
+}
+
+// SaveCOO writes t to the named file, creating or truncating it.
+func SaveCOO(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tensor: %w", err)
+	}
+	defer f.Close()
+	if err := WriteCOO(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCOO reads a sparse tensor from the named file.
+func LoadCOO(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: %w", err)
+	}
+	defer f.Close()
+	return ReadCOO(f)
+}
+
+func writeDims(w io.Writer, dims []int) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(dims))); err != nil {
+		return fmt.Errorf("tensor: write nmodes: %w", err)
+	}
+	u := make([]uint64, len(dims))
+	for i, d := range dims {
+		u[i] = uint64(d)
+	}
+	if err := binary.Write(w, binary.LittleEndian, u); err != nil {
+		return fmt.Errorf("tensor: write dims: %w", err)
+	}
+	return nil
+}
+
+func readDims(r io.Reader) ([]int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("tensor: read nmodes: %w", err)
+	}
+	if n == 0 || n > 1<<16 {
+		return nil, fmt.Errorf("tensor: implausible mode count %d", n)
+	}
+	u := make([]uint64, n)
+	if err := binary.Read(r, binary.LittleEndian, u); err != nil {
+		return nil, fmt.Errorf("tensor: read dims: %w", err)
+	}
+	dims := make([]int, n)
+	for i, d := range u {
+		dims[i] = int(d)
+	}
+	return dims, nil
+}
+
+func expectMagic(r io.Reader, want string) error {
+	buf := make([]byte, len(want))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("tensor: read magic: %w", err)
+	}
+	if string(buf) != want {
+		return fmt.Errorf("tensor: bad magic %q, want %q", buf, want)
+	}
+	return nil
+}

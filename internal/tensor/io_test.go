@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDenseIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	d := RandomDense(rng, 3, 4, 5)
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(d, 0) {
+		t.Fatal("dense IO round trip failed")
+	}
+}
+
+func TestCOOIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := RandomCOO(rng, 0.2, 5, 6, 7)
+	var buf bytes.Buffer
+	if err := WriteCOO(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCOO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dense().EqualApprox(c.Dense(), 0) {
+		t.Fatal("COO IO round trip failed")
+	}
+	if got.NNZ() != c.NNZ() {
+		t.Fatalf("nnz %d != %d", got.NNZ(), c.NNZ())
+	}
+}
+
+func TestReadDenseBadMagic(t *testing.T) {
+	if _, err := ReadDense(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReadCOOBadMagic(t *testing.T) {
+	if _, err := ReadCOO(strings.NewReader("XXXX")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReadDenseTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d := RandomDense(rng, 4, 4)
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadDense(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated input")
+	}
+}
+
+func TestSaveLoadDenseFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	d := RandomDense(rng, 2, 3, 2)
+	path := filepath.Join(t.TempDir(), "t.tpdn")
+	if err := SaveDense(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDense(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(d, 0) {
+		t.Fatal("file round trip failed")
+	}
+}
+
+func TestSaveLoadCOOFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	c := RandomCOO(rng, 0.3, 4, 4)
+	path := filepath.Join(t.TempDir(), "t.tpsp")
+	if err := SaveCOO(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCOO(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dense().EqualApprox(c.Dense(), 0) {
+		t.Fatal("file round trip failed")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadDense(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := LoadCOO(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEmptyDenseIO(t *testing.T) {
+	d := NewDense(0, 5)
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dims[1] != 5 {
+		t.Fatalf("empty round trip: %v", got.Dims)
+	}
+}

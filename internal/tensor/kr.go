@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"fmt"
+
+	"twopcp/internal/mat"
+)
+
+// KhatriRao returns the column-wise Khatri-Rao product A ⊙ B: an
+// (A.Rows·B.Rows) × F matrix whose column f is the Kronecker product
+// a_f ⊗ b_f. Row (i, j) of the result maps to index i·B.Rows + j, i.e. the
+// second operand varies fastest — the Kolda & Bader convention.
+func KhatriRao(a, b *mat.Matrix) *mat.Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: KhatriRao: %d vs %d columns", a.Cols, b.Cols))
+	}
+	f := a.Cols
+	out := mat.New(a.Rows*b.Rows, f)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			orow := out.Row(i*b.Rows + j)
+			for c := 0; c < f; c++ {
+				orow[c] = arow[c] * brow[c]
+			}
+		}
+	}
+	return out
+}
+
+// KhatriRaoSkip returns the chained Khatri-Rao product
+// A(N-1) ⊙ ... ⊙ A(skip+1) ⊙ A(skip-1) ⊙ ... ⊙ A(0),
+// the matrix that multiplies the mode-skip unfolding in CP-ALS. Mode 0
+// varies fastest in the row index, matching Dense.Unfold's column order.
+func KhatriRaoSkip(factors []*mat.Matrix, skip int) *mat.Matrix {
+	var out *mat.Matrix
+	for n := len(factors) - 1; n >= 0; n-- {
+		if n == skip {
+			continue
+		}
+		if out == nil {
+			out = factors[n].Clone()
+			continue
+		}
+		out = KhatriRao(out, factors[n])
+	}
+	if out == nil {
+		panic("tensor: KhatriRaoSkip: no factors left after skip")
+	}
+	return out
+}
+
+// MTTKRP computes the Matricized-Tensor Times Khatri-Rao Product for mode n:
+//
+//	M = X_(n) · (A(N-1) ⊙ ... ⊙ A(n+1) ⊙ A(n-1) ⊙ ... ⊙ A(0))
+//
+// without materializing the unfolding or the Khatri-Rao product. factors[k]
+// must be Dims[k]×F for every k ≠ n; the result is Dims[n]×F.
+func MTTKRP(t *Dense, factors []*mat.Matrix, n int) *mat.Matrix {
+	checkFactors(t.Dims, factors, n)
+	f := factors[(n+1)%len(factors)].Cols
+	out := mat.New(t.Dims[n], f)
+	idx := make([]int, len(t.Dims))
+	prod := make([]float64, f)
+	for _, v := range t.Data {
+		if v != 0 {
+			for c := range prod {
+				prod[c] = v
+			}
+			for k, fk := range factors {
+				if k == n {
+					continue
+				}
+				row := fk.Row(idx[k])
+				for c := range prod {
+					prod[c] *= row[c]
+				}
+			}
+			orow := out.Row(idx[n])
+			for c := range prod {
+				orow[c] += prod[c]
+			}
+		}
+		incIndex(idx, t.Dims)
+	}
+	return out
+}
+
+// MTTKRPSparse is MTTKRP over a COO tensor: cost O(nnz · N · F).
+func MTTKRPSparse(t *COO, factors []*mat.Matrix, n int) *mat.Matrix {
+	checkFactors(t.Dims, factors, n)
+	f := factors[(n+1)%len(factors)].Cols
+	out := mat.New(t.Dims[n], f)
+	prod := make([]float64, f)
+	for p, v := range t.Vals {
+		for c := range prod {
+			prod[c] = v
+		}
+		for k, fk := range factors {
+			if k == n {
+				continue
+			}
+			row := fk.Row(t.Indices[k][p])
+			for c := range prod {
+				prod[c] *= row[c]
+			}
+		}
+		orow := out.Row(t.Indices[n][p])
+		for c := range prod {
+			orow[c] += prod[c]
+		}
+	}
+	return out
+}
+
+func checkFactors(dims []int, factors []*mat.Matrix, skip int) {
+	if len(factors) != len(dims) {
+		panic(fmt.Sprintf("tensor: %d factors for %d modes", len(factors), len(dims)))
+	}
+	if skip < 0 || skip >= len(dims) {
+		panic(fmt.Sprintf("tensor: mode %d out of range", skip))
+	}
+	f := -1
+	for k, m := range factors {
+		if k == skip {
+			continue
+		}
+		if m.Rows != dims[k] {
+			panic(fmt.Sprintf("tensor: factor %d has %d rows, mode size %d", k, m.Rows, dims[k]))
+		}
+		if f == -1 {
+			f = m.Cols
+		} else if m.Cols != f {
+			panic(fmt.Sprintf("tensor: factor %d has %d cols, want %d", k, m.Cols, f))
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// COO is a sparse N-mode tensor in coordinate format: nonzero p has
+// coordinates Indices[m][p] along each mode m and value Vals[p].
+// Duplicate coordinates are permitted until Canonicalize is called.
+type COO struct {
+	Dims    []int
+	Indices [][]int // one slice per mode, all of equal length
+	Vals    []float64
+}
+
+// NewCOO returns an empty sparse tensor with the given mode sizes.
+func NewCOO(dims ...int) *COO {
+	idx := make([][]int, len(dims))
+	for m := range idx {
+		idx[m] = []int{}
+	}
+	return &COO{Dims: append([]int(nil), dims...), Indices: idx, Vals: []float64{}}
+}
+
+// NModes returns the number of modes of the tensor.
+func (t *COO) NModes() int { return len(t.Dims) }
+
+// NNZ returns the number of stored entries (including explicit zeros and
+// duplicates, if any).
+func (t *COO) NNZ() int { return len(t.Vals) }
+
+// Append adds one entry. The coordinate slice is copied.
+func (t *COO) Append(idx []int, v float64) {
+	if len(idx) != len(t.Dims) {
+		panic(fmt.Sprintf("tensor: COO.Append: %d coords for %d modes", len(idx), len(t.Dims)))
+	}
+	for m, i := range idx {
+		if i < 0 || i >= t.Dims[m] {
+			panic(fmt.Sprintf("tensor: COO.Append: index %v out of dims %v", idx, t.Dims))
+		}
+		t.Indices[m] = append(t.Indices[m], i)
+	}
+	t.Vals = append(t.Vals, v)
+}
+
+// Coord fills dst with the coordinates of nonzero p and returns it.
+func (t *COO) Coord(p int, dst []int) []int {
+	if dst == nil {
+		dst = make([]int, len(t.Dims))
+	}
+	for m := range t.Dims {
+		dst[m] = t.Indices[m][p]
+	}
+	return dst
+}
+
+// Norm returns the Frobenius norm over stored values. The tensor should be
+// canonical (no duplicates) for this to equal the mathematical norm.
+func (t *COO) Norm() float64 {
+	var s float64
+	for _, v := range t.Vals {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// At returns the value at idx by scanning the stored entries; O(nnz), for
+// tests and small tensors only.
+func (t *COO) At(idx ...int) float64 {
+	var s float64
+scan:
+	for p := range t.Vals {
+		for m, i := range idx {
+			if t.Indices[m][p] != i {
+				continue scan
+			}
+		}
+		s += t.Vals[p]
+	}
+	return s
+}
+
+// Dense materializes the sparse tensor. Duplicates accumulate.
+func (t *COO) Dense() *Dense {
+	out := NewDense(t.Dims...)
+	strides := out.Strides()
+	for p, v := range t.Vals {
+		off := 0
+		for m := range t.Dims {
+			off += t.Indices[m][p] * strides[m]
+		}
+		out.Data[off] += v
+	}
+	return out
+}
+
+// FromDense converts a dense tensor to COO, keeping only nonzero cells.
+func FromDense(d *Dense) *COO {
+	out := NewCOO(d.Dims...)
+	idx := make([]int, len(d.Dims))
+	for _, v := range d.Data {
+		if v != 0 {
+			out.Append(idx, v)
+		}
+		incIndex(idx, d.Dims)
+	}
+	return out
+}
+
+// Canonicalize sorts entries lexicographically (last mode outermost, mode 0
+// fastest — matching the dense layout) and merges duplicates by summing.
+// Entries that merge to exactly zero are kept, matching the convention that
+// explicitly stored zeros count as nonzeros for accounting.
+func (t *COO) Canonicalize() {
+	n := t.NNZ()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		for m := len(t.Dims) - 1; m >= 0; m-- {
+			ia, ib := t.Indices[m][pa], t.Indices[m][pb]
+			if ia != ib {
+				return ia < ib
+			}
+		}
+		return false
+	})
+	newIdx := make([][]int, len(t.Dims))
+	for m := range newIdx {
+		newIdx[m] = make([]int, 0, n)
+	}
+	newVals := make([]float64, 0, n)
+	for _, p := range perm {
+		last := len(newVals) - 1
+		if last >= 0 && sameCoord(t, p, newIdx, last) {
+			newVals[last] += t.Vals[p]
+			continue
+		}
+		for m := range t.Dims {
+			newIdx[m] = append(newIdx[m], t.Indices[m][p])
+		}
+		newVals = append(newVals, t.Vals[p])
+	}
+	t.Indices = newIdx
+	t.Vals = newVals
+}
+
+func sameCoord(t *COO, p int, idx [][]int, q int) bool {
+	for m := range t.Dims {
+		if t.Indices[m][p] != idx[m][q] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomCOO generates a sparse tensor with approximately density·ΠDims
+// uniformly placed entries with uniform (0,1] values. Collisions are merged,
+// so the exact nnz may be slightly below the target.
+func RandomCOO(rng *rand.Rand, density float64, dims ...int) *COO {
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	target := int(density * float64(total))
+	out := NewCOO(dims...)
+	idx := make([]int, len(dims))
+	for k := 0; k < target; k++ {
+		for m, d := range dims {
+			idx[m] = rng.Intn(d)
+		}
+		out.Append(idx, rng.Float64()+1e-9)
+	}
+	out.Canonicalize()
+	return out
+}
+
+// SubTensorCOO extracts the block [from, from+size) as a new COO tensor with
+// block-local coordinates.
+func (t *COO) SubTensorCOO(from, size []int) *COO {
+	out := NewCOO(size...)
+	local := make([]int, len(t.Dims))
+scan:
+	for p, v := range t.Vals {
+		for m := range t.Dims {
+			i := t.Indices[m][p] - from[m]
+			if i < 0 || i >= size[m] {
+				continue scan
+			}
+			local[m] = i
+		}
+		out.Append(local, v)
+	}
+	return out
+}
+
+// String describes the tensor by shape and nnz.
+func (t *COO) String() string {
+	return fmt.Sprintf("COO%v(nnz=%d)", t.Dims, t.NNZ())
+}

@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCOOAppendAndAt(t *testing.T) {
+	c := NewCOO(3, 4)
+	c.Append([]int{1, 2}, 5)
+	c.Append([]int{0, 0}, -1)
+	if c.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", c.NNZ())
+	}
+	if c.At(1, 2) != 5 || c.At(0, 0) != -1 || c.At(2, 3) != 0 {
+		t.Fatal("At values wrong")
+	}
+}
+
+func TestCOOAppendValidation(t *testing.T) {
+	c := NewCOO(2, 2)
+	for _, bad := range [][]int{{0}, {2, 0}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Append(%v) did not panic", bad)
+				}
+			}()
+			c.Append(bad, 1)
+		}()
+	}
+}
+
+func TestCOODenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDense(3, 4, 2)
+	// ~half the cells nonzero
+	d.Fill(func(idx []int) float64 {
+		if rng.Float64() < 0.5 {
+			return rng.Float64() + 0.1
+		}
+		return 0
+	})
+	c := FromDense(d)
+	if c.NNZ() != d.NNZ() {
+		t.Fatalf("nnz mismatch: %d vs %d", c.NNZ(), d.NNZ())
+	}
+	if !c.Dense().EqualApprox(d, 0) {
+		t.Fatal("FromDense/Dense round trip failed")
+	}
+}
+
+func TestCOODuplicatesAccumulate(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Append([]int{1, 1}, 2)
+	c.Append([]int{1, 1}, 3)
+	if c.At(1, 1) != 5 {
+		t.Fatalf("duplicate At = %g", c.At(1, 1))
+	}
+	if c.Dense().At(1, 1) != 5 {
+		t.Fatal("duplicates must accumulate in Dense()")
+	}
+	c.Canonicalize()
+	if c.NNZ() != 1 || c.Vals[0] != 5 {
+		t.Fatalf("after Canonicalize: nnz=%d vals=%v", c.NNZ(), c.Vals)
+	}
+}
+
+func TestCanonicalizeSorts(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Append([]int{2, 2}, 1)
+	c.Append([]int{0, 1}, 2)
+	c.Append([]int{1, 0}, 3)
+	c.Canonicalize()
+	// Sorted with last mode outermost: (1,0), (0,1), (2,2)
+	wantI := [][]int{{1, 0, 2}, {0, 1, 2}}
+	for m := range wantI {
+		for p := range wantI[m] {
+			if c.Indices[m][p] != wantI[m][p] {
+				t.Fatalf("mode %d order = %v, want %v", m, c.Indices[m], wantI[m])
+			}
+		}
+	}
+}
+
+func TestCOONorm(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Append([]int{0, 0}, 3)
+	c.Append([]int{1, 1}, 4)
+	if math.Abs(c.Norm()-5) > 1e-12 {
+		t.Fatalf("Norm = %g", c.Norm())
+	}
+	if math.Abs(c.Norm()-c.Dense().Norm()) > 1e-12 {
+		t.Fatal("COO norm disagrees with dense norm")
+	}
+}
+
+func TestRandomCOODensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := RandomCOO(rng, 0.1, 20, 20, 20)
+	target := int(0.1 * 8000)
+	if c.NNZ() > target || c.NNZ() < target/2 {
+		t.Fatalf("NNZ = %d, target %d", c.NNZ(), target)
+	}
+	// All values positive, all coords in range.
+	dst := make([]int, 3)
+	for p := range c.Vals {
+		if c.Vals[p] <= 0 {
+			t.Fatal("non-positive value")
+		}
+		c.Coord(p, dst)
+		for m, i := range dst {
+			if i < 0 || i >= c.Dims[m] {
+				t.Fatalf("coord %v out of range", dst)
+			}
+		}
+	}
+}
+
+func TestSubTensorCOO(t *testing.T) {
+	c := NewCOO(4, 4)
+	c.Append([]int{0, 0}, 1)
+	c.Append([]int{2, 3}, 2)
+	c.Append([]int{3, 2}, 3)
+	b := c.SubTensorCOO([]int{2, 2}, []int{2, 2})
+	if b.NNZ() != 2 {
+		t.Fatalf("block NNZ = %d", b.NNZ())
+	}
+	if b.At(0, 1) != 2 || b.At(1, 0) != 3 {
+		t.Fatal("block-local coordinates wrong")
+	}
+}
+
+func TestSubTensorCOOMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := RandomCOO(rng, 0.3, 6, 8, 4)
+	d := c.Dense()
+	from, size := []int{2, 4, 1}, []int{4, 4, 3}
+	got := c.SubTensorCOO(from, size).Dense()
+	want := d.SubTensor(from, size)
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("COO block extraction disagrees with dense")
+	}
+}
+
+func TestCoordReusesDst(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Append([]int{1, 0}, 1)
+	buf := make([]int, 2)
+	got := c.Coord(0, buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("Coord should reuse dst")
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Coord = %v", got)
+	}
+	if auto := c.Coord(0, nil); auto[0] != 1 {
+		t.Fatal("Coord(nil) failed")
+	}
+}
+
+func TestCOOString(t *testing.T) {
+	c := NewCOO(2, 3)
+	if s := c.String(); s != "COO[2 3](nnz=0)" {
+		t.Fatalf("String = %q", s)
+	}
+}

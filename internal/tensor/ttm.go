@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"fmt"
+
+	"twopcp/internal/mat"
+)
+
+// Identity returns the N-mode F×F×...×F identity tensor I of the paper's
+// equation (1): diagonal entries 1, everything else 0.
+func Identity(nModes, f int) *Dense {
+	dims := make([]int, nModes)
+	for i := range dims {
+		dims[i] = f
+	}
+	t := NewDense(dims...)
+	stride := 0
+	for _, s := range t.Strides() {
+		stride += s
+	}
+	for d := 0; d < f; d++ {
+		t.Data[d*stride] = 1
+	}
+	return t
+}
+
+// TTM computes the mode-n tensor-times-matrix product Y = X ×_n M, where M
+// is J×I_n: Y has the same dims as X except dims[n] = J, and
+//
+//	Y(i_1,..,j,..,i_N) = Σ_{i_n} M(j, i_n) · X(i_1,..,i_n,..,i_N).
+//
+// This is the ×_n operator of the paper's equations (1) and (2); chaining
+// TTM over all modes of an identity core reproduces a Kruskal tensor, which
+// the tests use to validate the grid model algebra.
+func TTM(x *Dense, m *mat.Matrix, mode int) *Dense {
+	if mode < 0 || mode >= len(x.Dims) {
+		panic(fmt.Sprintf("tensor: TTM mode %d of %d-mode tensor", mode, len(x.Dims)))
+	}
+	if m.Cols != x.Dims[mode] {
+		panic(fmt.Sprintf("tensor: TTM: matrix %d×%d against mode size %d", m.Rows, m.Cols, x.Dims[mode]))
+	}
+	outDims := append([]int(nil), x.Dims...)
+	outDims[mode] = m.Rows
+	out := NewDense(outDims...)
+
+	// Walk the input in Fortran order, scattering each element into the
+	// output fiber it contributes to.
+	outStrides := out.Strides()
+	idx := make([]int, len(x.Dims))
+	for _, v := range x.Data {
+		if v != 0 {
+			// Base output offset with idx[mode] = 0.
+			base := 0
+			for k, i := range idx {
+				if k != mode {
+					base += i * outStrides[k]
+				}
+			}
+			in := idx[mode]
+			for j := 0; j < m.Rows; j++ {
+				out.Data[base+j*outStrides[mode]] += m.At(j, in) * v
+			}
+		}
+		incIndex(idx, x.Dims)
+	}
+	return out
+}
+
+// TTMChain applies X ×_1 ms[0] ×_2 ms[1] ... over all modes. Entries of ms
+// may be nil to skip a mode.
+func TTMChain(x *Dense, ms []*mat.Matrix) *Dense {
+	if len(ms) != len(x.Dims) {
+		panic(fmt.Sprintf("tensor: TTMChain: %d matrices for %d modes", len(ms), len(x.Dims)))
+	}
+	out := x
+	for mode, m := range ms {
+		if m == nil {
+			continue
+		}
+		out = TTM(out, m, mode)
+	}
+	return out
+}

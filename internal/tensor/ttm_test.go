@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/mat"
+)
+
+func TestIdentityTensor(t *testing.T) {
+	id := Identity(3, 4)
+	if id.NModes() != 3 || id.Dims[0] != 4 {
+		t.Fatalf("dims = %v", id.Dims)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				want := 0.0
+				if i == j && j == k {
+					want = 1
+				}
+				if id.At(i, j, k) != want {
+					t.Fatalf("I(%d,%d,%d) = %g", i, j, k, id.At(i, j, k))
+				}
+			}
+		}
+	}
+	if id.NNZ() != 4 {
+		t.Fatalf("identity NNZ = %d", id.NNZ())
+	}
+}
+
+func TestTTMKnownValues(t *testing.T) {
+	// X is 2×2 (a matrix as a 2-mode tensor); X ×_1 M = M·X.
+	x := NewDense(2, 2)
+	x.Set(1, 0, 0)
+	x.Set(2, 1, 0)
+	x.Set(3, 0, 1)
+	x.Set(4, 1, 1)
+	m := mat.FromRows([][]float64{{1, 10}, {100, 1000}, {2, 3}})
+	y := TTM(x, m, 0)
+	if y.Dims[0] != 3 || y.Dims[1] != 2 {
+		t.Fatalf("dims = %v", y.Dims)
+	}
+	// Column 0 of X is (1,2): M·(1,2) = (21, 2100, 8).
+	if y.At(0, 0) != 21 || y.At(1, 0) != 2100 || y.At(2, 0) != 8 {
+		t.Fatalf("TTM col 0 = %g %g %g", y.At(0, 0), y.At(1, 0), y.At(2, 0))
+	}
+}
+
+func TestTTMMatchesUnfolding(t *testing.T) {
+	// Y = X ×_n M  ⇔  Y_(n) = M·X_(n), the defining identity.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		dims := []int{rng.Intn(4) + 1, rng.Intn(4) + 1, rng.Intn(4) + 1}
+		x := RandomDense(rng, dims...)
+		for mode := 0; mode < 3; mode++ {
+			m := mat.Random(rng.Intn(4)+1, dims[mode], rng)
+			y := TTM(x, m, mode)
+			want := mat.Mul(m, x.Unfold(mode))
+			if !y.Unfold(mode).EqualApprox(want, 1e-11) {
+				t.Fatalf("trial %d mode %d: TTM != M·X_(n)", trial, mode)
+			}
+		}
+	}
+}
+
+func TestTTMChainReproducesKruskal(t *testing.T) {
+	// The paper's equation (1): [[A, B, C]] = I ×_1 A ×_2 B ×_3 C. Verify
+	// that chaining TTM over the identity core matches the explicit
+	// rank-one sum.
+	rng := rand.New(rand.NewSource(2))
+	f := 3
+	a := mat.Random(4, f, rng)
+	b := mat.Random(5, f, rng)
+	c := mat.Random(2, f, rng)
+	got := TTMChain(Identity(3, f), []*mat.Matrix{a, b, c})
+	want := NewDense(4, 5, 2)
+	want.Fill(func(idx []int) float64 {
+		var s float64
+		for r := 0; r < f; r++ {
+			s += a.At(idx[0], r) * b.At(idx[1], r) * c.At(idx[2], r)
+		}
+		return s
+	})
+	if !got.EqualApprox(want, 1e-11) {
+		t.Fatal("I ×1 A ×2 B ×3 C != [[A,B,C]]")
+	}
+}
+
+func TestTTMChainSkipsNil(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandomDense(rng, 3, 3, 3)
+	m := mat.Random(2, 3, rng)
+	got := TTMChain(x, []*mat.Matrix{nil, m, nil})
+	want := TTM(x, m, 1)
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("TTMChain with nils != single TTM")
+	}
+}
+
+func TestTTMPanics(t *testing.T) {
+	x := NewDense(2, 2)
+	for name, f := range map[string]func(){
+		"mode":  func() { TTM(x, mat.New(2, 2), 2) },
+		"shape": func() { TTM(x, mat.New(2, 3), 0) },
+		"chain": func() { TTMChain(x, []*mat.Matrix{nil}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,217 @@
+package twopcp
+
+import (
+	"fmt"
+	"time"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/cpals"
+	"twopcp/internal/grid"
+	"twopcp/internal/phase1"
+	"twopcp/internal/refine"
+)
+
+// Options configures a two-phase decomposition.
+type Options struct {
+	// Rank is the target CP rank F (required, positive).
+	Rank int
+	// Partitions gives the number of partitions per mode (the paper's
+	// pattern K). A single value is broadcast to all modes; empty defaults
+	// to 2 per mode. Each entry is clamped to the mode size.
+	Partitions []int
+	// Schedule picks the Phase-2 update schedule (default HilbertOrder,
+	// the paper's best).
+	Schedule Schedule
+	// Replacement picks the buffer policy (default Forward, the paper's
+	// best).
+	Replacement Replacement
+	// BufferFraction sizes the Phase-2 buffer as a fraction of the total
+	// space requirement (default 1: everything fits; the paper evaluates
+	// 1/3, 1/2, 2/3). Ignored when BufferBytes is set.
+	BufferFraction float64
+	// BufferBytes sizes the buffer absolutely when positive.
+	BufferBytes int64
+	// MaxIters bounds Phase-2 virtual iterations (default 100).
+	MaxIters int
+	// Tol is the per-virtual-iteration fit-improvement stopping threshold
+	// (default 1e-2, paper §VIII-C).
+	Tol float64
+	// Phase1MaxIters bounds the per-block ALS sweeps (default 50).
+	Phase1MaxIters int
+	// Phase1Tol is the per-block ALS tolerance (default 1e-4).
+	Phase1Tol float64
+	// Workers bounds Phase-1 parallelism (default GOMAXPROCS).
+	Workers int
+	// StoreDir, when non-empty, keeps the Phase-2 data units in files
+	// under this directory (true out-of-core); otherwise an in-memory
+	// store with identical semantics is used.
+	StoreDir string
+	// Seed makes the whole run reproducible.
+	Seed int64
+}
+
+// Result reports a two-phase decomposition.
+type Result struct {
+	// Model is the assembled Kruskal tensor (unit weights; scale lives in
+	// the factors, matching the grid model's identity core).
+	Model *KTensor
+	// Fit is 1 − ‖X−X̂‖/‖X‖ against the input tensor.
+	Fit float64
+	// Phase1Time and Phase2Time split the wall clock.
+	Phase1Time time.Duration
+	Phase2Time time.Duration
+	// VirtualIters counts Phase-2 virtual iterations; Converged reports
+	// whether Tol fired before MaxIters.
+	VirtualIters int
+	Converged    bool
+	// FitTrace is the Phase-2 surrogate-fit trajectory.
+	FitTrace []float64
+	// Swaps is the number of data units fetched into the buffer (the
+	// paper's I/O metric); SwapsPerIter normalizes by virtual iterations.
+	Swaps        int64
+	SwapsPerIter float64
+	// BytesRead and BytesWritten count store traffic during Phase 2.
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Decompose runs the full 2PCP pipeline on a dense tensor.
+func Decompose(x *Dense, opts Options) (*Result, error) {
+	p, err := patternFor(x.Dims, opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := phase1.NewDenseSource(x, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := run(src, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = res.Model.Fit(x)
+	return res, nil
+}
+
+// DecomposeSparse runs the full 2PCP pipeline on a sparse tensor. (2PCP
+// targets dense scientific tensors, but the pipeline applies unchanged;
+// per-block ALS switches to sparse MTTKRP.)
+func DecomposeSparse(x *COO, opts Options) (*Result, error) {
+	p, err := patternFor(x.Dims, opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := phase1.NewCOOSource(x, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := run(src, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = res.Model.FitSparse(x)
+	return res, nil
+}
+
+// CPALS runs plain in-memory CP-ALS (the paper's "Naive CP" baseline and
+// the right tool for tensors that fit comfortably in memory). It returns
+// the Kruskal model, its fit and the number of sweeps.
+func CPALS(x *Dense, rank int, seed int64) (*KTensor, float64, int, error) {
+	kt, info, err := cpals.Decompose(x, cpals.Options{
+		Rank: rank, MaxIters: 100, Tol: 1e-6, Rng: newSeeded(seed),
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return kt, info.Fit, info.Iters, nil
+}
+
+func patternFor(dims []int, opts Options) (*Pattern, error) {
+	if opts.Rank <= 0 {
+		return nil, fmt.Errorf("twopcp: Rank must be positive, got %d", opts.Rank)
+	}
+	parts := opts.Partitions
+	switch len(parts) {
+	case 0:
+		parts = make([]int, len(dims))
+		for i := range parts {
+			parts[i] = 2
+		}
+	case 1:
+		v := parts[0]
+		parts = make([]int, len(dims))
+		for i := range parts {
+			parts[i] = v
+		}
+	case len(dims):
+		parts = append([]int(nil), parts...)
+	default:
+		return nil, fmt.Errorf("twopcp: %d partition counts for %d modes", len(parts), len(dims))
+	}
+	for i := range parts {
+		if parts[i] < 1 {
+			return nil, fmt.Errorf("twopcp: partition count %d on mode %d", parts[i], i)
+		}
+		if parts[i] > dims[i] {
+			parts[i] = dims[i]
+		}
+	}
+	return grid.New(dims, parts)
+}
+
+func run(src phase1.Source, p *Pattern, opts Options) (*Result, error) {
+	out := &Result{}
+
+	start := time.Now()
+	p1, err := phase1.Run(src, phase1.Options{
+		Rank:     opts.Rank,
+		MaxIters: opts.Phase1MaxIters,
+		Tol:      opts.Phase1Tol,
+		Seed:     opts.Seed,
+		Workers:  opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Phase1Time = time.Since(start)
+
+	var store blockstore.Store
+	if opts.StoreDir != "" {
+		store, err = blockstore.NewFileStore(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = blockstore.NewMemStore()
+	}
+	eng, err := refine.New(refine.Config{
+		Phase1:          p1,
+		Store:           store,
+		Schedule:        opts.Schedule,
+		Policy:          opts.Replacement,
+		BufferFraction:  opts.BufferFraction,
+		CapacityBytes:   opts.BufferBytes,
+		MaxVirtualIters: opts.MaxIters,
+		Tol:             opts.Tol,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	r, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	out.Phase2Time = time.Since(start)
+
+	out.Model = cpals.NewKTensor(r.Factors)
+	out.VirtualIters = r.VirtualIters
+	out.Converged = r.Converged
+	out.FitTrace = r.FitTrace
+	out.Swaps = r.BufferStats.Fetches
+	out.SwapsPerIter = r.SwapsPerVirtualIter
+	out.BytesRead = r.StoreStats.BytesRead
+	out.BytesWritten = r.StoreStats.BytesWritten
+	return out, nil
+}

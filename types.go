@@ -1,0 +1,92 @@
+package twopcp
+
+import (
+	"math/rand"
+
+	"twopcp/internal/buffer"
+	"twopcp/internal/cpals"
+	"twopcp/internal/grid"
+	"twopcp/internal/mat"
+	"twopcp/internal/schedule"
+	"twopcp/internal/tensor"
+)
+
+// Core data types, re-exported from the internal packages so the public
+// surface is a single import.
+type (
+	// Dense is a dense N-mode tensor (Fortran order, mode 0 fastest).
+	Dense = tensor.Dense
+	// COO is a sparse N-mode tensor in coordinate format.
+	COO = tensor.COO
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = mat.Matrix
+	// KTensor is a Kruskal tensor: weights λ plus one factor per mode.
+	KTensor = cpals.KTensor
+	// Pattern describes a grid partitioning of a tensor.
+	Pattern = grid.Pattern
+)
+
+// Schedule selects the Phase-2 update schedule (paper §V–VI).
+type Schedule = schedule.Kind
+
+// The paper's four update schedules.
+const (
+	// ModeCentric is the conventional schedule (Algorithm 1).
+	ModeCentric = schedule.ModeCentric
+	// FiberOrder traverses blocks in nested-loop order (§VI-B).
+	FiberOrder = schedule.FiberOrder
+	// ZOrder traverses blocks along a Morton curve (§VI-C.1).
+	ZOrder = schedule.ZOrder
+	// HilbertOrder traverses blocks along a Hilbert curve (§VI-C.2).
+	HilbertOrder = schedule.HilbertOrder
+)
+
+// Replacement selects the buffer replacement policy (paper §VII).
+type Replacement = buffer.Policy
+
+// The paper's three replacement policies.
+const (
+	// LRU evicts the least-recently-used unit.
+	LRU = buffer.LRU
+	// MRU evicts the most-recently-used unit.
+	MRU = buffer.MRU
+	// Forward evicts the unit needed furthest in the future (FOR).
+	Forward = buffer.Forward
+)
+
+// NewDense returns a zero dense tensor with the given mode sizes.
+func NewDense(dims ...int) *Dense { return tensor.NewDense(dims...) }
+
+// NewCOO returns an empty sparse tensor with the given mode sizes.
+func NewCOO(dims ...int) *COO { return tensor.NewCOO(dims...) }
+
+// RandomDense returns a dense tensor with uniform [0,1) entries.
+func RandomDense(rng *rand.Rand, dims ...int) *Dense { return tensor.RandomDense(rng, dims...) }
+
+// RandomCOO returns a sparse tensor with ~density·ΠDims uniform entries.
+func RandomCOO(rng *rand.Rand, density float64, dims ...int) *COO {
+	return tensor.RandomCOO(rng, density, dims...)
+}
+
+// FromDense converts a dense tensor to sparse COO form.
+func FromDense(d *Dense) *COO { return tensor.FromDense(d) }
+
+// LoadDense reads a dense tensor from a twopcp binary file.
+func LoadDense(path string) (*Dense, error) { return tensor.LoadDense(path) }
+
+// SaveDense writes a dense tensor to a twopcp binary file.
+func SaveDense(path string, t *Dense) error { return tensor.SaveDense(path, t) }
+
+// LoadCOO reads a sparse tensor from a twopcp binary file.
+func LoadCOO(path string) (*COO, error) { return tensor.LoadCOO(path) }
+
+// SaveCOO writes a sparse tensor to a twopcp binary file.
+func SaveCOO(path string, t *COO) error { return tensor.SaveCOO(path, t) }
+
+// NewKTensor builds a Kruskal tensor with unit weights from factors.
+func NewKTensor(factors []*Matrix) *KTensor { return cpals.NewKTensor(factors) }
+
+// Congruence returns the factor match score between two Kruskal models
+// (1 = identical components up to permutation and per-mode scaling). Use it
+// to check whether a decomposition recovered a known ground truth.
+func Congruence(a, b *KTensor) float64 { return cpals.Congruence(a, b) }

@@ -1,0 +1,5 @@
+package twopcp
+
+import "math/rand"
+
+func newSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
