@@ -26,11 +26,14 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		scale = flag.Int("scale", 1, "size multiplier toward paper scale")
-		seed  = flag.Int64("seed", 1, "random seed")
-		runs  = flag.Int("runs", 3, "repetitions for Figure 13 medians")
+		scale     = flag.Int("scale", 1, "size multiplier toward paper scale")
+		seed      = flag.Int64("seed", 1, "random seed")
+		runs      = flag.Int("runs", 3, "repetitions for Figure 13 medians")
+		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous; counts are depth-invariant)")
+		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
 	)
 	flag.Parse()
+	ioCfg := experiments.IO{PrefetchDepth: *prefetch, IOWorkers: *ioWorkers}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|all")
 		os.Exit(2)
@@ -52,6 +55,7 @@ func main() {
 		cfg := experiments.Table1Config{
 			Sides: []int{32 * *scale, 48 * *scale, 64 * *scale},
 			Seed:  *seed,
+			IO:    ioCfg,
 		}
 		// The reducer cap scales with the workload so the largest side
 		// exceeds it, as in the paper.
@@ -71,6 +75,7 @@ func main() {
 				Sides:             []int{24 * *scale, 32 * *scale, 48 * *scale, 64 * *scale},
 				Seed:              *seed,
 				HaTen2MemoryBytes: 1 << 40, // fig11 only needs the 2PCP series
+				IO:                ioCfg,
 			})
 			if err != nil {
 				return err
@@ -85,6 +90,7 @@ func main() {
 		res, err := experiments.RunTable2(experiments.Table2Config{
 			Side: 128 * *scale,
 			Seed: *seed,
+			IO:   ioCfg,
 		})
 		if err != nil {
 			return err
@@ -99,7 +105,7 @@ func main() {
 	})
 
 	run("fig12", func() error {
-		res, err := experiments.RunFigure12(experiments.Figure12Config{Seed: *seed})
+		res, err := experiments.RunFigure12(experiments.Figure12Config{Seed: *seed, IO: ioCfg})
 		if err != nil {
 			return err
 		}
@@ -108,7 +114,7 @@ func main() {
 	})
 
 	run("convergence", func() error {
-		res, err := experiments.RunConvergence(experiments.ConvergenceConfig{Seed: *seed})
+		res, err := experiments.RunConvergence(experiments.ConvergenceConfig{Seed: *seed, IO: ioCfg})
 		if err != nil {
 			return err
 		}
@@ -122,6 +128,7 @@ func main() {
 				MaxVirtualIters: iters,
 				Runs:            *runs,
 				Seed:            *seed,
+				IO:              ioCfg,
 			})
 			if err != nil {
 				return err

@@ -34,6 +34,8 @@ func main() {
 		maxIters  = flag.Int("iters", 100, "max Phase-2 virtual iterations")
 		tol       = flag.Float64("tol", 1e-2, "fit-improvement stopping threshold")
 		workers   = flag.Int("workers", 0, "Phase-1 parallelism (0 = GOMAXPROCS)")
+		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous)")
+		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
 		storeDir  = flag.String("store", "", "directory for out-of-core data units (empty = in-memory)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		outPrefix = flag.String("out-prefix", "", "write factor matrices to <prefix>-mode<i>.csv")
@@ -60,6 +62,8 @@ func main() {
 		MaxIters:       *maxIters,
 		Tol:            *tol,
 		Workers:        *workers,
+		PrefetchDepth:  *prefetch,
+		IOWorkers:      *ioWorkers,
 		StoreDir:       *storeDir,
 		Seed:           *seed,
 	}

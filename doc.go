@@ -32,6 +32,25 @@
 // timing, convergence and I/O statistics matching the paper's evaluation
 // metrics.
 //
+// # Concurrency
+//
+// A single Decompose call is internally parallel in two places. Phase 1
+// decomposes blocks on Options.Workers goroutines. Phase 2, which is
+// strictly sequential in the paper, optionally runs an asynchronous I/O
+// pipeline: with Options.PrefetchDepth > 0 the engine issues buffer
+// prefetches for the next schedule steps while updating the current one,
+// and Options.IOWorkers goroutines fetch units, write dirty evictions
+// back and flush in the background. The pipeline is pure data movement —
+// every replacement decision is still taken synchronously in schedule
+// order — so FitTrace, the factors and the swap counts are bit-for-bit
+// identical at every depth (raw store byte counters may include a few
+// wasted prefetch reads); only wall-clock time changes. Stores
+// (blockstore) are safe for concurrent use with atomic Puts and
+// private-copy Gets; the buffer manager documents its own contract in
+// internal/buffer. The top-level API itself follows the usual Go rule:
+// distinct Decompose calls may run concurrently (give each its own
+// StoreDir), but a single Options/Result value is not for shared mutation.
+//
 // # Architecture
 //
 // The public API wraps the internal packages: tensor (dense/sparse tensors,

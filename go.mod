@@ -1,0 +1,3 @@
+module twopcp
+
+go 1.24

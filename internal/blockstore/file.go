@@ -54,14 +54,16 @@ func (s *FileStore) unitPath(mode, part int) string {
 	return filepath.Join(s.dir, name)
 }
 
-// Put implements Store.
+// Put implements Store. The unit is written to a fresh temp file and
+// renamed into place, so concurrent Puts of the same unit serialize into
+// one complete version and concurrent Gets never observe a torn write.
 func (s *FileStore) Put(u *Unit) error {
 	path := s.unitPath(u.Mode, u.Part)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("blockstore: %w", err)
 	}
+	tmp := f.Name()
 	var encodeErr error
 	if s.compress {
 		zw := gzip.NewWriter(f)

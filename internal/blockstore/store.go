@@ -68,8 +68,33 @@ func (s *Stats) Add(other Stats) {
 // ErrNotFound is returned by Get for units that were never Put.
 var ErrNotFound = errors.New("blockstore: unit not found")
 
-// Store persists data units and counts the I/O they generate. Stores are
-// safe for concurrent use.
+// Store persists data units and counts the I/O they generate.
+//
+// # Concurrency contract
+//
+// Every Store implementation in this package (MemStore, FileStore, and
+// the LatencyStore/FaultyStore wrappers) is safe for concurrent use by
+// multiple goroutines; the asynchronous Phase-2 pipeline issues parallel
+// Gets (prefetch workers) and Puts (background write-back) against a
+// single store. The guarantees callers may rely on:
+//
+//   - Put is atomic: a concurrent Get of the same unit observes either the
+//     previous complete version or the new complete version, never a torn
+//     write (MemStore swaps a deep copy under its mutex; FileStore writes
+//     a temp file and renames it into place).
+//   - Get returns a private copy: mutating the result never affects the
+//     store or other readers, so two goroutines may fetch the same unit
+//     and diverge safely.
+//   - Concurrent Puts of the same unit serialize in some order; the store
+//     ends up holding one complete version. Callers that need a *specific*
+//     order (e.g. the buffer manager's write-backs) must sequence their
+//     own Puts — the buffer manager does so by never having more than one
+//     write-back of a unit in flight.
+//   - Stats/ResetStats are linearizable counter snapshots. Counts of
+//     operations that are in flight during a snapshot may or may not be
+//     included; totals are exact once the caller has quiesced its I/O.
+//   - Close must only be called after all outstanding operations have
+//     drained; it is not a cancellation mechanism.
 type Store interface {
 	// Put durably records the unit, overwriting any previous version.
 	Put(u *Unit) error
@@ -84,11 +109,47 @@ type Store interface {
 	Close() error
 }
 
+// ForEachConcurrent runs fn(i) for every i in [0, n) on at most workers
+// goroutines and returns the first error observed. With workers <= 1 the
+// calls run inline, in order, stopping at the first error — callers that
+// need deterministic store traffic (the synchronous Phase-2 paths) pass 1.
+// With workers > 1 all n calls are attempted (no early cancellation) and
+// the function returns once every call has finished, so the store is
+// quiesced on return even on error.
+func ForEachConcurrent(n, workers int, fn func(i int) error) error {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errc := make(chan error, n)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			errc <- fn(i)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 type unitKey struct{ mode, part int }
 
 // MemStore is an in-memory Store with disk semantics: units are deep-copied
 // on both Put and Get, so callers observe exactly the behaviour of a
-// file-backed store while experiments measure pure I/O counts.
+// file-backed store while experiments measure pure I/O counts. The deep
+// copies are made outside the lock on Put and the map swap is atomic, so
+// concurrent readers never see a partially-copied unit.
 type MemStore struct {
 	mu    sync.Mutex
 	units map[unitKey]*Unit

@@ -8,11 +8,27 @@
 //
 // A "data swap" in the paper's evaluation is one unit fetched from the
 // store into the buffer; Stats.Fetches counts exactly that.
+//
+// # Concurrency
+//
+// The Manager is safe for concurrent use: Acquire, Prefetch, Release and
+// the read-only accessors may be called from multiple goroutines. When
+// Config.Workers > 0 the manager additionally runs an asynchronous I/O
+// pipeline: Prefetch reserves capacity and fetches units on a bounded pool
+// of I/O worker goroutines, and dirty evictions are written back in the
+// background instead of inline. Replacement decisions — hit/miss
+// classification, eviction victims, the schedule cursor and every Stats
+// counter — are made synchronously inside Acquire under the manager's
+// mutex, so a schedule-ordered sequence of Acquire/Release calls produces
+// bit-for-bit identical statistics whether prefetching is on or off;
+// prefetching only moves the bytes earlier. FlushAll, Drain and Close
+// quiesce the pipeline and must not race with new Acquire/Prefetch calls.
 package buffer
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"twopcp/internal/blockstore"
 	"twopcp/internal/grid"
@@ -65,11 +81,12 @@ func ParsePolicy(s string) (Policy, error) {
 
 // Stats counts buffer activity. Fetches is the paper's "data swaps".
 type Stats struct {
-	Fetches    int64 // store reads caused by misses
+	Fetches    int64 // acquisitions not served from the buffer
 	Hits       int64 // acquisitions served from the buffer
 	Evictions  int64 // units dropped to make space
 	WriteBacks int64 // dirty units written to the store on eviction/flush
 	Overflows  int64 // times pinned data exceeded nominal capacity
+	Prefetches int64 // background fetches issued by Prefetch
 }
 
 type entry struct {
@@ -80,19 +97,48 @@ type entry struct {
 	dirty    bool
 }
 
-// Manager is the buffer manager. It is not safe for concurrent use; the
-// Phase-2 refinement is strictly sequential (it runs "on a single worker
-// machine", §I), matching the paper's setting.
+// inflight is one background (or joined synchronous) fetch. The unit and
+// err fields are written exactly once, before done is closed.
+type inflight struct {
+	done  chan struct{}
+	unit  *blockstore.Unit
+	err   error
+	bytes int64 // capacity reservation held until the fetch completes
+}
+
+// Manager is the buffer manager. See the package comment for the
+// concurrency contract.
 type Manager struct {
 	store    blockstore.Store
 	pattern  *grid.Pattern
 	capacity int64
 	policy   Policy
+	workers  int
+	rank     int
 
+	mu       sync.Mutex
 	resident map[int]*entry // unit id → entry
 	used     int64
+	reserved int64 // bytes of in-flight prefetch reservations
 	clock    int64
 	stats    Stats
+	wbErr    error // first asynchronous write-back failure
+	closed   bool
+
+	// infl holds fetches in progress (prefetched or joined): a unit is in
+	// at most one of resident/infl. Completed prefetches stay here until
+	// an Acquire consumes them.
+	infl map[int]*inflight
+	// wbPending maps a unit id to the completion channel of its in-flight
+	// background write-back. At most one write-back per unit can be
+	// pending: re-residency requires a fetch, and fetches wait for the
+	// pending write-back first.
+	wbPending map[int]chan struct{}
+
+	fetchQ   chan func()
+	wbQ      chan func()
+	workerWG sync.WaitGroup // pool goroutines
+	ioWG     sync.WaitGroup // outstanding async jobs
 
 	// Forward-policy state: the cyclic unit-access string (as unit ids),
 	// per-unit sorted occurrence positions, and the current cursor.
@@ -115,6 +161,15 @@ type Config struct {
 	// Schedule must be supplied for the Forward policy (its access string
 	// defines next-use distances); ignored otherwise.
 	Schedule *schedule.Schedule
+	// Workers sizes the asynchronous I/O pool. 0 (the default) keeps the
+	// manager fully synchronous: Prefetch is a no-op and dirty evictions
+	// write back inline, exactly the paper's sequential setting. When
+	// positive, Workers goroutines serve prefetches and max(1, Workers/2)
+	// more perform background write-backs.
+	Workers int
+	// Rank is the decomposition rank, used to estimate unit sizes for
+	// prefetch capacity reservations. Required when Workers > 0.
+	Rank int
 }
 
 // NewManager validates cfg and builds the manager.
@@ -125,12 +180,22 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.CapacityBytes <= 0 {
 		return nil, fmt.Errorf("buffer: capacity %d must be positive", cfg.CapacityBytes)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("buffer: Workers %d must be non-negative", cfg.Workers)
+	}
+	if cfg.Workers > 0 && cfg.Rank <= 0 {
+		return nil, fmt.Errorf("buffer: Rank is required when Workers > 0 (sizes prefetch reservations)")
+	}
 	m := &Manager{
-		store:    cfg.Store,
-		pattern:  cfg.Pattern,
-		capacity: cfg.CapacityBytes,
-		policy:   cfg.Policy,
-		resident: make(map[int]*entry),
+		store:     cfg.Store,
+		pattern:   cfg.Pattern,
+		capacity:  cfg.CapacityBytes,
+		policy:    cfg.Policy,
+		workers:   cfg.Workers,
+		rank:      cfg.Rank,
+		resident:  make(map[int]*entry),
+		infl:      make(map[int]*inflight),
+		wbPending: make(map[int]chan struct{}),
 	}
 	if cfg.Policy == Forward {
 		if cfg.Schedule == nil {
@@ -145,47 +210,177 @@ func NewManager(cfg Config) (*Manager, error) {
 			m.occ[id] = append(m.occ[id], i)
 		}
 	}
+	if m.workers > 0 {
+		m.fetchQ = make(chan func(), 4*m.workers)
+		m.wbQ = make(chan func(), 4*m.workers)
+		for i := 0; i < m.workers; i++ {
+			m.workerWG.Add(1)
+			go m.serve(m.fetchQ)
+		}
+		for i := 0; i < max(1, m.workers/2); i++ {
+			m.workerWG.Add(1)
+			go m.serve(m.wbQ)
+		}
+	}
 	return m, nil
+}
+
+func (m *Manager) serve(q chan func()) {
+	defer m.workerWG.Done()
+	for job := range q {
+		job()
+	}
+}
+
+// Prefetch asks the manager to stage unit ⟨mode, part⟩ for an upcoming
+// Acquire. It is a hint: it never blocks on store I/O, never evicts, and
+// has no effect on replacement decisions or statistics other than
+// Stats.Prefetches — the later Acquire still classifies the access as a
+// miss and counts the swap, it just finds the bytes already (or nearly)
+// there. The fetch runs on the I/O worker pool after reserving capacity;
+// the reservation is held until the Acquire consumes the staged unit, so
+// resident + staged data never exceeds two buffers' worth. The hint is
+// dropped when the unit is resident, already in flight, the reservation
+// budget is exhausted, the worker pool's queue is full, or the manager is
+// synchronous (Workers: 0) or closed.
+func (m *Manager) Prefetch(mode, part int) {
+	if m.workers == 0 {
+		return
+	}
+	id := schedule.UnitID(m.pattern, mode, part)
+	est := schedule.UnitBytes(m.pattern, mode, part, m.rank)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.resident[id] != nil || m.infl[id] != nil || m.reserved+est > m.capacity {
+		return
+	}
+	inf := &inflight{done: make(chan struct{}), bytes: est}
+	wb := m.wbPending[id]
+	job := func() {
+		defer m.ioWG.Done()
+		if wb != nil {
+			<-wb
+		}
+		u, err := m.store.Get(mode, part)
+		m.mu.Lock()
+		inf.unit, inf.err = u, err
+		if err != nil {
+			// Nothing was staged; free the reservation now. Successful
+			// fetches keep it until Acquire installs the unit.
+			m.reserved -= inf.bytes
+			inf.bytes = 0
+		}
+		m.mu.Unlock()
+		close(inf.done)
+	}
+	m.ioWG.Add(1)
+	select {
+	case m.fetchQ <- job:
+		m.infl[id] = inf
+		m.reserved += est
+		m.stats.Prefetches++
+	default:
+		// Pool saturated: drop the hint rather than stall the caller's
+		// compute thread behind store I/O.
+		m.ioWG.Done()
+	}
 }
 
 // Acquire pins the unit ⟨mode, part⟩ in the buffer, fetching it from the
 // store on a miss (possibly evicting). Every call advances the schedule
 // cursor, so callers must acquire units in exactly the schedule's access
-// order when using the Forward policy.
+// order when using the Forward policy. A miss whose unit is in flight from
+// a Prefetch waits for that fetch instead of reading the store again; it
+// still counts as a fetch ("data swap") because the buffer did not hold
+// the unit when it was demanded.
 func (m *Manager) Acquire(mode, part int) (*blockstore.Unit, error) {
 	id := schedule.UnitID(m.pattern, mode, part)
+	m.mu.Lock()
+	if err := m.wbErr; err != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("buffer: background write-back failed: %w", err)
+	}
 	m.clock++
+	myClock := m.clock
 	pos := m.cursor
 	if len(m.cycle) > 0 {
 		if m.cycle[pos] != id {
+			m.mu.Unlock()
 			return nil, fmt.Errorf("buffer: access ⟨%d,%d⟩ deviates from schedule position %d", mode, part, pos)
 		}
 		m.cursor = (m.cursor + 1) % len(m.cycle)
 	}
-	if e, ok := m.resident[id]; ok {
-		e.lastUsed = m.clock
+	for {
+		if e, ok := m.resident[id]; ok {
+			if e.lastUsed < myClock {
+				e.lastUsed = myClock
+			}
+			e.pins++
+			m.stats.Hits++
+			m.mu.Unlock()
+			return e.unit, nil
+		}
+		inf, joined := m.infl[id]
+		if !joined {
+			inf = &inflight{done: make(chan struct{})}
+			m.infl[id] = inf
+			wb := m.wbPending[id]
+			m.mu.Unlock()
+			if wb != nil {
+				<-wb
+			}
+			u, err := m.store.Get(mode, part)
+			inf.unit, inf.err = u, err
+			close(inf.done)
+		} else {
+			m.mu.Unlock()
+			<-inf.done
+		}
+		m.mu.Lock()
+		if m.infl[id] == inf {
+			// First goroutine past the fetch installs (or discards) it.
+			delete(m.infl, id)
+			m.reserved -= inf.bytes
+			if inf.err == nil {
+				u := inf.unit
+				m.resident[id] = &entry{unit: u, bytes: u.Bytes(), lastUsed: myClock}
+				m.used += u.Bytes()
+			}
+		}
+		if inf.err != nil {
+			m.mu.Unlock()
+			return nil, inf.err
+		}
+		e, ok := m.resident[id]
+		if !ok {
+			// Installed by us or a peer, then evicted by a concurrent
+			// acquirer's shrink before we could pin it (only possible
+			// off-schedule, under concurrent load). Go around again.
+			continue
+		}
+		if e.lastUsed < myClock {
+			e.lastUsed = myClock
+		}
 		e.pins++
-		m.stats.Hits++
+		m.stats.Fetches++
+		wbs, err := m.shrink(pos)
+		m.mu.Unlock()
+		for _, job := range wbs {
+			m.wbQ <- job
+		}
+		if err != nil {
+			return nil, err
+		}
 		return e.unit, nil
 	}
-	u, err := m.store.Get(mode, part)
-	if err != nil {
-		return nil, err
-	}
-	m.stats.Fetches++
-	e := &entry{unit: u, bytes: u.Bytes(), lastUsed: m.clock, pins: 1}
-	m.resident[id] = e
-	m.used += e.bytes
-	if err := m.shrink(pos); err != nil {
-		return nil, err
-	}
-	return u, nil
 }
 
 // Release unpins a previously acquired unit; dirty marks it modified so
 // eviction (or FlushAll) writes it back.
 func (m *Manager) Release(mode, part int, dirty bool) {
 	id := schedule.UnitID(m.pattern, mode, part)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	e, ok := m.resident[id]
 	if !ok || e.pins <= 0 {
 		panic(fmt.Sprintf("buffer: Release of unpinned unit ⟨%d,%d⟩", mode, part))
@@ -196,24 +391,32 @@ func (m *Manager) Release(mode, part int, dirty bool) {
 	}
 }
 
-// shrink evicts unpinned units until usage fits capacity. If everything
-// resident is pinned the buffer temporarily overflows (counted, not fatal),
-// mirroring a real buffer manager that must keep its working set.
-func (m *Manager) shrink(pos int) error {
+// shrink evicts unpinned units until usage fits capacity, returning the
+// background write-back jobs to enqueue once the lock is dropped. If
+// everything resident is pinned the buffer temporarily overflows (counted,
+// not fatal), mirroring a real buffer manager that must keep its working
+// set. Called with mu held.
+func (m *Manager) shrink(pos int) ([]func(), error) {
+	var jobs []func()
 	for m.used > m.capacity {
 		victim := m.pickVictim(pos)
 		if victim == -1 {
 			m.stats.Overflows++
-			return nil
+			return jobs, nil
 		}
-		if err := m.evict(victim); err != nil {
-			return err
+		job, err := m.evict(victim)
+		if err != nil {
+			return jobs, err
+		}
+		if job != nil {
+			jobs = append(jobs, job)
 		}
 	}
-	return nil
+	return jobs, nil
 }
 
 // pickVictim returns the unit id to evict, or -1 when nothing is evictable.
+// Called with mu held.
 func (m *Manager) pickVictim(pos int) int {
 	best := -1
 	var bestKey int64
@@ -254,58 +457,170 @@ func (m *Manager) nextUseDistance(id, pos int) int {
 	return occ[0] + n - pos
 }
 
-func (m *Manager) evict(id int) error {
+// evict drops the unit. A dirty unit is written back: inline in
+// synchronous mode, otherwise as a background job (returned for the
+// caller to enqueue outside the lock). The WriteBacks counter increments
+// at eviction time in both modes, so statistics do not depend on I/O
+// timing. Called with mu held.
+func (m *Manager) evict(id int) (func(), error) {
 	e := m.resident[id]
+	var job func()
 	if e.dirty {
-		if err := m.store.Put(e.unit); err != nil {
-			return err
-		}
 		m.stats.WriteBacks++
+		if m.workers == 0 {
+			if err := m.store.Put(e.unit); err != nil {
+				return nil, err
+			}
+		} else {
+			// prev is always nil: a unit can only be evicted while
+			// resident, and becoming resident again waits for its pending
+			// write-back. The chain keeps writes ordered even so.
+			prev := m.wbPending[id]
+			done := make(chan struct{})
+			m.wbPending[id] = done
+			u := e.unit
+			m.ioWG.Add(1)
+			job = func() {
+				defer m.ioWG.Done()
+				if prev != nil {
+					<-prev
+				}
+				err := m.store.Put(u)
+				m.mu.Lock()
+				if err != nil && m.wbErr == nil {
+					m.wbErr = err
+				}
+				if m.wbPending[id] == done {
+					delete(m.wbPending, id)
+				}
+				m.mu.Unlock()
+				close(done)
+			}
+		}
 	}
 	delete(m.resident, id)
 	m.used -= e.bytes
 	m.stats.Evictions++
-	return nil
+	return job, nil
+}
+
+// Drain blocks until every background fetch and write-back has settled.
+// It must not race with new Acquire or Prefetch calls.
+func (m *Manager) Drain() {
+	m.ioWG.Wait()
 }
 
 // FlushAll writes every dirty resident unit back to the store (keeping it
-// resident and clean). Phase 2 calls this at termination.
+// resident and clean) after draining the background pipeline. Phase 2
+// calls this at termination. A synchronous manager writes sequentially in
+// unit-id order (deterministic store traffic); with Workers > 0 the
+// flushes issue in the same order but run concurrently on the I/O pool —
+// same writes, shorter tail. Like Drain, it must not race with new
+// Acquire or Prefetch calls.
 func (m *Manager) FlushAll() error {
+	m.Drain()
+	m.mu.Lock()
+	if m.wbErr != nil {
+		err := m.wbErr
+		m.mu.Unlock()
+		return fmt.Errorf("buffer: background write-back failed: %w", err)
+	}
 	// Deterministic order for reproducible store traffic.
 	ids := make([]int, 0, len(m.resident))
 	for id := range m.resident {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	var dirty []*entry
 	for _, id := range ids {
 		e := m.resident[id]
 		if !e.dirty {
 			continue
 		}
-		if err := m.store.Put(e.unit); err != nil {
-			return err
-		}
 		m.stats.WriteBacks++
 		e.dirty = false
+		dirty = append(dirty, e)
 	}
-	return nil
+	workers := m.workers
+	m.mu.Unlock()
+	return blockstore.ForEachConcurrent(len(dirty), workers, func(i int) error {
+		return m.store.Put(dirty[i].unit)
+	})
+}
+
+// Close drains the pipeline, stops the worker pool and discards
+// unconsumed prefetches. It returns the first background write-back error,
+// if any. Close is idempotent; the manager must not be used afterwards
+// (except further Close calls). Like Drain, it must not race with new
+// Acquire or Prefetch calls.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		err := m.wbErr
+		m.mu.Unlock()
+		return err
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.ioWG.Wait()
+	if m.workers > 0 {
+		close(m.fetchQ)
+		close(m.wbQ)
+	}
+	m.workerWG.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.infl = make(map[int]*inflight)
+	m.reserved = 0
+	return m.wbErr
 }
 
 // Contains reports whether the unit is resident (for tests/diagnostics).
 func (m *Manager) Contains(mode, part int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, ok := m.resident[schedule.UnitID(m.pattern, mode, part)]
 	return ok
 }
 
+// InFlight reports whether a prefetch (or joined fetch) of the unit is
+// outstanding or staged but not yet consumed (for tests/diagnostics).
+func (m *Manager) InFlight(mode, part int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.infl[schedule.UnitID(m.pattern, mode, part)]
+	return ok
+}
+
 // UsedBytes returns the resident payload volume.
-func (m *Manager) UsedBytes() int64 { return m.used }
+func (m *Manager) UsedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// ReservedBytes returns the capacity currently reserved by in-flight
+// prefetches.
+func (m *Manager) ReservedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reserved
+}
 
 // Capacity returns the configured capacity in bytes.
 func (m *Manager) Capacity() int64 { return m.capacity }
 
 // Stats returns a snapshot of the counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ResetStats zeroes the counters (the cursor and residency are kept, so a
 // warmed-up buffer can be measured in steady state).
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}

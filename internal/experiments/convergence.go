@@ -29,6 +29,9 @@ type ConvergenceConfig struct {
 	// VirtualIters to trace (default 40).
 	VirtualIters int
 	Seed         int64
+	// IO configures the Phase-2 async prefetch pipeline (zero = sync).
+	// The traces are identical either way.
+	IO IO
 }
 
 func (c *ConvergenceConfig) setDefaults() {
@@ -75,6 +78,8 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 			Schedule: kind, Policy: buffer.LRU,
 			MaxVirtualIters: cfg.VirtualIters,
 			Tol:             math.Inf(-1),
+			PrefetchDepth:   cfg.IO.PrefetchDepth,
+			IOWorkers:       cfg.IO.IOWorkers,
 		})
 		if err != nil {
 			return nil, err

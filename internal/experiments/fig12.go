@@ -36,6 +36,9 @@ type Figure12Config struct {
 	// formalism — and this sweep — is N-mode generic).
 	NModes int
 	Seed   int64
+	// IO configures the Phase-2 async prefetch pipeline (zero = sync).
+	// The swap counts this figure reports are identical either way.
+	IO IO
 }
 
 func (c *Figure12Config) setDefaults() {
@@ -110,6 +113,8 @@ func RunFigure12(cfg Figure12Config) (*Figure12Result, error) {
 						MaxVirtualIters:    measured,
 						WarmupVirtualIters: warmup,
 						Tol:                math.Inf(-1),
+						PrefetchDepth:      cfg.IO.PrefetchDepth,
+						IOWorkers:          cfg.IO.IOWorkers,
 					})
 					if err != nil {
 						return nil, err

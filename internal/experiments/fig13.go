@@ -43,6 +43,9 @@ type Figure13Config struct {
 	// FaceScale shrinks the Face dataset (default 10 → 48×64×10).
 	FaceScale int
 	Seed      int64
+	// IO configures the Phase-2 async prefetch pipeline (zero = sync).
+	// Accuracy is independent of prefetching; this only speeds runs up.
+	IO IO
 }
 
 func (c *Figure13Config) setDefaults() {
@@ -174,6 +177,8 @@ func RunFigure13(cfg Figure13Config) (*Figure13Result, error) {
 						MaxVirtualIters: cfg.MaxVirtualIters,
 						Tol:             1e-2, // paper §VIII-C stopping condition
 						Seed:            seed,
+						PrefetchDepth:   cfg.IO.PrefetchDepth,
+						IOWorkers:       cfg.IO.IOWorkers,
 					})
 					if err != nil {
 						return 0, err

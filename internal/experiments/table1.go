@@ -50,6 +50,8 @@ type Table1Config struct {
 	// Reducers is the MapReduce parallelism (default 4).
 	Reducers int
 	Seed     int64
+	// IO configures the Phase-2 async prefetch pipeline (zero = sync).
+	IO IO
 }
 
 func (c *Table1Config) setDefaults() {
@@ -116,6 +118,7 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 			Phase1: p1, Store: blockstore.NewMemStore(),
 			Schedule: schedule.ZOrder, Policy: buffer.Forward,
 			BufferFraction: 0.5, MaxVirtualIters: 20, Tol: 1e-3,
+			PrefetchDepth: cfg.IO.PrefetchDepth, IOWorkers: cfg.IO.IOWorkers,
 		})
 		if err != nil {
 			return nil, err

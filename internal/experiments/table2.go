@@ -41,6 +41,10 @@ type Table2Config struct {
 	// BufferFraction for Phase 2 (default 1/2, from the Table III grid).
 	BufferFraction float64
 	Seed           int64
+	// IO configures the Phase-2 async prefetch pipeline (zero = sync).
+	// With the injected swap latency, prefetching shrinks the Phase-2
+	// wall-clock columns while the swap counts stay put.
+	IO IO
 }
 
 func (c *Table2Config) setDefaults() {
@@ -138,6 +142,7 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 				Schedule: schedule.ZOrder, Policy: pol,
 				BufferFraction:  cfg.BufferFraction,
 				MaxVirtualIters: cfg.MaxVirtualIters, Tol: 1e-3,
+				PrefetchDepth: cfg.IO.PrefetchDepth, IOWorkers: cfg.IO.IOWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -68,6 +68,19 @@ type Config struct {
 	// warm-up iterations do not count toward MaxVirtualIters or the trace,
 	// and convergence checks are suspended during warm-up.
 	WarmupVirtualIters int
+	// PrefetchDepth is how many schedule steps ahead the engine issues
+	// buffer prefetches while updating the current step, overlapping the
+	// next steps' unit I/O with this step's compute. 0 (the default) keeps
+	// Phase 2 fully synchronous. Update order is independent of the depth,
+	// so FitTrace, the final factors and the buffer's swap statistics are
+	// identical at every depth. StoreStats may count a few extra reads at
+	// depth > 0 — prefetches issued for steps that never ran, or wasted
+	// because the unit was evicted before its use.
+	PrefetchDepth int
+	// IOWorkers sizes the buffer manager's asynchronous I/O pool (prefetch
+	// and background write-back goroutines). Defaults to 2 when
+	// PrefetchDepth > 0, else 0 (synchronous).
+	IOWorkers int
 }
 
 // Result reports a Phase-2 run.
@@ -96,11 +109,13 @@ type Engine struct {
 	comps   tracker
 	mgr     *buffer.Manager
 
-	// Hot-loop scratch (see update).
-	scratchS   *mat.Matrix
-	scratchG   *mat.Matrix
-	scratchT   *mat.Matrix
-	scratchVec []int
+	// Hot-loop scratch (see update). scratchMTTKRP holds one rows×rank
+	// accumulator per distinct partition row count.
+	scratchS      *mat.Matrix
+	scratchG      *mat.Matrix
+	scratchT      *mat.Matrix
+	scratchVec    []int
+	scratchMTTKRP map[int]*mat.Matrix
 }
 
 // New validates cfg, prepares the data units in the store, initializes the
@@ -117,6 +132,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.BufferFraction <= 0 {
 		cfg.BufferFraction = 1
+	}
+	if cfg.PrefetchDepth > 0 && cfg.IOWorkers <= 0 {
+		cfg.IOWorkers = 2
 	}
 	p := cfg.Phase1.Pattern
 	e := &Engine{cfg: cfg, pattern: p}
@@ -142,6 +160,8 @@ func New(cfg Config) (*Engine, error) {
 		CapacityBytes: capacity,
 		Policy:        cfg.Policy,
 		Schedule:      e.sched,
+		Workers:       cfg.IOWorkers,
+		Rank:          cfg.Phase1.Rank,
 	})
 	if err != nil {
 		return nil, err
@@ -190,22 +210,21 @@ func (e *Engine) prepareUnits() error {
 	return nil
 }
 
-// seedComponents computes the initial P and Q from the seeded A parts,
-// reading A back from the store once (setup traffic, not counted as swaps).
+// seedComponents computes the initial P and Q from the seeded A parts.
+// The store was just seeded by prepareUnits; rather than reading every
+// unit back, regenerate the same initial A deterministically (same seed,
+// same generation order), sparing a full store sweep at setup. The stats
+// reset wipes the prepareUnits writes so setup traffic is never counted
+// as swaps.
 func (e *Engine) seedComponents() {
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
 	for mode := 0; mode < e.pattern.NModes(); mode++ {
 		for part := 0; part < e.pattern.K[mode]; part++ {
 			slabU := make(map[int]*mat.Matrix)
 			for _, id := range e.pattern.Slab(mode, part) {
 				slabU[id] = e.cfg.Phase1.Sub[id][mode]
 			}
-			// The store was just seeded by prepareUnits; regenerate the
-			// same initial A deterministically instead of re-reading.
-			u, err := e.cfg.Store.Get(mode, part)
-			if err != nil {
-				panic(fmt.Sprintf("refine: unit ⟨%d,%d⟩ vanished during setup: %v", mode, part, err))
-			}
-			e.comps.SetA(mode, part, u.A, slabU)
+			e.comps.SetA(mode, part, e.initialA(mode, part, rng), slabU)
 		}
 	}
 	e.cfg.Store.ResetStats()
@@ -219,12 +238,19 @@ func (e *Engine) update(u *blockstore.Unit) {
 	mode, part := u.Mode, u.Part
 	rank := e.cfg.Phase1.Rank
 	_, rows := e.pattern.ModeRange(mode, part)
-	t := mat.New(rows, rank)
 	if e.scratchS == nil {
 		e.scratchS = mat.New(rank, rank)
 		e.scratchG = mat.New(rank, rank)
 		e.scratchT = mat.New(rank, rank)
 		e.scratchVec = make([]int, e.pattern.NModes())
+		e.scratchMTTKRP = make(map[int]*mat.Matrix)
+	}
+	t := e.scratchMTTKRP[rows]
+	if t == nil {
+		t = mat.New(rows, rank)
+		e.scratchMTTKRP[rows] = t
+	} else {
+		t.Zero()
 	}
 	s, g, term, vec := e.scratchS, e.scratchG, e.scratchT, e.scratchVec
 	s.Zero()
@@ -241,9 +267,32 @@ func (e *Engine) update(u *blockstore.Unit) {
 	e.comps.SetA(mode, part, aNew, u.U)
 }
 
+// prefetchAhead hands the buffer manager the accesses of the next
+// PrefetchDepth schedule steps as prefetch hints. pos is the engine's
+// position in the cyclic access string (= the first access of step
+// si+1), so the hints are exactly the units the upcoming Acquires will
+// demand, in demand order. Issued after the current step's acquires and
+// before its updates, the fetches overlap this step's compute.
+func (e *Engine) prefetchAhead(si, pos int) {
+	depth := e.cfg.PrefetchDepth
+	if depth <= 0 {
+		return
+	}
+	n := 0
+	steps := len(e.sched.Steps)
+	for j := 1; j <= depth; j++ {
+		n += len(e.sched.Steps[(si+j)%steps].Accesses)
+	}
+	for _, a := range e.sched.Upcoming(pos, n) {
+		e.mgr.Prefetch(a.Mode, a.Part)
+	}
+}
+
 // Run executes the refinement until convergence or MaxVirtualIters and
-// returns the assembled factors plus I/O statistics.
+// returns the assembled factors plus I/O statistics. Run may be called
+// once; it shuts the buffer manager's I/O pipeline down on return.
 func (e *Engine) Run() (*Result, error) {
+	defer e.mgr.Close()
 	res := &Result{}
 	virtLen := e.sched.VirtualIterationLength()
 	updates := 0
@@ -256,6 +305,7 @@ func (e *Engine) Run() (*Result, error) {
 	// a fit plateau before the first cycle completes only means the
 	// not-yet-visited partitions still hold their initialization.
 	minIters := int(math.Ceil(e.sched.VirtualIterationsPerCycle()))
+	pos := 0 // position in the cyclic access string
 
 	for !done && res.VirtualIters < e.cfg.MaxVirtualIters {
 		for si := range e.sched.Steps {
@@ -269,6 +319,9 @@ func (e *Engine) Run() (*Result, error) {
 				}
 				units[ai] = u
 			}
+			pos = (pos + len(step.Accesses)) % e.sched.UpdatesPerCycle()
+			// Stage the next steps' units while this step computes.
+			e.prefetchAhead(si, pos)
 			for _, u := range units {
 				if done {
 					break
@@ -324,19 +377,38 @@ func (e *Engine) Run() (*Result, error) {
 }
 
 // AssembleFactors stacks the per-partition A(i)_(ki) (as persisted in the
-// store) into the full factor matrices A(i).
+// store) into the full factor matrices A(i). With the asynchronous
+// pipeline enabled (IOWorkers > 0) the unit reads run concurrently on up
+// to IOWorkers goroutines — the store contract guarantees each Get is an
+// independent complete copy; otherwise they run sequentially, matching
+// the synchronous engine's store traffic order exactly.
 func (e *Engine) AssembleFactors() ([]*mat.Matrix, error) {
-	factors := make([]*mat.Matrix, e.pattern.NModes())
+	type slot struct {
+		mode, part int
+	}
+	var slots []slot
 	for mode := 0; mode < e.pattern.NModes(); mode++ {
-		parts := make([]*mat.Matrix, e.pattern.K[mode])
 		for part := 0; part < e.pattern.K[mode]; part++ {
-			u, err := e.cfg.Store.Get(mode, part)
-			if err != nil {
-				return nil, err
-			}
-			parts[part] = u.A
+			slots = append(slots, slot{mode, part})
 		}
-		factors[mode] = mat.VStack(parts...)
+	}
+	parts := make([]*mat.Matrix, len(slots))
+	err := blockstore.ForEachConcurrent(len(slots), e.cfg.IOWorkers, func(i int) error {
+		u, err := e.cfg.Store.Get(slots[i].mode, slots[i].part)
+		if err == nil {
+			parts[i] = u.A
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	factors := make([]*mat.Matrix, e.pattern.NModes())
+	next := 0
+	for mode := 0; mode < e.pattern.NModes(); mode++ {
+		stack := parts[next : next+e.pattern.K[mode]]
+		next += e.pattern.K[mode]
+		factors[mode] = mat.VStack(stack...)
 	}
 	return factors, nil
 }

@@ -41,8 +41,8 @@ func TestEngineSurfacesReadFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Setup (seedComponents) consumed the first ΣK=6 reads; target a
-	// run-time fetch beyond them.
+	// Setup performs no reads (the initial A is regenerated rather than
+	// re-read), so every read is a run-time fetch.
 	faulty.FailRead = 10
 	_, err = eng.Run()
 	if !errors.Is(err, blockstore.ErrInjected) {

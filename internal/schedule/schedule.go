@@ -8,6 +8,7 @@ package schedule
 
 import (
 	"fmt"
+	"sync"
 
 	"twopcp/internal/grid"
 	"twopcp/internal/sfc"
@@ -92,6 +93,11 @@ type Schedule struct {
 	Kind    Kind
 	Pattern *grid.Pattern
 	Steps   []Step
+
+	// flat caches the flattened access string for Upcoming; built once on
+	// first use (the schedule is immutable after New).
+	flatOnce sync.Once
+	flat     []Access
 }
 
 // New builds the cycle for the given kind over the given pattern.
@@ -155,6 +161,37 @@ func (s *Schedule) AccessString() []Access {
 	out := make([]Access, 0, s.UpdatesPerCycle())
 	for i := range s.Steps {
 		out = append(out, s.Steps[i].Accesses...)
+	}
+	return out
+}
+
+// Upcoming returns the next n accesses of the cyclic access string
+// starting at position cursor (the access at cursor itself is the first
+// element), wrapping around the cycle. n is clamped to one full cycle —
+// looking further ahead than the cycle length only revisits the same
+// units. cursor may be any non-negative value; it is reduced modulo the
+// cycle length, matching the buffer manager's cursor arithmetic.
+//
+// This is the lookahead API of the asynchronous Phase-2 pipeline: the
+// refinement engine asks for the accesses of the next schedule steps and
+// hands them to the buffer manager as prefetch hints while the current
+// step's updates run. It is safe for concurrent use.
+func (s *Schedule) Upcoming(cursor, n int) []Access {
+	s.flatOnce.Do(func() { s.flat = s.AccessString() })
+	total := len(s.flat)
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	if cursor < 0 {
+		panic(fmt.Sprintf("schedule: Upcoming cursor %d must be non-negative", cursor))
+	}
+	cursor %= total
+	out := make([]Access, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.flat[(cursor+i)%total]
 	}
 	return out
 }

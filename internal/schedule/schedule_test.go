@@ -207,3 +207,42 @@ func TestNewUnknownKindPanics(t *testing.T) {
 	}()
 	New(Kind(42), grid.MustNew([]int{4}, []int{2}))
 }
+
+func TestUpcomingMatchesAccessString(t *testing.T) {
+	p := grid.MustNew([]int{8, 8, 8}, []int{2, 2, 2})
+	for _, kind := range Kinds {
+		s := New(kind, p)
+		acc := s.AccessString()
+		n := len(acc)
+		for _, cursor := range []int{0, 1, n - 1, n, 3*n + 2} {
+			got := s.Upcoming(cursor, 5)
+			for i, a := range got {
+				want := acc[(cursor+i)%n]
+				if a != want {
+					t.Fatalf("%v Upcoming(%d, 5)[%d] = %v, want %v", kind, cursor, i, a, want)
+				}
+			}
+		}
+	}
+}
+
+func TestUpcomingClampsToOneCycle(t *testing.T) {
+	p := grid.MustNew([]int{4, 4}, []int{2, 2})
+	s := New(ModeCentric, p)
+	n := s.UpdatesPerCycle()
+	if got := s.Upcoming(0, 10*n); len(got) != n {
+		t.Fatalf("Upcoming over-long lookahead returned %d accesses, want %d", len(got), n)
+	}
+	if got := s.Upcoming(0, 0); got != nil {
+		t.Fatalf("Upcoming(_, 0) = %v, want nil", got)
+	}
+}
+
+func TestUpcomingNegativeCursorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(ModeCentric, grid.MustNew([]int{4}, []int{2})).Upcoming(-1, 1)
+}

@@ -48,6 +48,18 @@ type Options struct {
 	StoreDir string
 	// Seed makes the whole run reproducible.
 	Seed int64
+	// PrefetchDepth overlaps Phase-2 I/O with compute: the engine issues
+	// buffer prefetches this many schedule steps ahead of the step it is
+	// updating. 0 (the default) keeps Phase 2 fully synchronous. The
+	// update order — and therefore FitTrace, the factors and the swap
+	// counts (Result.Swaps) — is identical at every depth. Raw store
+	// traffic (Result.BytesRead) may include a few extra reads at depth
+	// > 0, from prefetches issued for steps that never ran (termination
+	// mid-lookahead) or whose unit was evicted before use.
+	PrefetchDepth int
+	// IOWorkers sizes the asynchronous I/O pool serving prefetches and
+	// background write-backs (default 2 when PrefetchDepth > 0, else 0).
+	IOWorkers int
 }
 
 // Result reports a two-phase decomposition.
@@ -194,6 +206,8 @@ func run(src phase1.Source, p *Pattern, opts Options) (*Result, error) {
 		MaxVirtualIters: opts.MaxIters,
 		Tol:             opts.Tol,
 		Seed:            opts.Seed,
+		PrefetchDepth:   opts.PrefetchDepth,
+		IOWorkers:       opts.IOWorkers,
 	})
 	if err != nil {
 		return nil, err
