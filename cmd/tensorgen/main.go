@@ -5,10 +5,18 @@
 //
 //	tensorgen -kind dense -dims 100x100x100 -density 0.2 -out t.tpdn
 //	tensorgen -kind epinions -out epinions.tpsp
+//	tensorgen -kind lowrank -dims 2000x2000x2000 -tiles 8 -out big.tptl
 //
 // Kinds: dense (uniform dense cube, -dims/-density), lowrank (-dims,
 // -rank, -noise), epinions, ciao, enron (paper-shaped sparse stand-ins),
 // face (-scale), ensemble (-dims).
+//
+// When -out ends in .tptl the tensor is written in the tiled out-of-core
+// format. For the dense and lowrank kinds generation then streams tile
+// by tile — only one tile is ever resident — so test tensors larger
+// than RAM can be produced. -tiles sets the tiles per mode (a single
+// value broadcasts; default picks tiles of at most 32 MiB) and -gzip
+// compresses the tiles.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"twopcp/internal/datasets"
 	"twopcp/internal/mat"
 	"twopcp/internal/tensor"
+	"twopcp/internal/tfile"
 )
 
 func main() {
@@ -32,14 +41,16 @@ func main() {
 	log.SetPrefix("tensorgen: ")
 
 	var (
-		kind    = flag.String("kind", "dense", "dense|lowrank|epinions|ciao|enron|face|ensemble")
-		dimsStr = flag.String("dims", "64x64x64", "mode sizes, e.g. 100x100x100")
-		density = flag.Float64("density", 0.2, "nonzero density (dense kind)")
-		rank    = flag.Int("rank", 5, "true rank (lowrank kind)")
-		noise   = flag.Float64("noise", 0.01, "additive noise level (lowrank kind)")
-		scale   = flag.Int("scale", 10, "downscale factor (face kind)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output file (required; .tpdn or .tpsp)")
+		kind     = flag.String("kind", "dense", "dense|lowrank|epinions|ciao|enron|face|ensemble")
+		dimsStr  = flag.String("dims", "64x64x64", "mode sizes, e.g. 100x100x100")
+		density  = flag.Float64("density", 0.2, "nonzero density (dense kind)")
+		rank     = flag.Int("rank", 5, "true rank (lowrank kind)")
+		noise    = flag.Float64("noise", 0.01, "additive noise level (lowrank kind)")
+		scale    = flag.Int("scale", 10, "downscale factor (face kind)")
+		tilesStr = flag.String("tiles", "", "tiles per mode for .tptl output, e.g. 4x4x4 or 4 (default: auto)")
+		gz       = flag.Bool("gzip", false, "gzip-compress .tptl tiles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (required; .tpdn, .tpsp or .tptl)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -47,14 +58,23 @@ func main() {
 		os.Exit(2)
 	}
 	rng := rand.New(rand.NewSource(*seed))
+	tiled := strings.HasSuffix(*out, ".tptl")
 
 	switch *kind {
 	case "dense":
 		dims := parseDims(*dimsStr)
+		if tiled {
+			streamDense(*out, dims, tileCounts(*tilesStr, dims), *density, *seed, *gz)
+			return
+		}
 		x := datasets.DenseUniform(rng, *density, dims...)
-		save(*out, x, nil)
+		save(*out, x, nil, *tilesStr, *gz)
 	case "lowrank":
 		dims := parseDims(*dimsStr)
+		if tiled {
+			streamLowrank(*out, dims, tileCounts(*tilesStr, dims), *rank, *noise, *seed, rng, *gz)
+			return
+		}
 		factors := make([]*mat.Matrix, len(dims))
 		for m, d := range dims {
 			factors[m] = mat.Random(d, *rank, rng)
@@ -65,24 +85,134 @@ func main() {
 				x.Data[i] += *noise * rng.NormFloat64()
 			}
 		}
-		save(*out, x, nil)
+		save(*out, x, nil, *tilesStr, *gz)
 	case "epinions":
-		save(*out, nil, datasets.Epinions(rng))
+		save(*out, nil, datasets.Epinions(rng), *tilesStr, *gz)
 	case "ciao":
-		save(*out, nil, datasets.Ciao(rng))
+		save(*out, nil, datasets.Ciao(rng), *tilesStr, *gz)
 	case "enron":
-		save(*out, nil, datasets.Enron(rng))
+		save(*out, nil, datasets.Enron(rng), *tilesStr, *gz)
 	case "face":
-		save(*out, datasets.Face(rng, *scale), nil)
+		save(*out, datasets.Face(rng, *scale), nil, *tilesStr, *gz)
 	case "ensemble":
 		dims := parseDims(*dimsStr)
 		if len(dims) != 3 {
 			log.Fatal("ensemble needs exactly 3 dims (configs x params x steps)")
 		}
-		save(*out, datasets.EnsembleSimulation(rng, dims[0], dims[1], dims[2]), nil)
+		save(*out, datasets.EnsembleSimulation(rng, dims[0], dims[1], dims[2]), nil, *tilesStr, *gz)
 	default:
 		log.Fatalf("unknown kind %q", *kind)
 	}
+}
+
+// streamDense writes a DenseUniform-style tensor tile by tile. Every
+// tile draws from its own generator (seed ^ tile id, like Phase 1's
+// per-block seeding), so the output does not depend on write order and
+// only one tile is ever in memory.
+func streamDense(path string, dims, tiles []int, density float64, seed int64, gz bool) {
+	w := createTiled(path, dims, tiles, gz)
+	p := w.Pattern()
+	var nnz int64
+	for id, vec := range p.Positions() {
+		_, size := p.Block(vec)
+		t := tensor.NewDense(size...)
+		trng := rand.New(rand.NewSource(tileSeed(seed, id)))
+		for i := range t.Data {
+			if trng.Float64() < density {
+				t.Data[i] = trng.Float64() + 1e-9
+				nnz++
+			}
+		}
+		writeTile(w, vec, t)
+	}
+	closeTiled(w, path, dims, p, nnz)
+}
+
+// streamLowrank writes an exactly-rank-r tensor (plus optional noise)
+// tile by tile: the factor matrices are small enough to hold in memory,
+// and each tile is the model restricted to the tile's row ranges.
+func streamLowrank(path string, dims, tiles []int, rank int, noise float64, seed int64, rng *rand.Rand, gz bool) {
+	factors := make([]*mat.Matrix, len(dims))
+	for m, d := range dims {
+		factors[m] = mat.Random(d, rank, rng)
+	}
+	w := createTiled(path, dims, tiles, gz)
+	p := w.Pattern()
+	var nnz int64
+	for id, vec := range p.Positions() {
+		from, size := p.Block(vec)
+		sub := make([]*mat.Matrix, len(factors))
+		for m, f := range factors {
+			sub[m] = f.SliceRows(from[m], from[m]+size[m])
+		}
+		t := cpals.NewKTensor(sub).Full()
+		if noise > 0 {
+			trng := rand.New(rand.NewSource(tileSeed(seed, id)))
+			for i := range t.Data {
+				t.Data[i] += noise * trng.NormFloat64()
+			}
+		}
+		nnz += int64(t.NNZ())
+		writeTile(w, vec, t)
+	}
+	closeTiled(w, path, dims, p, nnz)
+}
+
+// tileSeed derives tile id's generator seed. The +1 keeps every tile
+// stream distinct from the raw seed stream, which already drives the
+// factor matrices in streamLowrank (id 0 would otherwise replay it).
+func tileSeed(seed int64, id int) int64 {
+	return seed ^ (int64(id)+1)*0x9E3779B9
+}
+
+func createTiled(path string, dims, tiles []int, gz bool) *tfile.Writer {
+	var opts []tfile.WriterOption
+	if gz {
+		opts = append(opts, tfile.WithGzip())
+	}
+	w, err := tfile.Create(path, dims, tiles, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
+}
+
+func writeTile(w *tfile.Writer, vec []int, t *tensor.Dense) {
+	if err := w.WriteTile(vec, t); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func closeTiled(w *tfile.Writer, path string, dims []int, p *twopcp.Pattern, nnz int64) {
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: tiled dense %v, %v tiles, %d nonzeros\n", path, dims, p.K, nnz)
+}
+
+// tileCounts parses -tiles ("4x4x4", or "4" broadcast to every mode);
+// empty picks an automatic tiling bounded at 32 MiB per tile.
+func tileCounts(s string, dims []int) []int {
+	if s == "" {
+		return tfile.AutoTiles(dims, 0)
+	}
+	t := parseDims(s)
+	if len(t) == 1 && len(dims) > 1 {
+		b := make([]int, len(dims))
+		for i := range b {
+			b[i] = t[0]
+		}
+		t = b
+	}
+	if len(t) != len(dims) {
+		log.Fatalf("-tiles %q has %d entries for %d modes", s, len(t), len(dims))
+	}
+	for i := range t {
+		if t[i] > dims[i] {
+			t[i] = dims[i]
+		}
+	}
+	return t
 }
 
 func parseDims(s string) []int {
@@ -98,7 +228,24 @@ func parseDims(s string) []int {
 	return dims
 }
 
-func save(path string, d *tensor.Dense, c *tensor.COO) {
+func save(path string, d *tensor.Dense, c *tensor.COO, tilesStr string, gz bool) {
+	if strings.HasSuffix(path, ".tptl") {
+		if d == nil {
+			log.Fatal("sparse kinds cannot be written as .tptl (tiled format is dense)")
+		}
+		// In-memory kinds honor -tiles/-gzip like the streaming ones.
+		w := createTiled(path, d.Dims, tileCounts(tilesStr, d.Dims), gz)
+		p := w.Pattern()
+		for _, vec := range p.Positions() {
+			from, size := p.Block(vec)
+			writeTile(w, vec, d.SubTensor(from, size))
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: tiled dense %v, %v tiles, %d nonzeros\n", path, d.Dims, p.K, d.NNZ())
+		return
+	}
 	switch {
 	case d != nil:
 		if err := twopcp.SaveDense(path, d); err != nil {

@@ -5,8 +5,12 @@
 //
 //	twopcp -in tensor.tpdn -rank 10 [flags]
 //
-// The input format (dense .tpdn / sparse .tpsp) is detected from the file
-// magic. Factor matrices can be exported with -out-prefix.
+// The input format (dense .tpdn / sparse .tpsp / tiled .tptl) is detected
+// from the file magic. Tiled inputs run fully out-of-core: Phase 1 reads
+// grid blocks straight from the file, so peak memory stays bounded by the
+// tile and buffer sizes rather than the tensor size (pair with -store to
+// keep Phase 2 on disk too). Factor matrices can be exported with
+// -out-prefix.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"twopcp"
 	"twopcp/internal/buffer"
 	"twopcp/internal/schedule"
+	"twopcp/internal/tfile"
 )
 
 func main() {
@@ -107,6 +112,16 @@ func decomposeFile(path string, opts twopcp.Options) (*twopcp.Result, []int, err
 	}
 	f.Close()
 	switch string(magic) {
+	case tfile.Magic:
+		res, err := twopcp.DecomposeTiledFile(path, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		dims := make([]int, len(res.Model.Factors))
+		for m, f := range res.Model.Factors {
+			dims[m] = f.Rows
+		}
+		return res, dims, nil
 	case "TPDN":
 		x, err := twopcp.LoadDense(path)
 		if err != nil {
@@ -122,7 +137,7 @@ func decomposeFile(path string, opts twopcp.Options) (*twopcp.Result, []int, err
 		res, err := twopcp.DecomposeSparse(x, opts)
 		return res, x.Dims, err
 	default:
-		return nil, nil, fmt.Errorf("unrecognized tensor magic %q (want TPDN or TPSP)", magic)
+		return nil, nil, fmt.Errorf("unrecognized tensor magic %q (want TPDN, TPSP or TPTL)", magic)
 	}
 }
 

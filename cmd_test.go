@@ -79,6 +79,61 @@ func TestCLIGenerateDecomposeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCLITiledOutOfCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tensorgen := buildCmd(t, dir, "tensorgen")
+	twopcpBin := buildCmd(t, dir, "twopcp")
+
+	// Stream-generate a tiled low-rank tensor, then decompose it fully
+	// out-of-core (tiled input + file-backed Phase-2 store).
+	tpath := filepath.Join(dir, "big.tptl")
+	out := runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "18x16x14",
+		"-rank", "2", "-noise", "0", "-tiles", "3x2x2", "-seed", "3", "-out", tpath)
+	if !strings.Contains(out, "tiled dense [18 16 14]") {
+		t.Fatalf("tensorgen output: %s", out)
+	}
+	out = runCmd(t, twopcpBin, "-in", tpath, "-rank", "2", "-parts", "2",
+		"-buffer", "0.5", "-store", filepath.Join(dir, "units"))
+	if !strings.Contains(out, "tensor     : [18 16 14]") {
+		t.Fatalf("twopcp output: %s", out)
+	}
+	var fit float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fit") {
+			idx := strings.Index(line, ":")
+			if _, err := fmt.Sscan(strings.TrimSpace(line[idx+1:]), &fit); err != nil {
+				t.Fatalf("parse fit from %q: %v", line, err)
+			}
+		}
+	}
+	if fit < 0.9 {
+		t.Fatalf("tiled CLI fit = %g\n%s", fit, out)
+	}
+
+	// Gzip-compressed tiles decompose identically.
+	zpath := filepath.Join(dir, "big-gz.tptl")
+	runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "18x16x14",
+		"-rank", "2", "-noise", "0", "-tiles", "3x2x2", "-seed", "3", "-gzip", "-out", zpath)
+	outGz := runCmd(t, twopcpBin, "-in", zpath, "-rank", "2", "-parts", "2",
+		"-buffer", "0.5", "-store", filepath.Join(dir, "units-gz"))
+	if !strings.Contains(outGz, "tensor     : [18 16 14]") {
+		t.Fatalf("gzip twopcp output: %s", outGz)
+	}
+	// The dense kind streams too.
+	dpath := filepath.Join(dir, "dense.tptl")
+	runCmd(t, tensorgen, "-kind", "dense", "-dims", "12x12x12", "-density", "0.5",
+		"-tiles", "2", "-seed", "5", "-out", dpath)
+	runCmd(t, twopcpBin, "-in", dpath, "-rank", "2", "-parts", "2")
+	// Sparse kinds cannot be tiled.
+	cmd := exec.Command(tensorgen, "-kind", "epinions", "-out", filepath.Join(dir, "bad.tptl"))
+	if err := cmd.Run(); err == nil {
+		t.Fatal("sparse kind accepted for .tptl output")
+	}
+}
+
 func TestCLISparseAndErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

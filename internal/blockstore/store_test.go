@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -192,6 +194,64 @@ func TestFileStorePersistsAcrossInstances(t *testing.T) {
 	}
 	if !unitsEqual(got, u) {
 		t.Fatal("unit not persisted")
+	}
+}
+
+func TestFileStorePutLeavesNoTempFiles(t *testing.T) {
+	// Put must land exactly one fully-written unit file per key: no
+	// temp-file debris (a crash between create and rename is the only
+	// state that may leave one, and a fresh Put replaces it atomically).
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := testUnit(rng)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("store dir has %v, want exactly one unit file", names)
+	}
+	// Close reports deferred durability errors; a healthy run has none,
+	// and reporting is one-shot.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after clean Puts: %v", err)
+	}
+}
+
+func TestFileStoreCloseReportsDeferredError(t *testing.T) {
+	// Close owns the deferred directory sync; if the directory vanished
+	// after a successful Put, that durability failure must surface.
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	if err := s.Put(testUnit(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the dirsync failure")
+	}
+	// Reporting is one-shot: nothing new to sync after the first Close.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close repeated the deferred error: %v", err)
 	}
 }
 

@@ -180,6 +180,31 @@ func (p *Pattern) Slab(i, ki int) []int {
 	}
 }
 
+// Cover returns the half-open partition index range [lo, hi) of mode i
+// whose ranges intersect the row interval [from, from+size). It is the
+// re-tiling primitive: a block of one pattern maps to the tiles
+// Cover selects in another pattern over the same dims.
+func (p *Pattern) Cover(i, from, size int) (lo, hi int) {
+	if i < 0 || i >= len(p.Dims) || from < 0 || size <= 0 || from+size > p.Dims[i] {
+		panic(fmt.Sprintf("grid: Cover(%d, %d, %d) of pattern %v", i, from, size, p.Dims))
+	}
+	lo, hi = -1, -1
+	for ki := 0; ki < p.K[i]; ki++ {
+		f, s := p.ModeRange(i, ki)
+		if f+s <= from {
+			continue
+		}
+		if f >= from+size {
+			break
+		}
+		if lo < 0 {
+			lo = ki
+		}
+		hi = ki + 1
+	}
+	return lo, hi
+}
+
 // Equal reports whether two patterns are identical.
 func (p *Pattern) Equal(q *Pattern) bool {
 	if len(p.Dims) != len(q.Dims) {

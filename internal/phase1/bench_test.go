@@ -1,0 +1,123 @@
+package phase1
+
+import (
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/tensor"
+	"twopcp/internal/tfile"
+)
+
+// BenchmarkPhase1Tiled compares Phase 1 over the in-memory DenseSource
+// with the out-of-core TiledSource reading the same tensor from a
+// .tptl file (tiling finer than the run partition, so re-tiling is on
+// the hot path). Reported metrics: MB/s of tensor decomposed per
+// wall-second and peakHeap-MB, the maximum sampled Go heap during the
+// run — the number that stays flat for tiled inputs as the tensor
+// grows. Baseline numbers live in BENCH_phase1_tiled.json.
+func BenchmarkPhase1Tiled(b *testing.B) {
+	rng := rand.New(rand.NewSource(50))
+	dims := []int{48, 48, 48}
+	x := tensor.RandomDense(rng, dims...)
+	p := grid.MustNew(dims, []int{2, 2, 2})
+	opts := Options{Rank: 4, MaxIters: 10, Seed: 3}
+	bytesPerOp := float64(len(x.Data) * 8)
+
+	path := filepath.Join(b.TempDir(), "x.tptl")
+	w, err := tfile.Create(path, dims, []int{4, 4, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, vec := range w.Pattern().Positions() {
+		from, size := w.Pattern().Block(vec)
+		if err := w.WriteTile(vec, x.SubTensor(from, size)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, src Source) {
+		b.Helper()
+		peak := startHeapSampler()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(src, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		peakMB := float64(peak.stop()) / (1 << 20)
+		b.ReportMetric(bytesPerOp*float64(b.N)/elapsed.Seconds()/1e6, "MB/s")
+		b.ReportMetric(peakMB, "peakHeap-MB")
+	}
+
+	b.Run("InMemory", func(b *testing.B) {
+		src, err := NewDenseSource(x, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, src)
+	})
+	b.Run("Tiled", func(b *testing.B) {
+		r, err := tfile.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		src, err := NewTiledSource(r, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, src)
+	})
+}
+
+// heapSampler polls runtime heap usage in the background so a
+// benchmark can report its peak working set.
+type heapSampler struct {
+	peak int64
+	done chan struct{}
+	quit chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{done: make(chan struct{}), quit: make(chan struct{})}
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := atomic.LoadInt64(&s.peak)
+			if int64(ms.HeapAlloc) <= old ||
+				atomic.CompareAndSwapInt64(&s.peak, old, int64(ms.HeapAlloc)) {
+				return
+			}
+		}
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(200 * time.Microsecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.quit:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) stop() int64 {
+	close(s.quit)
+	<-s.done
+	return atomic.LoadInt64(&s.peak)
+}

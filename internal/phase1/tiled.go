@@ -1,0 +1,93 @@
+package phase1
+
+import (
+	"fmt"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/tensor"
+	"twopcp/internal/tfile"
+)
+
+// TiledSource serves grid blocks straight from a .tptl tiled tensor
+// file — the out-of-core Phase-1 input path. When the run's partition
+// pattern matches the file tiling, every Block is a single tile read;
+// otherwise the block is assembled from the file tiles it intersects
+// (coarsening or splitting the tiling on the fly), holding at most one
+// file tile plus the output block in memory at a time. Blocks carry
+// exactly the same cell values as DenseSource over the same tensor, so
+// the decomposition downstream is bit-for-bit identical.
+//
+// TiledSource is safe for concurrent Block calls (the underlying
+// Reader reads via io.ReaderAt), which phase1.Run relies on.
+type TiledSource struct {
+	R *tfile.Reader
+	P *grid.Pattern
+}
+
+// NewTiledSource validates that the pattern matches the file's tensor
+// shape.
+func NewTiledSource(r *tfile.Reader, p *grid.Pattern) (*TiledSource, error) {
+	dims := r.Dims()
+	if len(dims) != len(p.Dims) {
+		return nil, fmt.Errorf("phase1: tiled file has %d modes, pattern %d", len(dims), len(p.Dims))
+	}
+	for i := range dims {
+		if dims[i] != p.Dims[i] {
+			return nil, fmt.Errorf("phase1: mode %d: tiled file size %d != pattern size %d", i, dims[i], p.Dims[i])
+		}
+	}
+	return &TiledSource{R: r, P: p}, nil
+}
+
+// Pattern implements Source.
+func (s *TiledSource) Pattern() *grid.Pattern { return s.P }
+
+// Block implements Source.
+func (s *TiledSource) Block(vec []int) (any, error) {
+	from, size := s.P.Block(vec)
+	tiling := s.R.Tiling()
+	if s.P.Equal(tiling) {
+		return s.R.ReadTile(vec)
+	}
+	out := tensor.NewDense(size...)
+	n := len(from)
+	// Per-mode ranges of file tiles the block intersects.
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := range from {
+		lo[i], hi[i] = tiling.Cover(i, from[i], size[i])
+	}
+	tvec := append([]int(nil), lo...)
+	srcFrom := make([]int, n)
+	dstFrom := make([]int, n)
+	span := make([]int, n)
+	for {
+		tile, err := s.R.ReadTile(tvec)
+		if err != nil {
+			return nil, err
+		}
+		// Intersection of the block with this tile, in tile-local
+		// (srcFrom) and block-local (dstFrom) coordinates.
+		for i, ti := range tvec {
+			tFrom, tSize := tiling.ModeRange(i, ti)
+			a := max(from[i], tFrom)
+			b := min(from[i]+size[i], tFrom+tSize)
+			srcFrom[i] = a - tFrom
+			dstFrom[i] = a - from[i]
+			span[i] = b - a
+		}
+		tensor.CopyRegion(out, dstFrom, tile, srcFrom, span)
+		// Advance tvec through the [lo, hi) box, mode 0 fastest.
+		i := 0
+		for ; i < n; i++ {
+			tvec[i]++
+			if tvec[i] < hi[i] {
+				break
+			}
+			tvec[i] = lo[i]
+		}
+		if i == n {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package phase1
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/tensor"
+	"twopcp/internal/tfile"
+)
+
+// writeTiled stores x as a .tptl file tiled per tiles and returns an
+// open reader.
+func writeTiled(t *testing.T, x *tensor.Dense, tiles []int, opts ...tfile.WriterOption) *tfile.Reader {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.tptl")
+	w, err := tfile.Create(path, x.Dims, tiles, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vec := range w.Pattern().Positions() {
+		from, size := w.Pattern().Block(vec)
+		if err := w.WriteTile(vec, x.SubTensor(from, size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestTiledSourceBlocksMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := tensor.RandomDense(rng, 11, 9, 7)
+	for _, tc := range []struct {
+		name         string
+		tiles, parts []int
+		opts         []tfile.WriterOption
+	}{
+		{"same-tiling", []int{2, 3, 2}, []int{2, 3, 2}, nil},
+		{"coarsen", []int{4, 3, 4}, []int{2, 1, 2}, nil},
+		{"split", []int{2, 1, 2}, []int{4, 3, 4}, nil},
+		{"mismatched", []int{3, 2, 3}, []int{2, 3, 2}, nil},
+		{"gzip", []int{3, 2, 2}, []int{2, 2, 3}, []tfile.WriterOption{tfile.WithGzip()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := writeTiled(t, x, tc.tiles, tc.opts...)
+			p := grid.MustNew(x.Dims, tc.parts)
+			src, err := NewTiledSource(r, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, vec := range p.Positions() {
+				got, err := src.Block(vec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				from, size := p.Block(vec)
+				want := x.SubTensor(from, size)
+				if !got.(*tensor.Dense).EqualApprox(want, 0) {
+					t.Fatalf("block %v differs from in-memory SubTensor", vec)
+				}
+			}
+		})
+	}
+}
+
+func TestTiledSourceValidation(t *testing.T) {
+	x := tensor.RandomDense(rand.New(rand.NewSource(21)), 6, 6)
+	r := writeTiled(t, x, []int{2, 2})
+	if _, err := NewTiledSource(r, grid.MustNew([]int{6, 6, 6}, []int{2, 2, 2})); err == nil {
+		t.Fatal("mode-count mismatch accepted")
+	}
+	if _, err := NewTiledSource(r, grid.MustNew([]int{6, 5}, []int{2, 1})); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestTiledSourcePhase1Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := tensor.RandomDense(rng, 10, 8, 6)
+	p := grid.MustNew(x.Dims, []int{2, 2, 2})
+	opts := Options{Rank: 3, MaxIters: 15, Seed: 9, Workers: 4}
+
+	memSrc, err := NewDenseSource(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Run(memSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File tiling deliberately different from the run partition.
+	r := writeTiled(t, x, []int{5, 2, 3})
+	tiledSrc, err := NewTiledSource(r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := Run(tiledSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range mem.Sub {
+		if mem.Fits[id] != tiled.Fits[id] {
+			t.Fatalf("block %d fit differs: %g vs %g", id, mem.Fits[id], tiled.Fits[id])
+		}
+		for m := range mem.Sub[id] {
+			if !mem.Sub[id][m].Equal(tiled.Sub[id][m]) {
+				t.Fatalf("block %d mode %d sub-factor differs between tiled and dense sources", id, m)
+			}
+		}
+	}
+}
+
+func TestGridCover(t *testing.T) {
+	p := grid.MustNew([]int{10}, []int{3}) // ranges [0,4) [4,7) [7,10)
+	for _, tc := range []struct {
+		from, size, lo, hi int
+	}{
+		{0, 10, 0, 3},
+		{0, 4, 0, 1},
+		{4, 3, 1, 2},
+		{3, 2, 0, 2},
+		{6, 2, 1, 3},
+		{9, 1, 2, 3},
+	} {
+		lo, hi := p.Cover(0, tc.from, tc.size)
+		if lo != tc.lo || hi != tc.hi {
+			t.Fatalf("Cover(0, %d, %d) = [%d,%d), want [%d,%d)",
+				tc.from, tc.size, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestCopyRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := tensor.RandomDense(rng, 5, 4, 3)
+	dst := tensor.NewDense(6, 6, 6)
+	tensor.CopyRegion(dst, []int{1, 2, 3}, src, []int{2, 1, 0}, []int{3, 2, 2})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				if dst.At(1+i, 2+j, 3+k) != src.At(2+i, 1+j, 0+k) {
+					t.Fatalf("cell (%d,%d,%d) not copied", i, j, k)
+				}
+			}
+		}
+	}
+	if nnz := dst.NNZ(); nnz != 3*2*2 {
+		t.Fatalf("CopyRegion wrote outside the region: nnz = %d", nnz)
+	}
+}

@@ -197,42 +197,58 @@ func (t *Dense) SubTensor(from, size []int) *Dense {
 	if len(from) != len(t.Dims) || len(size) != len(t.Dims) {
 		panic("tensor: SubTensor: index arity mismatch")
 	}
-	for k := range from {
-		if from[k] < 0 || size[k] < 0 || from[k]+size[k] > t.Dims[k] {
-			panic(fmt.Sprintf("tensor: SubTensor from=%v size=%v of dims %v", from, size, t.Dims))
-		}
-	}
 	out := NewDense(size...)
-	srcStrides := t.Strides()
-	idx := make([]int, len(size))
-	for off := range out.Data {
-		src := 0
-		for k := range idx {
-			src += (from[k] + idx[k]) * srcStrides[k]
-		}
-		out.Data[off] = t.Data[src]
-		incIndex(idx, size)
-	}
+	CopyRegion(out, make([]int, len(size)), t, from, size)
 	return out
+}
+
+// CopyRegion copies the size-shaped region of src starting at srcFrom
+// into dst starting at dstFrom, without intermediate allocation. It is
+// the re-tiling primitive: assembling a grid block from file tiles (or
+// vice versa) is a sequence of region copies.
+func CopyRegion(dst *Dense, dstFrom []int, src *Dense, srcFrom, size []int) {
+	if len(dstFrom) != len(dst.Dims) || len(srcFrom) != len(src.Dims) ||
+		len(size) != len(dst.Dims) || len(dst.Dims) != len(src.Dims) {
+		panic("tensor: CopyRegion: index arity mismatch")
+	}
+	for k := range size {
+		if size[k] < 0 || srcFrom[k] < 0 || srcFrom[k]+size[k] > src.Dims[k] ||
+			dstFrom[k] < 0 || dstFrom[k]+size[k] > dst.Dims[k] {
+			panic(fmt.Sprintf("tensor: CopyRegion dstFrom=%v srcFrom=%v size=%v of %v ← %v",
+				dstFrom, srcFrom, size, dst.Dims, src.Dims))
+		}
+	}
+	if len(size) == 0 {
+		copy(dst.Data, src.Data) // 0-mode scalar tensors
+		return
+	}
+	srcStrides := src.Strides()
+	dstStrides := dst.Strides()
+	// Copy contiguous mode-0 runs of length size[0].
+	run := size[0]
+	if run == 0 {
+		return
+	}
+	outer := 1
+	for _, s := range size[1:] {
+		outer *= s
+	}
+	idx := make([]int, len(size)-1) // indices over modes 1..N-1
+	for c := 0; c < outer; c++ {
+		so := srcFrom[0] * srcStrides[0]
+		do := dstFrom[0] * dstStrides[0]
+		for k, i := range idx {
+			so += (srcFrom[k+1] + i) * srcStrides[k+1]
+			do += (dstFrom[k+1] + i) * dstStrides[k+1]
+		}
+		copy(dst.Data[do:do+run], src.Data[so:so+run])
+		incIndex(idx, size[1:])
+	}
 }
 
 // SetSubTensor copies block into t starting at from.
 func (t *Dense) SetSubTensor(block *Dense, from []int) {
-	for k := range from {
-		if from[k] < 0 || from[k]+block.Dims[k] > t.Dims[k] {
-			panic(fmt.Sprintf("tensor: SetSubTensor from=%v block=%v into %v", from, block.Dims, t.Dims))
-		}
-	}
-	dstStrides := t.Strides()
-	idx := make([]int, len(block.Dims))
-	for off := range block.Data {
-		dst := 0
-		for k := range idx {
-			dst += (from[k] + idx[k]) * dstStrides[k]
-		}
-		t.Data[dst] = block.Data[off]
-		incIndex(idx, block.Dims)
-	}
+	CopyRegion(t, from, block, make([]int, len(block.Dims)), block.Dims)
 }
 
 // Unfold returns the mode-n unfolding X_(n): an I_n × (Π_{k≠n} I_k) matrix

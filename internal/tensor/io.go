@@ -34,8 +34,12 @@ func WriteDense(w io.Writer, t *Dense) error {
 	return bw.Flush()
 }
 
-// ReadDense deserializes a dense tensor from r.
+// ReadDense deserializes a dense tensor from r. The header is
+// validated against sane limits — and, when r is a file, against the
+// file's actual size — before the payload allocation, so a corrupt or
+// hostile header cannot trigger a multi-GB (or overflowed) allocation.
 func ReadDense(r io.Reader) (*Dense, error) {
+	limit := remainingBytes(r)
 	br := bufio.NewReader(r)
 	if err := expectMagic(br, denseMagic); err != nil {
 		return nil, err
@@ -43,6 +47,14 @@ func ReadDense(r io.Reader) (*Dense, error) {
 	dims, err := readDims(br)
 	if err != nil {
 		return nil, err
+	}
+	n, err := checkedLen(dims)
+	if err != nil {
+		return nil, err
+	}
+	if need := headerBytes(len(dims)) + 8*n; limit >= 0 && need > limit {
+		return nil, fmt.Errorf("tensor: header declares %v (%d bytes) but the file has only %d",
+			dims, need, limit)
 	}
 	t := NewDense(dims...)
 	if err := binary.Read(br, binary.LittleEndian, t.Data); err != nil {
@@ -78,8 +90,11 @@ func WriteCOO(w io.Writer, t *COO) error {
 	return bw.Flush()
 }
 
-// ReadCOO deserializes a sparse tensor from r.
+// ReadCOO deserializes a sparse tensor from r. Like ReadDense, the
+// declared nnz is validated against sane limits and the file size
+// before any proportional allocation.
 func ReadCOO(r io.Reader) (*COO, error) {
+	limit := remainingBytes(r)
 	br := bufio.NewReader(r)
 	if err := expectMagic(br, sparseMagic); err != nil {
 		return nil, err
@@ -88,9 +103,20 @@ func ReadCOO(r io.Reader) (*COO, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := checkedLen(dims); err != nil {
+		return nil, err
+	}
 	var nnz uint64
 	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
 		return nil, fmt.Errorf("tensor: read nnz: %w", err)
+	}
+	if nnz > maxTensorElems {
+		return nil, fmt.Errorf("tensor: implausible nnz %d", nnz)
+	}
+	recBytes := int64(8*len(dims) + 8)
+	if need := headerBytes(len(dims)) + 8 + int64(nnz)*recBytes; limit >= 0 && need > limit {
+		return nil, fmt.Errorf("tensor: header declares %d nonzeros (%d bytes) but the file has only %d",
+			nnz, need, limit)
 	}
 	t := NewCOO(dims...)
 	coords := make([]uint64, len(dims))
@@ -171,6 +197,11 @@ func writeDims(w io.Writer, dims []int) error {
 	return nil
 }
 
+// maxTensorElems bounds the cell (or nonzero) count a header may
+// declare: 2^42 cells = 32 TiB of float64 payload. Anything larger is
+// rejected as corrupt before allocation.
+const maxTensorElems = 1 << 42
+
 func readDims(r io.Reader) ([]int, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
@@ -185,9 +216,62 @@ func readDims(r io.Reader) ([]int, error) {
 	}
 	dims := make([]int, n)
 	for i, d := range u {
+		if d > maxTensorElems {
+			return nil, fmt.Errorf("tensor: mode %d has implausible size %d", i, d)
+		}
 		dims[i] = int(d)
 	}
 	return dims, nil
+}
+
+// checkedLen returns Π dims, rejecting negative sizes and products
+// beyond maxTensorElems (including overflowed ones) before any
+// allocation proportional to the product.
+func checkedLen(dims []int) (int64, error) {
+	total := int64(1)
+	for i, d := range dims {
+		if d < 0 {
+			return 0, fmt.Errorf("tensor: mode %d has negative size %d", i, d)
+		}
+		if d == 0 {
+			total = 0
+			continue
+		}
+		if total > maxTensorElems/int64(d) {
+			return 0, fmt.Errorf("tensor: dims %v exceed %d total cells", dims, int64(maxTensorElems))
+		}
+		total *= int64(d)
+	}
+	return total, nil
+}
+
+// headerBytes is the on-disk size of magic + nmodes + dims.
+func headerBytes(nmodes int) int64 { return 4 + 4 + 8*int64(nmodes) }
+
+// remainingBytes reports how many bytes r still has when it can tell
+// (a file, or anything with Stat), and -1 otherwise. It lets the
+// readers reject headers that promise more payload than exists before
+// allocating for them.
+func remainingBytes(r io.Reader) int64 {
+	type sizer interface {
+		Stat() (os.FileInfo, error)
+	}
+	s, ok := r.(sizer)
+	if !ok {
+		return -1
+	}
+	fi, err := s.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return -1
+	}
+	size := fi.Size()
+	// Account for anything already consumed when r is seekable.
+	if sk, ok := r.(io.Seeker); ok {
+		if pos, err := sk.Seek(0, io.SeekCurrent); err == nil {
+			return size - pos
+		}
+	}
+	return size
 }
 
 func expectMagic(r io.Reader, want string) error {

@@ -2,7 +2,9 @@ package tensor
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -106,6 +108,76 @@ func TestLoadMissingFile(t *testing.T) {
 	}
 	if _, err := LoadCOO(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// corruptHeader builds a dense header (magic + nmodes + dims) with
+// arbitrary dim values and no payload.
+func corruptHeader(magic string, dims ...uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(dims)))
+	binary.Write(&buf, binary.LittleEndian, dims)
+	return buf.Bytes()
+}
+
+func TestReadDenseRejectsImplausibleHeaders(t *testing.T) {
+	// Overflowing product: three modes of 2^21 = 2^63 cells. Must be
+	// rejected before any allocation is attempted.
+	b := corruptHeader("TPDN", 1<<21, 1<<21, 1<<21)
+	if _, err := ReadDense(bytes.NewReader(b)); err == nil {
+		t.Fatal("overflowing dims accepted")
+	}
+	// A single absurd mode.
+	b = corruptHeader("TPDN", 1<<50)
+	if _, err := ReadDense(bytes.NewReader(b)); err == nil {
+		t.Fatal("2^50-cell mode accepted")
+	}
+}
+
+func TestReadDenseRejectsHeaderLargerThanFile(t *testing.T) {
+	// A small file whose header claims a 64M-cell tensor: the file-size
+	// check must fire before the 512 MB allocation.
+	path := filepath.Join(t.TempDir(), "lie.tpdn")
+	if err := os.WriteFile(path, corruptHeader("TPDN", 400, 400, 400), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDense(path); err == nil {
+		t.Fatal("header larger than file accepted")
+	}
+	if !strings.Contains(func() string {
+		_, err := LoadDense(path)
+		return err.Error()
+	}(), "file has only") {
+		t.Fatal("expected a file-size mismatch error")
+	}
+}
+
+func TestReadCOORejectsImplausibleHeaders(t *testing.T) {
+	// nnz beyond any sane bound.
+	var buf bytes.Buffer
+	buf.Write(corruptHeader("TPSP", 100, 100))
+	binary.Write(&buf, binary.LittleEndian, uint64(1)<<50)
+	if _, err := ReadCOO(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("2^50 nnz accepted")
+	}
+	// Overflowing dims product.
+	b := corruptHeader("TPSP", 1<<21, 1<<21, 1<<21)
+	if _, err := ReadCOO(bytes.NewReader(b)); err == nil {
+		t.Fatal("overflowing dims accepted")
+	}
+}
+
+func TestReadCOORejectsNNZLargerThanFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lie.tpsp")
+	var buf bytes.Buffer
+	buf.Write(corruptHeader("TPSP", 50, 50))
+	binary.Write(&buf, binary.LittleEndian, uint64(1_000_000)) // ~24 MB of records
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCOO(path); err == nil {
+		t.Fatal("nnz larger than file accepted")
 	}
 }
 

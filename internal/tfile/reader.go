@@ -1,0 +1,245 @@
+package tfile
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/tensor"
+)
+
+// Reader gives random access to the tiles of a .tptl file. All header
+// and index validation happens in Open/NewReader, before any
+// payload-sized allocation. ReadTile is safe for concurrent use: every
+// call reads through the shared io.ReaderAt with its own section
+// reader, so Phase-1 workers can pull tiles in parallel.
+type Reader struct {
+	ra      io.ReaderAt
+	file    *os.File // non-nil when opened via Open (owns Close)
+	size    int64
+	pattern *grid.Pattern
+	flags   uint32
+	index   []indexEntry
+}
+
+// Open opens the named .tptl file for tile access.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tfile: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tfile: %w", err)
+	}
+	r, err := NewReader(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.file = f
+	return r, nil
+}
+
+// NewReader parses the header and index of a .tptl stream of the given
+// total size. The caller keeps ownership of ra unless the Reader came
+// from Open.
+func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	var fixed [16]byte
+	if _, err := ra.ReadAt(fixed[:], 0); err != nil {
+		return nil, fmt.Errorf("tfile: read header: %w", err)
+	}
+	if string(fixed[:4]) != Magic {
+		return nil, fmt.Errorf("tfile: bad magic %q, want %q", fixed[:4], Magic)
+	}
+	if v := binary.LittleEndian.Uint32(fixed[4:]); v != Version {
+		return nil, fmt.Errorf("tfile: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(fixed[8:])
+	if flags&^uint32(flagsKnown) != 0 {
+		return nil, fmt.Errorf("tfile: unknown flags %#x", flags&^uint32(flagsKnown))
+	}
+	n := binary.LittleEndian.Uint32(fixed[12:])
+	if n == 0 || n > 1<<16 {
+		return nil, fmt.Errorf("tfile: implausible mode count %d", n)
+	}
+	rest := make([]byte, 12*int(n))
+	if _, err := ra.ReadAt(rest, 16); err != nil {
+		return nil, fmt.Errorf("tfile: read dims: %w", err)
+	}
+	dims := make([]int, n)
+	for i := range dims {
+		d := binary.LittleEndian.Uint64(rest[8*i:])
+		if d == 0 || d > MaxElems {
+			return nil, fmt.Errorf("tfile: mode %d has implausible size %d", i, d)
+		}
+		dims[i] = int(d)
+	}
+	if _, err := checkDims(dims); err != nil {
+		return nil, err
+	}
+	tiles := make([]int, n)
+	for i := range tiles {
+		tiles[i] = int(binary.LittleEndian.Uint32(rest[8*int(n)+4*i:]))
+	}
+	p, err := grid.New(dims, tiles)
+	if err != nil {
+		return nil, fmt.Errorf("tfile: bad tiling: %w", err)
+	}
+	nt := p.NumBlocks()
+	idxOff := headerSize(int(n))
+	idxLen := int64(nt) * indexEntrySize
+	if idxOff+idxLen > size {
+		return nil, fmt.Errorf("tfile: file size %d too small for %d-tile index", size, nt)
+	}
+	raw := make([]byte, idxLen)
+	if _, err := ra.ReadAt(raw, idxOff); err != nil {
+		return nil, fmt.Errorf("tfile: read index: %w", err)
+	}
+	r := &Reader{ra: ra, size: size, pattern: p, flags: flags, index: make([]indexEntry, nt)}
+	gz := flags&FlagGzip != 0
+	vec := make([]int, n)
+	for i := range r.index {
+		off := i * indexEntrySize
+		e := indexEntry{
+			Offset: binary.LittleEndian.Uint64(raw[off:]),
+			Size:   binary.LittleEndian.Uint64(raw[off+8:]),
+			CRC:    binary.LittleEndian.Uint32(raw[off+16:]),
+		}
+		_, tsz := p.Block(p.Unlinear(i, vec))
+		elems := 1
+		for _, s := range tsz {
+			elems *= s
+		}
+		if e.Offset < uint64(idxOff+idxLen) || e.Offset > uint64(size) ||
+			e.Size > uint64(size) || int64(e.Offset) > size-int64(e.Size) {
+			return nil, fmt.Errorf("tfile: tile %d payload [%d,+%d) outside file of %d bytes",
+				i, e.Offset, e.Size, size)
+		}
+		if !sanePayload(int64(e.Size), elems, gz) {
+			return nil, fmt.Errorf("tfile: tile %d stored size %d implausible for %d cells",
+				i, e.Size, elems)
+		}
+		r.index[i] = e
+	}
+	return r, nil
+}
+
+// Dims returns the tensor mode sizes.
+func (r *Reader) Dims() []int { return append([]int(nil), r.pattern.Dims...) }
+
+// Tiling returns the file's tile grid.
+func (r *Reader) Tiling() *grid.Pattern { return r.pattern }
+
+// NumTiles returns the tile count.
+func (r *Reader) NumTiles() int { return len(r.index) }
+
+// Compressed reports whether tile payloads are gzip-compressed.
+func (r *Reader) Compressed() bool { return r.flags&FlagGzip != 0 }
+
+// ReadTile reads the tile at grid position vec into a fresh dense
+// tensor of the tile's extents, verifying its CRC when present.
+func (r *Reader) ReadTile(vec []int) (*tensor.Dense, error) {
+	id := r.pattern.Linear(vec)
+	e := r.index[id]
+	_, size := r.pattern.Block(vec)
+	out := tensor.NewDense(size...)
+
+	var src io.Reader = io.NewSectionReader(r.ra, int64(e.Offset), int64(e.Size))
+	var crc *crcReader
+	if r.flags&FlagCRC != 0 {
+		crc = &crcReader{r: src, h: crc32.NewIEEE()}
+		src = crc
+	}
+	if r.flags&FlagGzip != 0 {
+		zr, err := gzip.NewReader(src)
+		if err != nil {
+			return nil, fmt.Errorf("tfile: tile %v: gzip: %w", vec, err)
+		}
+		if err := readFloats(zr, out.Data); err != nil {
+			return nil, fmt.Errorf("tfile: tile %v: %w", vec, err)
+		}
+		// Drain to EOF so the gzip trailer (its own CRC32/ISIZE) is read
+		// and verified even when the file carries no per-tile CRC — and
+		// reject streams that inflate past the tile's declared cells.
+		if n, err := io.Copy(io.Discard, zr); err != nil {
+			return nil, fmt.Errorf("tfile: tile %v: gzip: %w", vec, err)
+		} else if n > 0 {
+			return nil, fmt.Errorf("tfile: tile %v: %d bytes beyond the declared %d cells",
+				vec, n, len(out.Data))
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("tfile: tile %v: gzip: %w", vec, err)
+		}
+	} else if err := readFloats(src, out.Data); err != nil {
+		return nil, fmt.Errorf("tfile: tile %v: %w", vec, err)
+	}
+	if crc != nil {
+		// Drain any trailing stored bytes (gzip framing the decoder did
+		// not consume) so the CRC covers the whole payload.
+		if _, err := io.Copy(io.Discard, crc); err != nil {
+			return nil, fmt.Errorf("tfile: tile %v: %w", vec, err)
+		}
+		if got := crc.h.Sum32(); got != e.CRC {
+			return nil, fmt.Errorf("tfile: tile %v CRC mismatch: stored %#x, computed %#x",
+				vec, e.CRC, got)
+		}
+	}
+	return out, nil
+}
+
+// ReadTileID is ReadTile addressed by Fortran-linear tile id.
+func (r *Reader) ReadTileID(id int) (*tensor.Dense, error) {
+	return r.ReadTile(r.pattern.Unlinear(id, nil))
+}
+
+// Close releases the underlying file when the Reader owns it.
+func (r *Reader) Close() error {
+	if r.file != nil {
+		return r.file.Close()
+	}
+	return nil
+}
+
+// readFloats fills dst from little-endian float64s, through a bounded
+// chunk buffer.
+func readFloats(r io.Reader, dst []float64) error {
+	buf := make([]byte, 64<<10)
+	per := len(buf) / 8
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > per {
+			n = per
+		}
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return fmt.Errorf("read cells: %w", err)
+		}
+		for i := range dst[:n] {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+type crcReader struct {
+	r io.Reader
+	h interface {
+		io.Writer
+		Sum32() uint32
+	}
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}

@@ -1,0 +1,105 @@
+package twopcp
+
+import (
+	"math"
+
+	"twopcp/internal/cpals"
+	"twopcp/internal/mat"
+	"twopcp/internal/phase1"
+	"twopcp/internal/tfile"
+)
+
+// DecomposeTiledFile runs the full 2PCP pipeline on a tiled .tptl
+// tensor file without ever materializing the tensor: Phase 1 reads
+// grid blocks straight from the file (re-tiling on the fly when the
+// partition pattern differs from the file tiling) and the final fit is
+// accumulated tile by tile, so peak memory is bounded by the larger of
+// one tile + one block and the Phase-2 buffer — not the tensor size.
+//
+// The factors, FitTrace and swap counts are bit-for-bit identical to
+// Decompose over the same tensor with the same Options; Fit may differ
+// in the last few ulps because the tile-streamed reduction sums in a
+// different order.
+func DecomposeTiledFile(path string, opts Options) (*Result, error) {
+	r, err := tfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	p, err := patternFor(r.Dims(), opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := phase1.NewTiledSource(r, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := run(src, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit, err = tiledFit(r, res.Model)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SaveTiled writes an in-memory dense tensor as a .tptl tiled file,
+// tiles-per-mode per mode (nil picks a tiling automatically). It is a
+// convenience for tensors that fit in memory; tensors that do not
+// should be written tile by tile with the tfile writer (see
+// cmd/tensorgen's streaming generation).
+func SaveTiled(path string, t *Dense, tiles []int) error {
+	if tiles == nil {
+		tiles = tfile.AutoTiles(t.Dims, 0)
+	}
+	w, err := tfile.Create(path, t.Dims, tiles)
+	if err != nil {
+		return err
+	}
+	p := w.Pattern()
+	for _, vec := range p.Positions() {
+		from, size := p.Block(vec)
+		if err := w.WriteTile(vec, t.SubTensor(from, size)); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// tiledFit computes 1 − ‖X−X̂‖/‖X‖ streaming over the file's tiles:
+// ‖X‖² and ⟨X,X̂⟩ are additive over tiles when the model factors are
+// row-sliced to each tile's extents, so only one tile is resident at a
+// time.
+func tiledFit(r *tfile.Reader, model *KTensor) (float64, error) {
+	tiling := r.Tiling()
+	var normX2, inner float64
+	for _, vec := range tiling.Positions() {
+		tile, err := r.ReadTile(vec)
+		if err != nil {
+			return 0, err
+		}
+		from, size := tiling.Block(vec)
+		sub := make([]*mat.Matrix, len(model.Factors))
+		for m, f := range model.Factors {
+			sub[m] = f.SliceRows(from[m], from[m]+size[m])
+		}
+		subModel := cpals.NewKTensor(sub)
+		copy(subModel.Lambda, model.Lambda)
+		n := tile.Norm()
+		normX2 += n * n
+		inner += subModel.InnerDense(tile)
+	}
+	normX := math.Sqrt(normX2)
+	if normX == 0 {
+		return 1, nil
+	}
+	normModel := model.Norm()
+	res2 := normX2 + normModel*normModel - 2*inner
+	if res2 < 0 {
+		res2 = 0
+	}
+	return 1 - math.Sqrt(res2)/normX, nil
+}

@@ -1,0 +1,133 @@
+package twopcp_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twopcp"
+)
+
+// Source-parity suite: decomposing via a .tptl file must yield exactly
+// the same factors, fit trajectory and swap counts as the in-memory
+// DenseSource path, including when the file tiling differs from the
+// run's partition pattern.
+
+func tiledParityOpts(storeDir string) twopcp.Options {
+	return twopcp.Options{
+		Rank:           4,
+		Partitions:     []int{3, 2, 2},
+		Schedule:       twopcp.HilbertOrder,
+		Replacement:    twopcp.Forward,
+		BufferFraction: 0.5,
+		MaxIters:       20,
+		Tol:            1e-8,
+		Seed:           17,
+		StoreDir:       storeDir,
+	}
+}
+
+func TestDecomposeTiledFileParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	x := twopcp.RandomDense(rng, 12, 10, 8)
+	dir := t.TempDir()
+
+	want, err := twopcp.Decompose(x, tiledParityOpts(filepath.Join(dir, "units-mem")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		tiles []int
+	}{
+		{"tiling-matches-pattern", []int{3, 2, 2}},
+		{"coarser-tiling", []int{1, 2, 1}},
+		{"finer-tiling", []int{6, 5, 4}},
+		{"mismatched-tiling", []int{5, 3, 3}},
+		{"auto-tiling", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".tptl")
+			if err := twopcp.SaveTiled(path, x, tc.tiles); err != nil {
+				t.Fatal(err)
+			}
+			got, err := twopcp.DecomposeTiledFile(path, tiledParityOpts(filepath.Join(dir, tc.name+"-units")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := range want.Model.Factors {
+				if !want.Model.Factors[m].Equal(got.Model.Factors[m]) {
+					t.Fatalf("mode-%d factor differs from the in-memory path", m)
+				}
+			}
+			if len(got.FitTrace) != len(want.FitTrace) {
+				t.Fatalf("FitTrace length %d, want %d", len(got.FitTrace), len(want.FitTrace))
+			}
+			for i := range want.FitTrace {
+				if got.FitTrace[i] != want.FitTrace[i] {
+					t.Fatalf("FitTrace[%d] = %v, want %v", i, got.FitTrace[i], want.FitTrace[i])
+				}
+			}
+			if got.Swaps != want.Swaps {
+				t.Fatalf("Swaps = %d, want %d", got.Swaps, want.Swaps)
+			}
+			if got.VirtualIters != want.VirtualIters || got.Converged != want.Converged {
+				t.Fatalf("iters/converged = %d/%v, want %d/%v",
+					got.VirtualIters, got.Converged, want.VirtualIters, want.Converged)
+			}
+			// The tile-streamed fit reduction sums in a different order,
+			// so allow round-off but nothing more.
+			if math.Abs(got.Fit-want.Fit) > 1e-12 {
+				t.Fatalf("Fit = %.17g, want %.17g", got.Fit, want.Fit)
+			}
+		})
+	}
+}
+
+func TestDecomposeTiledFileWithPrefetch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := twopcp.RandomDense(rng, 9, 9, 9)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tptl")
+	if err := twopcp.SaveTiled(path, x, []int{2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	opts := tiledParityOpts(filepath.Join(dir, "units"))
+	opts.Partitions = []int{3}
+	want, err := twopcp.Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.StoreDir = filepath.Join(dir, "units-pf")
+	opts.PrefetchDepth = 3
+	got, err := twopcp.DecomposeTiledFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range want.Model.Factors {
+		if !want.Model.Factors[m].Equal(got.Model.Factors[m]) {
+			t.Fatalf("mode-%d factor differs with prefetch over tiled input", m)
+		}
+	}
+	if got.Swaps != want.Swaps {
+		t.Fatalf("Swaps = %d, want %d", got.Swaps, want.Swaps)
+	}
+}
+
+func TestDecomposeTiledFileErrors(t *testing.T) {
+	if _, err := twopcp.DecomposeTiledFile(filepath.Join(t.TempDir(), "missing.tptl"),
+		twopcp.Options{Rank: 2}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tptl")
+	x := twopcp.RandomDense(rand.New(rand.NewSource(42)), 4, 4)
+	if err := twopcp.SaveTiled(path, x, []int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twopcp.DecomposeTiledFile(path, twopcp.Options{Rank: 0}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}

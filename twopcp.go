@@ -215,6 +215,12 @@ func run(src phase1.Source, p *Pattern, opts Options) (*Result, error) {
 	start = time.Now()
 	r, err := eng.Run()
 	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	// Close surfaces durability errors the store deferred (FileStore
+	// reports directory-sync failures here rather than failing Puts).
+	if err := store.Close(); err != nil {
 		return nil, err
 	}
 	out.Phase2Time = time.Since(start)
