@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"twopcp/internal/experiments"
+	"twopcp/internal/par"
 )
 
 func main() {
@@ -31,8 +32,12 @@ func main() {
 		runs      = flag.Int("runs", 3, "repetitions for Figure 13 medians")
 		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous; counts are depth-invariant)")
 		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
+		kworkers  = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
 	)
 	flag.Parse()
+	if *kworkers > 0 {
+		par.SetWorkers(*kworkers)
+	}
 	ioCfg := experiments.IO{PrefetchDepth: *prefetch, IOWorkers: *ioWorkers}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|all")

@@ -39,6 +39,7 @@ func main() {
 		maxIters  = flag.Int("iters", 100, "max Phase-2 virtual iterations")
 		tol       = flag.Float64("tol", 1e-2, "fit-improvement stopping threshold")
 		workers   = flag.Int("workers", 0, "Phase-1 parallelism (0 = GOMAXPROCS)")
+		kworkers  = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
 		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous)")
 		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
 		storeDir  = flag.String("store", "", "directory for out-of-core data units (empty = in-memory)")
@@ -67,6 +68,7 @@ func main() {
 		MaxIters:       *maxIters,
 		Tol:            *tol,
 		Workers:        *workers,
+		KernelWorkers:  *kworkers,
 		PrefetchDepth:  *prefetch,
 		IOWorkers:      *ioWorkers,
 		StoreDir:       *storeDir,

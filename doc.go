@@ -53,8 +53,11 @@
 //
 // # Concurrency
 //
-// A single Decompose call is internally parallel in two places. Phase 1
-// decomposes blocks on Options.Workers goroutines. Phase 2, which is
+// A single Decompose call is internally parallel in three places. Phase 1
+// decomposes blocks on Options.Workers goroutines. The dense compute
+// kernels underneath (MTTKRP, Gram, GEMM) additionally parallelize over
+// row panels on a shared worker pool capped by Options.KernelWorkers.
+// Phase 2, which is
 // strictly sequential in the paper, optionally runs an asynchronous I/O
 // pipeline: with Options.PrefetchDepth > 0 the engine issues buffer
 // prefetches for the next schedule steps while updating the current one,
@@ -69,6 +72,26 @@
 // internal/buffer. The top-level API itself follows the usual Go rule:
 // distinct Decompose calls may run concurrently (give each its own
 // StoreDir), but a single Options/Result value is not for shared mutation.
+// One caveat: the kernel-parallelism cap is a single process-global value,
+// so while concurrent calls requesting different KernelWorkers overlap,
+// the most recently started cap applies to all of them — wall clock may
+// shift, results never do (see the next section).
+//
+// # Determinism of the parallel kernels
+//
+// Every parallel compute kernel is constructed so its floating-point
+// output is bit-identical at every worker count, including fully serial
+// runs. Two rules make that hold: (1) each output region (an MTTKRP or
+// GEMM output row, a Gram panel partial) is owned by exactly one worker
+// invocation and accumulated in the same element order a serial sweep
+// would use; (2) where a reduction is unavoidable (GramInto, TMulInto),
+// rows are split into fixed-size panels — a constant, never derived from
+// the worker count — and the per-panel partials are added in ascending
+// panel order. Worker counts and scheduling therefore change wall-clock
+// time only. Combined with the per-block seeding of Phase 1 and the
+// depth-invariant Phase-2 pipeline, an entire run is reproducible from
+// Options.Seed alone regardless of Workers, KernelWorkers, IOWorkers or
+// PrefetchDepth.
 //
 // # Architecture
 //

@@ -3,6 +3,7 @@ package cpals
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"twopcp/internal/mat"
@@ -26,6 +27,12 @@ type Options struct {
 	// Init optionally supplies initial factor matrices (Dims[k]×Rank);
 	// they are cloned, not mutated.
 	Init []*mat.Matrix
+	// Workspace optionally supplies reusable scratch so repeated
+	// decompositions (e.g. Phase 1's per-block ALS) stop allocating per
+	// sweep. The same workspace may be reused across calls of any shape
+	// but must not be shared by concurrent calls; results are identical
+	// with or without it.
+	Workspace *Workspace
 }
 
 // Info reports how an ALS run went.
@@ -68,27 +75,35 @@ func (o *Options) normalize(dims []int) (Options, error) {
 
 // Decompose runs CP-ALS on a dense tensor.
 func Decompose(x *tensor.Dense, opts Options) (*KTensor, Info, error) {
-	return alsCore(x.Dims, x.Norm(), func(factors []*mat.Matrix, n int) *mat.Matrix {
-		return tensor.MTTKRP(x, factors, n)
+	return alsCore(x.Dims, x.Norm(), func(dst *mat.Matrix, factors []*mat.Matrix, n int) {
+		tensor.MTTKRPInto(dst, x, factors, n)
 	}, opts)
 }
 
 // DecomposeSparse runs CP-ALS on a sparse tensor.
 func DecomposeSparse(x *tensor.COO, opts Options) (*KTensor, Info, error) {
-	return alsCore(x.Dims, x.Norm(), func(factors []*mat.Matrix, n int) *mat.Matrix {
-		return tensor.MTTKRPSparse(x, factors, n)
+	return alsCore(x.Dims, x.Norm(), func(dst *mat.Matrix, factors []*mat.Matrix, n int) {
+		tensor.MTTKRPSparseInto(dst, x, factors, n)
 	}, opts)
 }
 
 // alsCore is the shared ALS loop, parameterized only by the MTTKRP kernel
-// so dense and sparse inputs share one implementation.
-func alsCore(dims []int, normX float64, mttkrp func([]*mat.Matrix, int) *mat.Matrix, opts Options) (*KTensor, Info, error) {
+// so dense and sparse inputs share one implementation. All sweep scratch —
+// the MTTKRP accumulators, V, the Gram cache and the solve/normalize
+// buffers — comes from the workspace, and the factor matrices are updated
+// in place, so steady-state sweeps perform no allocation.
+func alsCore(dims []int, normX float64, mttkrp func(*mat.Matrix, []*mat.Matrix, int), opts Options) (*KTensor, Info, error) {
 	o, err := opts.normalize(dims)
 	if err != nil {
 		return nil, Info{}, err
 	}
 	n := len(dims)
 	f := o.Rank
+	ws := o.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.reset(n, f)
 
 	factors := make([]*mat.Matrix, n)
 	if o.Init != nil {
@@ -100,41 +115,51 @@ func alsCore(dims []int, normX float64, mttkrp func([]*mat.Matrix, int) *mat.Mat
 			factors[k] = mat.Random(dims[k], f, o.Rng)
 		}
 	}
-	lambda := make([]float64, f)
+	lambda := ws.lambda
 	for i := range lambda {
 		lambda[i] = 1
 	}
 	// Cache the Gram matrices A(k)ᵀA(k); refresh after each factor update.
-	grams := make([]*mat.Matrix, n)
+	grams := ws.grams[:n]
 	for k := range grams {
-		grams[k] = mat.Gram(factors[k])
+		mat.GramInto(grams[k], factors[k])
 	}
+	v := ws.v
 
 	info := Info{}
 	prevFit := 0.0
 	for iter := 1; iter <= o.MaxIters; iter++ {
 		var lastM *mat.Matrix
 		for mode := 0; mode < n; mode++ {
-			m := mttkrp(factors, mode)
+			m := ws.mttkrpBuf(dims[mode])
+			mttkrp(m, factors, mode)
 			// V = ⊛_{k≠mode} A(k)ᵀA(k)
-			v := mat.New(f, f)
 			v.Fill(1)
 			for k := 0; k < n; k++ {
 				if k != mode {
 					v.HadamardInPlace(grams[k])
 				}
 			}
-			a := mat.RightSolveSPD(m, v)
-			norms := a.NormalizeColumns(1e-300)
-			copy(lambda, norms)
-			factors[mode] = a
+			a := factors[mode]
+			mat.RightSolveSPDInto(a, m, v, &ws.spd)
+			a.NormalizeColumnsTo(ws.norms, ws.inv, 1e-300)
+			copy(lambda, ws.norms)
 			mat.GramInto(grams[mode], a)
 			lastM = m
 		}
-		// Fit via the last mode's MTTKRP: ⟨X,X̂⟩ = Σ_f λ_f Σ_i M[i,f]A[i,f].
+		// Fit via the last mode's MTTKRP: ⟨X,X̂⟩ = Σ_f λ_f Σ_i M[i,f]A[i,f],
+		// with ‖X̂‖ from the cached Grams (the Kruskal identity, see
+		// KTensor.Norm) instead of re-Gramming every factor.
 		inner := innerFromMTTKRP(lastM, factors[n-1], lambda)
-		kt := &KTensor{Lambda: lambda, Factors: factors}
-		fit := fitFromParts(normX, kt.Norm(), inner)
+		v.Fill(1)
+		for k := 0; k < n; k++ {
+			v.HadamardInPlace(grams[k])
+		}
+		norm2 := mat.QuadForm(v, lambda, lambda)
+		if norm2 < 0 {
+			norm2 = 0
+		}
+		fit := fitFromParts(normX, math.Sqrt(norm2), inner)
 		info.FitTrace = append(info.FitTrace, fit)
 		info.Iters = iter
 		info.Fit = fit

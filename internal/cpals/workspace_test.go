@@ -1,0 +1,134 @@
+package cpals
+
+import (
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/par"
+	"twopcp/internal/tensor"
+)
+
+// TestWorkspaceReuseIsBitNeutral pins the workspace contract: reusing one
+// workspace across decompositions of different shapes and ranks yields
+// exactly the results of fresh runs.
+func TestWorkspaceReuseIsBitNeutral(t *testing.T) {
+	ws := NewWorkspace()
+	cases := []struct {
+		dims []int
+		rank int
+	}{
+		{[]int{12, 10, 8}, 4},
+		{[]int{6, 6, 6}, 3},
+		{[]int{12, 10, 8}, 4}, // repeat: buffers warm
+		{[]int{5, 4, 3, 2}, 2},
+	}
+	for i, tc := range cases {
+		x := tensor.RandomDense(rand.New(rand.NewSource(int64(100+i))), tc.dims...)
+		mk := func(w *Workspace) (*KTensor, Info) {
+			kt, info, err := Decompose(x, Options{
+				Rank: tc.rank, MaxIters: 8, Tol: 1e-12,
+				Rng: rand.New(rand.NewSource(int64(i))), Workspace: w,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return kt, info
+		}
+		fresh, freshInfo := mk(nil)
+		reused, reusedInfo := mk(ws)
+		for k := range fresh.Factors {
+			if !fresh.Factors[k].Equal(reused.Factors[k]) {
+				t.Fatalf("case %d: factor %d differs with workspace reuse", i, k)
+			}
+		}
+		for j, f := range freshInfo.FitTrace {
+			if reusedInfo.FitTrace[j] != f {
+				t.Fatalf("case %d: FitTrace[%d] %v != %v", i, j, reusedInfo.FitTrace[j], f)
+			}
+		}
+	}
+}
+
+func TestWorkspaceSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := tensor.RandomCOO(rng, 0.3, 8, 7, 6)
+	ws := NewWorkspace()
+	kt1, _, err := DecomposeSparse(x, Options{Rank: 3, MaxIters: 5, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt2, _, err := DecomposeSparse(x, Options{Rank: 3, MaxIters: 5, Rng: rand.New(rand.NewSource(1)), Workspace: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range kt1.Factors {
+		if !kt1.Factors[k].Equal(kt2.Factors[k]) {
+			t.Fatalf("sparse factor %d differs with workspace", k)
+		}
+	}
+}
+
+// TestDecomposeKernelWorkersBitExact sweeps the kernel worker grid over a
+// full dense CP-ALS run.
+func TestDecomposeKernelWorkersBitExact(t *testing.T) {
+	x := tensor.RandomDense(rand.New(rand.NewSource(42)), 24, 20, 18)
+	run := func(w int) (*KTensor, Info) {
+		defer par.SetWorkers(par.SetWorkers(w))
+		kt, info, err := Decompose(x, Options{
+			Rank: 16, MaxIters: 4, Rng: rand.New(rand.NewSource(2)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kt, info
+	}
+	serialKT, serialInfo := run(1)
+	for _, w := range []int{2, 7} {
+		kt, info := run(w)
+		for k := range kt.Factors {
+			if !kt.Factors[k].Equal(serialKT.Factors[k]) {
+				t.Fatalf("workers=%d: factor %d differs from serial", w, k)
+			}
+		}
+		for j, f := range serialInfo.FitTrace {
+			if info.FitTrace[j] != f {
+				t.Fatalf("workers=%d: FitTrace[%d] differs", w, j)
+			}
+		}
+	}
+}
+
+// BenchmarkALSSweep measures full CP-ALS sweeps on a 64³ rank-16 block —
+// the Phase-1 inner loop — with and without workspace reuse. The recorded
+// baselines live in BENCH_kernels.json at the repo root.
+func BenchmarkALSSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandomDense(rng, 64, 64, 64)
+	init := []*mat.Matrix{
+		mat.Random(64, 16, rng), mat.Random(64, 16, rng), mat.Random(64, 16, rng),
+	}
+	defer par.SetWorkers(par.SetWorkers(1))
+	for _, withWS := range []bool{false, true} {
+		name := "fresh"
+		if withWS {
+			name = "workspace"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ws *Workspace
+			if withWS {
+				ws = NewWorkspace()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, err := Decompose(x, Options{
+					Rank: 16, MaxIters: 2, Tol: 1e-16, Init: init, Workspace: ws,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// branchy is the seed kernel shape: skip zero multipliers before the inner
+// axpy. On dense factors the branch never fires but still costs a
+// compare+jump per element.
+func gramBranchy(dst, a *Matrix) {
+	n := a.Cols
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, vj := range row {
+			if vj == 0 {
+				continue
+			}
+			drow := dst.Row(j)
+			for k := j; k < n; k++ {
+				drow[k] += vj * row[k]
+			}
+		}
+	}
+}
+
+func gramBranchless(dst, a *Matrix) {
+	n := a.Cols
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, vj := range row {
+			Axpy(dst.Data[j*n+j:(j+1)*n], row[j:], vj)
+		}
+	}
+}
+
+func BenchmarkGramBranchAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := Random(1<<14, 16, rng)
+	out := New(16, 16)
+	b.Run("branchy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gramBranchy(out, a)
+		}
+	})
+	b.Run("branchless", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gramBranchless(out, a)
+		}
+	})
+}

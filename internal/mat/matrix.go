@@ -224,9 +224,30 @@ func (m *Matrix) ColumnNorms() []float64 {
 // untouched and report norm 1 so that callers folding the norms into λ
 // weights stay consistent.
 func (m *Matrix) NormalizeColumns(eps float64) []float64 {
-	norms := m.ColumnNorms()
-	inv := make([]float64, m.Cols)
-	for j, n := range norms {
+	norms := make([]float64, m.Cols)
+	m.NormalizeColumnsTo(norms, make([]float64, m.Cols), eps)
+	return norms
+}
+
+// NormalizeColumnsTo is NormalizeColumns writing the norms into the
+// caller-provided norms slice, using inv as scratch (both len Cols). Hot
+// loops use it to keep ALS sweeps allocation-free.
+func (m *Matrix) NormalizeColumnsTo(norms, inv []float64, eps float64) {
+	if len(norms) != m.Cols || len(inv) != m.Cols {
+		panic(fmt.Sprintf("mat: NormalizeColumnsTo: %d norms, %d inv for %d columns", len(norms), len(inv), m.Cols))
+	}
+	for j := range norms {
+		norms[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			norms[j] += v * v
+		}
+	}
+	for j, n2 := range norms {
+		n := math.Sqrt(n2)
+		norms[j] = n
 		if n < eps {
 			norms[j] = 1
 			inv[j] = 1
@@ -240,7 +261,6 @@ func (m *Matrix) NormalizeColumns(eps float64) []float64 {
 			row[j] *= inv[j]
 		}
 	}
-	return norms
 }
 
 // ScaleColumns multiplies column j of m by s[j] in place.

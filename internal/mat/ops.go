@@ -3,7 +3,38 @@ package mat
 import (
 	"fmt"
 	"math"
+	"sync"
+
+	"twopcp/internal/par"
 )
+
+// Panel geometry of the parallel kernels. The reduction kernels (GramInto,
+// TMulInto) split the row dimension into fixed-size panels, accumulate one
+// partial per panel, and add the partials into dst in ascending panel order.
+// The panel size is a constant — never derived from the worker count — so
+// the floating-point result is identical at every worker count: a serial
+// run walks the very same panels in the very same order. MulInto needs no
+// partials (each dst row is owned by exactly one panel), so its output is
+// worker-invariant as well.
+const reducePanelRows = 256
+
+// panelScratch pools the per-panel partial accumulators of the reduction
+// kernels so steady-state ALS sweeps allocate nothing.
+var panelScratch = sync.Pool{New: func() any { s := make([]float64, 0, 4096); return &s }}
+
+func getScratch(n int) *[]float64 {
+	sp := panelScratch.Get().(*[]float64)
+	if cap(*sp) < n {
+		*sp = make([]float64, n)
+	}
+	*sp = (*sp)[:n]
+	for i := range *sp {
+		(*sp)[i] = 0
+	}
+	return sp
+}
+
+func putScratch(sp *[]float64) { panelScratch.Put(sp) }
 
 // Mul returns a*b. It panics if the inner dimensions differ.
 func Mul(a, b *Matrix) *Matrix {
@@ -22,20 +53,7 @@ func MulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("mat: MulInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	dst.Zero()
-	// ikj loop order: streams through b and dst rows sequentially.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	mulAdd(dst, a, b)
 }
 
 // MulAddInto computes dst += a*b without zeroing dst first.
@@ -46,19 +64,32 @@ func MulAddInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulAddInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
+	mulAdd(dst, a, b)
+}
+
+// mulAdd accumulates a*b into dst, parallel over row panels. Each dst row
+// is produced by exactly one panel invocation with a fixed ikj loop order,
+// so the result does not depend on the worker count.
+func mulAdd(dst, a, b *Matrix) {
+	rows := a.Rows
+	if rows == 0 || b.Cols == 0 {
+		return
+	}
+	np := (rows + reducePanelRows - 1) / reducePanelRows
+	par.DoWorkers(par.WorkersFor(rows*a.Cols*b.Cols*2), np, func(p int) {
+		lo := p * reducePanelRows
+		hi := lo + reducePanelRows
+		if hi > rows {
+			hi = rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k, av := range arow {
+				Axpy(drow, b.Row(k), av)
 			}
 		}
-	}
+	})
 }
 
 // Gram returns aᵀa, the F×F Gram matrix of a's columns.
@@ -70,29 +101,51 @@ func Gram(a *Matrix) *Matrix {
 }
 
 // GramInto computes dst = aᵀa, exploiting symmetry.
-// dst must be a.Cols×a.Cols.
+// dst must be a.Cols×a.Cols. Row panels are reduced in ascending panel
+// order, so the result is identical at every worker count.
 func GramInto(dst, a *Matrix) {
 	n := a.Cols
 	if dst.Rows != n || dst.Cols != n {
 		panic(fmt.Sprintf("mat: GramInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, n, n))
 	}
 	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		for j, vj := range row {
-			if vj == 0 {
-				continue
+	rows := a.Rows
+	if rows > 0 && n > 0 {
+		np := (rows + reducePanelRows - 1) / reducePanelRows
+		if np == 1 {
+			gramUpper(dst.Data, a, 0, rows, n)
+		} else {
+			sp := getScratch(np * n * n)
+			partials := *sp
+			par.DoWorkers(par.WorkersFor(rows*n*n), np, func(p int) {
+				lo := p * reducePanelRows
+				hi := lo + reducePanelRows
+				if hi > rows {
+					hi = rows
+				}
+				gramUpper(partials[p*n*n:(p+1)*n*n], a, lo, hi, n)
+			})
+			for p := 0; p < np; p++ {
+				Axpy(dst.Data, partials[p*n*n:(p+1)*n*n], 1)
 			}
-			drow := dst.Row(j)
-			for k := j; k < n; k++ {
-				drow[k] += vj * row[k]
-			}
+			putScratch(sp)
 		}
 	}
 	// Mirror the upper triangle.
 	for j := 1; j < n; j++ {
 		for k := 0; k < j; k++ {
 			dst.Data[j*n+k] = dst.Data[k*n+j]
+		}
+	}
+}
+
+// gramUpper accumulates the upper triangle of aᵀa over rows [lo, hi) into
+// buf (an n×n row-major buffer).
+func gramUpper(buf []float64, a *Matrix, lo, hi, n int) {
+	for i := lo; i < hi; i++ {
+		row := a.Row(i)
+		for j, vj := range row {
+			Axpy(buf[j*n+j:(j+1)*n], row[j:], vj)
 		}
 	}
 }
@@ -105,7 +158,8 @@ func TMul(a, b *Matrix) *Matrix {
 }
 
 // TMulInto computes dst = aᵀb, reusing dst's storage.
-// dst must be a.Cols×b.Cols.
+// dst must be a.Cols×b.Cols. Row panels are reduced in ascending panel
+// order, so the result is identical at every worker count.
 func TMulInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: TMul: %d×%d ᵀ* %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -114,17 +168,40 @@ func TMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("mat: TMulInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
+	rows := a.Rows
+	ac, bc := a.Cols, b.Cols
+	if rows == 0 || ac == 0 || bc == 0 {
+		return
+	}
+	np := (rows + reducePanelRows - 1) / reducePanelRows
+	if np == 1 {
+		tmulAcc(dst.Data, a, b, 0, rows)
+		return
+	}
+	sp := getScratch(np * ac * bc)
+	partials := *sp
+	par.DoWorkers(par.WorkersFor(rows*ac*bc), np, func(p int) {
+		lo := p * reducePanelRows
+		hi := lo + reducePanelRows
+		if hi > rows {
+			hi = rows
+		}
+		tmulAcc(partials[p*ac*bc:(p+1)*ac*bc], a, b, lo, hi)
+	})
+	for p := 0; p < np; p++ {
+		Axpy(dst.Data, partials[p*ac*bc:(p+1)*ac*bc], 1)
+	}
+	putScratch(sp)
+}
+
+// tmulAcc accumulates aᵀb over rows [lo, hi) into buf (a.Cols×b.Cols).
+func tmulAcc(buf []float64, a, b *Matrix, lo, hi int) {
+	bc := b.Cols
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		brow := b.Row(i)
 		for j, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Row(j)
-			for k, bv := range brow {
-				drow[k] += av * bv
-			}
+			Axpy(buf[j*bc:(j+1)*bc], brow, av)
 		}
 	}
 }

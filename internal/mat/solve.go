@@ -9,11 +9,21 @@ import (
 // m must be square and symmetric positive definite; otherwise ErrSingular
 // is returned. Only the lower triangle of m is read.
 func Cholesky(m *Matrix) (*Matrix, error) {
+	l := New(m.Rows, m.Rows)
+	if err := choleskyInto(l, m); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factors m into the caller-provided l (n×n, fully
+// overwritten), sparing the allocation in workspace-driven solves.
+func choleskyInto(l, m *Matrix) error {
 	n := m.Rows
 	if m.Cols != n {
 		panic(fmt.Sprintf("mat: Cholesky of %d×%d", m.Rows, m.Cols))
 	}
-	l := New(n, n)
+	l.Zero()
 	for j := 0; j < n; j++ {
 		d := m.At(j, j)
 		for k := 0; k < j; k++ {
@@ -21,7 +31,7 @@ func Cholesky(m *Matrix) (*Matrix, error) {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("mat: Cholesky pivot %d is %g: %w", j, d, ErrSingular)
+			return fmt.Errorf("mat: Cholesky pivot %d is %g: %w", j, d, ErrSingular)
 		}
 		dj := math.Sqrt(d)
 		l.Set(j, j, dj)
@@ -33,17 +43,23 @@ func Cholesky(m *Matrix) (*Matrix, error) {
 			l.Set(i, j, s/dj)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // CholeskySolve solves m·X = B given the Cholesky factor l of m (m = L·Lᵀ).
 // B is n×k; the returned X is n×k.
 func CholeskySolve(l, b *Matrix) *Matrix {
-	n := l.Rows
-	if b.Rows != n {
-		panic(fmt.Sprintf("mat: CholeskySolve: L is %d×%d, B is %d×%d", l.Rows, l.Cols, b.Rows, b.Cols))
-	}
 	x := b.Clone()
+	choleskySolveInPlace(l, x)
+	return x
+}
+
+// choleskySolveInPlace overwrites x (n×k) with the solution of L·Lᵀ·X = x.
+func choleskySolveInPlace(l, x *Matrix) {
+	n := l.Rows
+	if x.Rows != n {
+		panic(fmt.Sprintf("mat: CholeskySolve: L is %d×%d, B is %d×%d", l.Rows, l.Cols, x.Rows, x.Cols))
+	}
 	// Forward substitution: L·Y = B.
 	for i := 0; i < n; i++ {
 		xi := x.Row(i)
@@ -80,7 +96,6 @@ func CholeskySolve(l, b *Matrix) *Matrix {
 			xi[j] *= inv
 		}
 	}
-	return x
 }
 
 // SymEig computes the eigendecomposition of a symmetric matrix m using the
@@ -250,6 +265,28 @@ func axpyRow(m *Matrix, i, j int, f float64) {
 	}
 }
 
+// SPDScratch holds the reusable buffers of RightSolveSPDInto. The zero
+// value is ready to use; buffers grow on demand and are reused across
+// solves of any shape — the Bᵀ staging keeps one backing array and only
+// reshapes its header, so cycling through modes of different row counts
+// (non-cubic blocks) allocates nothing once warm.
+type SPDScratch struct {
+	l     *Matrix   // Cholesky factor, s.Rows×s.Rows
+	bt    Matrix    // Bᵀ staging header, s.Rows×b.Rows
+	btBuf []float64 // Bᵀ backing storage, grown on demand
+}
+
+func (sc *SPDScratch) ensure(n, rows int) (l, bt *Matrix) {
+	if sc.l == nil || sc.l.Rows != n {
+		sc.l = New(n, n)
+	}
+	if need := n * rows; cap(sc.btBuf) < need {
+		sc.btBuf = make([]float64, need)
+	}
+	sc.bt = Matrix{Rows: n, Cols: rows, Data: sc.btBuf[:n*rows]}
+	return sc.l, &sc.bt
+}
+
 // RightSolveSPD returns B·S⁻¹ for a symmetric (ideally positive definite)
 // S, as required by the factor update A ← T·S⁻¹. The fast path is a
 // Cholesky solve of S·Xᵀ = Bᵀ; if S is not positive definite to working
@@ -257,12 +294,43 @@ func axpyRow(m *Matrix, i, j int, f float64) {
 // behaviour of the reference CP-ALS implementations on rank-deficient
 // Gram products.
 func RightSolveSPD(b, s *Matrix) *Matrix {
+	out := New(b.Rows, b.Cols)
+	RightSolveSPDInto(out, b, s, &SPDScratch{})
+	return out
+}
+
+// RightSolveSPDInto computes dst = B·S⁻¹ without allocating on the
+// Cholesky fast path: the factorization and the transposed right-hand side
+// live in sc. dst must be b.Rows×b.Cols and must not alias b or s; the
+// result is bit-identical to RightSolveSPD. The rare non-SPD fallback
+// still allocates (it eigendecomposes S).
+func RightSolveSPDInto(dst, b, s *Matrix, sc *SPDScratch) {
 	if b.Cols != s.Rows {
 		panic(fmt.Sprintf("mat: RightSolveSPD: B %d×%d, S %d×%d", b.Rows, b.Cols, s.Rows, s.Cols))
 	}
-	if l, err := Cholesky(s); err == nil {
-		// X = B·S⁻¹  ⇔  S·Xᵀ = Bᵀ (S symmetric).
-		return CholeskySolve(l, b.T()).T()
+	if dst.Rows != b.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: RightSolveSPDInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, b.Rows, b.Cols))
 	}
-	return Mul(b, PseudoInverseSym(s, 0))
+	l, bt := sc.ensure(s.Rows, b.Rows)
+	if err := choleskyInto(l, s); err == nil {
+		// X = B·S⁻¹  ⇔  S·Xᵀ = Bᵀ (S symmetric).
+		transposeInto(bt, b)
+		choleskySolveInPlace(l, bt)
+		transposeInto(dst, bt)
+		return
+	}
+	MulInto(dst, b, PseudoInverseSym(s, 0))
+}
+
+// transposeInto writes mᵀ into dst (m.Cols×m.Rows).
+func transposeInto(dst, m *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("mat: transposeInto: dst %d×%d for %d×%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst.Data[j*m.Rows+i] = v
+		}
+	}
 }

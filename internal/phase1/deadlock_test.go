@@ -1,0 +1,82 @@
+package phase1
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/tensor"
+)
+
+// failSource errors on every block read.
+type failSource struct{ p *grid.Pattern }
+
+func (s *failSource) Pattern() *grid.Pattern       { return s.p }
+func (s *failSource) Block(vec []int) (any, error) { return nil, errFail }
+
+var errFail = errors.New("boom")
+
+// TestRunAllWorkersFailNoDeadlock pins the producer/worker shutdown: when
+// every worker exits on error, the job sends must not block forever. With
+// Workers: 1 a single failure used to leave the producer stuck on the
+// unbuffered channel.
+func TestRunAllWorkersFailNoDeadlock(t *testing.T) {
+	p, err := grid.New([]int{8, 8, 8}, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(&failSource{p: p}, Options{Rank: 2, Workers: workers, Seed: 1})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, errFail) {
+				t.Fatalf("workers=%d: err = %v, want wrapped errFail", workers, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: Run deadlocked on an always-failing source", workers)
+		}
+	}
+}
+
+// partialFailSource fails only one specific block, so some workers keep
+// draining while one exits.
+type partialFailSource struct {
+	DenseSource
+	failID int
+}
+
+func (s *partialFailSource) Block(vec []int) (any, error) {
+	id := s.P.Linear(vec)
+	if id == s.failID {
+		return nil, errFail
+	}
+	return s.DenseSource.Block(vec)
+}
+
+func TestRunSingleBlockFailureReported(t *testing.T) {
+	p, err := grid.New([]int{6, 6, 6}, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandomDense(rand.New(rand.NewSource(5)), 6, 6, 6)
+	src := &partialFailSource{DenseSource: DenseSource{X: x, P: p}, failID: 13}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(src, Options{Rank: 2, Workers: 3, Seed: 1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errFail) {
+			t.Fatalf("err = %v, want wrapped errFail", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung after a single block failure")
+	}
+}

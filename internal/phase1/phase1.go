@@ -167,39 +167,56 @@ func Run(src Source, opts Options) (*Result, error) {
 		vec []int
 	}
 	jobs := make(chan job)
+	// quit is closed on the first worker error so the producer stops
+	// handing out jobs. Without it the unbuffered send below deadlocks
+	// once every worker has exited on error.
+	quit := make(chan struct{})
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
+		quitOnce sync.Once
 		firstErr error
 	)
+	fail := func(vec []int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("phase1: block %v: %w", vec, err)
+		}
+		mu.Unlock()
+		quitOnce.Do(func() { close(quit) })
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one ALS workspace, reused across its blocks
+			// so per-sweep scratch is allocated once, not per block.
+			ws := cpals.NewWorkspace()
 			for j := range jobs {
 				block, err := src.Block(j.vec)
 				if err == nil {
 					var factors []*mat.Matrix
 					var fit float64
-					factors, fit, err = DecomposeBlock(block, j.id, p, opts)
+					factors, fit, err = decomposeBlock(block, j.id, p, opts, ws)
 					if err == nil {
 						res.Sub[j.id] = factors
 						res.Fits[j.id] = fit
 					}
 				}
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("phase1: block %v: %w", j.vec, err)
-					}
-					mu.Unlock()
+					fail(j.vec, err)
 					return
 				}
 			}
 		}()
 	}
+send:
 	for id, vec := range p.Positions() {
-		jobs <- job{id: id, vec: vec}
+		select {
+		case jobs <- job{id: id, vec: vec}:
+		case <-quit:
+			break send
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -213,10 +230,16 @@ func Run(src Source, opts Options) (*Result, error) {
 // λ-folded sub-factors plus the achieved fit. Empty blocks return zero
 // matrices and fit 1. The blockID seeds the per-block generator.
 func DecomposeBlock(block any, blockID int, p *grid.Pattern, opts Options) ([]*mat.Matrix, float64, error) {
+	return decomposeBlock(block, blockID, p, opts, nil)
+}
+
+// decomposeBlock is DecomposeBlock with an optional reusable ALS workspace
+// (Run's workers each hold one). Results are identical with or without it.
+func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *cpals.Workspace) ([]*mat.Matrix, float64, error) {
 	vec := p.Unlinear(blockID, nil)
 	_, size := p.Block(vec)
 	rng := rand.New(rand.NewSource(opts.Seed ^ int64(blockID)*0x9E3779B9))
-	alsOpts := cpals.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Rng: rng}
+	alsOpts := cpals.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Rng: rng, Workspace: ws}
 
 	var (
 		kt   *cpals.KTensor

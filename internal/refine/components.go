@@ -42,6 +42,13 @@ type components struct {
 	q [][]*mat.Matrix
 	// unorm2 = Σ_l ‖[[U_l]]‖², the surrogate data norm.
 	unorm2 float64
+	// SurrogateFit scratch, reused across termination checks (the engine
+	// runs single-threaded, so plain fields suffice): two F×F Hadamard
+	// accumulators, the all-ones weight vector and a block-vector buffer.
+	fitCross *mat.Matrix
+	fitModel *mat.Matrix
+	fitOnes  []float64
+	fitVec   []int
 }
 
 func newComponents(p1 *phase1.Result) *components {
@@ -61,11 +68,14 @@ func newComponents(p1 *phase1.Result) *components {
 	for m := 0; m < n; m++ {
 		c.q[m] = make([]*mat.Matrix, p.K[m])
 	}
+	c.fitCross = mat.New(p1.Rank, p1.Rank)
+	c.fitModel = mat.New(p1.Rank, p1.Rank)
+	c.fitOnes = onesVec(p1.Rank)
+	c.fitVec = make([]int, n)
 	// ‖[[U_l]]‖² = 1ᵀ(⊛_h U(h)ᵀU(h))1 per block.
-	ones := onesVec(p1.Rank)
 	for id := range c.ugram {
-		had := hadamardAllModes(c.ugram[id], -1, p1.Rank)
-		c.unorm2 += mat.QuadForm(had, ones, ones)
+		hadamardAllModesInto(c.fitCross, c.ugram[id], -1)
+		c.unorm2 += mat.QuadForm(c.fitCross, c.fitOnes, c.fitOnes)
 	}
 	return c
 }
@@ -87,13 +97,8 @@ func (c *components) setA(mode, part int, a *mat.Matrix, slabU map[int]*mat.Matr
 	}
 }
 
-// gamma returns Γ_l^(i) = ⊛_{h≠i} P[l][h], the paper's
-// P_l ⊘ (U(i)ᵀ_l A(i)_(ki)).
-func (c *components) gamma(blockID, skipMode int) *mat.Matrix {
-	return hadamardAllModes(c.p[blockID], skipMode, c.rank)
-}
-
-// gammaInto computes gamma into dst, avoiding allocation in the hot loop.
+// gammaInto computes Γ_l^(i) = ⊛_{h≠i} P[l][h] — the paper's
+// P_l ⊘ (U(i)ᵀ_l A(i)_(ki)) — into dst, avoiding allocation in the hot loop.
 // Modes whose component is not yet seeded are treated as identity (they
 // only occur transiently during setup).
 func (c *components) gammaInto(dst *mat.Matrix, blockID, skipMode int) {
@@ -104,14 +109,6 @@ func (c *components) gammaInto(dst *mat.Matrix, blockID, skipMode int) {
 		}
 		dst.HadamardInPlace(m)
 	}
-}
-
-// sTerm returns ⊛_{h≠i} Q[h][l_h] for the block at blockID.
-func (c *components) sTerm(blockVec []int, skipMode int) *mat.Matrix {
-	out := mat.New(c.rank, c.rank)
-	out.Fill(1)
-	c.sTermMulInto(out, blockVec, skipMode)
-	return out
 }
 
 // sTermMulInto multiplies dst element-wise by ⊛_{h≠i} Q[h][l_h]; callers
@@ -135,13 +132,16 @@ func (c *components) SurrogateFit() float64 {
 	if c.unorm2 == 0 {
 		return 1
 	}
-	ones := onesVec(c.rank)
+	ones := c.fitOnes
 	var err2 float64
-	vec := make([]int, c.pattern.NModes())
+	vec := c.fitVec
 	for id := range c.p {
 		c.pattern.Unlinear(id, vec)
-		cross := mat.QuadForm(hadamardAllModes(c.p[id], -1, c.rank), ones, ones)
-		model := mat.QuadForm(c.sTerm(vec, -1), ones, ones)
+		hadamardAllModesInto(c.fitCross, c.p[id], -1)
+		cross := mat.QuadForm(c.fitCross, ones, ones)
+		c.fitModel.Fill(1)
+		c.sTermMulInto(c.fitModel, vec, -1)
+		model := mat.QuadForm(c.fitModel, ones, ones)
 		err2 += -2*cross + model
 	}
 	err2 += c.unorm2
@@ -151,18 +151,17 @@ func (c *components) SurrogateFit() float64 {
 	return 1 - math.Sqrt(err2)/math.Sqrt(c.unorm2)
 }
 
-// hadamardAllModes multiplies the given per-mode F×F matrices element-wise,
-// skipping index skip (-1 to include all) and unseeded (nil) entries.
-func hadamardAllModes(ms []*mat.Matrix, skip, rank int) *mat.Matrix {
-	out := mat.New(rank, rank)
-	out.Fill(1)
+// hadamardAllModesInto multiplies the given per-mode F×F matrices
+// element-wise into dst, skipping index skip (-1 to include all) and
+// unseeded (nil) entries.
+func hadamardAllModesInto(dst *mat.Matrix, ms []*mat.Matrix, skip int) {
+	dst.Fill(1)
 	for h, m := range ms {
 		if h == skip || m == nil {
 			continue
 		}
-		out.HadamardInPlace(m)
+		dst.HadamardInPlace(m)
 	}
-	return out
 }
 
 func onesVec(n int) []float64 {

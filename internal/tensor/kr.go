@@ -51,69 +51,6 @@ func KhatriRaoSkip(factors []*mat.Matrix, skip int) *mat.Matrix {
 	return out
 }
 
-// MTTKRP computes the Matricized-Tensor Times Khatri-Rao Product for mode n:
-//
-//	M = X_(n) · (A(N-1) ⊙ ... ⊙ A(n+1) ⊙ A(n-1) ⊙ ... ⊙ A(0))
-//
-// without materializing the unfolding or the Khatri-Rao product. factors[k]
-// must be Dims[k]×F for every k ≠ n; the result is Dims[n]×F.
-func MTTKRP(t *Dense, factors []*mat.Matrix, n int) *mat.Matrix {
-	checkFactors(t.Dims, factors, n)
-	f := factors[(n+1)%len(factors)].Cols
-	out := mat.New(t.Dims[n], f)
-	idx := make([]int, len(t.Dims))
-	prod := make([]float64, f)
-	for _, v := range t.Data {
-		if v != 0 {
-			for c := range prod {
-				prod[c] = v
-			}
-			for k, fk := range factors {
-				if k == n {
-					continue
-				}
-				row := fk.Row(idx[k])
-				for c := range prod {
-					prod[c] *= row[c]
-				}
-			}
-			orow := out.Row(idx[n])
-			for c := range prod {
-				orow[c] += prod[c]
-			}
-		}
-		incIndex(idx, t.Dims)
-	}
-	return out
-}
-
-// MTTKRPSparse is MTTKRP over a COO tensor: cost O(nnz · N · F).
-func MTTKRPSparse(t *COO, factors []*mat.Matrix, n int) *mat.Matrix {
-	checkFactors(t.Dims, factors, n)
-	f := factors[(n+1)%len(factors)].Cols
-	out := mat.New(t.Dims[n], f)
-	prod := make([]float64, f)
-	for p, v := range t.Vals {
-		for c := range prod {
-			prod[c] = v
-		}
-		for k, fk := range factors {
-			if k == n {
-				continue
-			}
-			row := fk.Row(t.Indices[k][p])
-			for c := range prod {
-				prod[c] *= row[c]
-			}
-		}
-		orow := out.Row(t.Indices[n][p])
-		for c := range prod {
-			orow[c] += prod[c]
-		}
-	}
-	return out
-}
-
 func checkFactors(dims []int, factors []*mat.Matrix, skip int) {
 	if len(factors) != len(dims) {
 		panic(fmt.Sprintf("tensor: %d factors for %d modes", len(factors), len(dims)))

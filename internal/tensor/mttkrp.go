@@ -1,0 +1,411 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/par"
+)
+
+// Dense MTTKRP, fiber-blocked.
+//
+// The tensor is Fortran-ordered, so a mode-0 fiber — the I_0 elements that
+// differ only in their first index — is a contiguous slice of Data. The
+// kernels below iterate whole fibers instead of scalars:
+//
+//   - the Hadamard product w of the outer-mode factor rows (everything but
+//     mode 0 and mode n) is constant along a fiber and is hoisted out of
+//     the inner loop;
+//   - for n > 0 every fiber belongs to exactly one output row, and its
+//     contribution is the panel product s = fiberᵀ·A(0) folded with w:
+//     out[j] += s ⊛ w (mat.VecMatMulAdd);
+//   - for n == 0 a whole fiber accumulates into the output panel as the
+//     rank-one update out += fiber ⊗ w (mat.OuterAdd).
+//
+// A specialized path handles 3-mode tensors (the paper's benchmark shape)
+// without any fiber-weight precomputation; the generic N-way loop handles
+// everything else.
+//
+// Parallelism and determinism: work is distributed over contiguous mode-n
+// output-row panels, each output row is owned by exactly one worker
+// invocation, and every row is accumulated in the same fiber order as a
+// serial sweep. The floating-point output is therefore bit-identical at
+// every worker count, including 1.
+
+// fiberScratch bundles the per-worker-invocation buffers of the fiber
+// kernels so steady-state sweeps allocate nothing.
+type fiberScratch struct {
+	s, w []float64
+	idx  []int
+}
+
+var fiberPool = sync.Pool{New: func() any { return &fiberScratch{} }}
+
+func getFiberScratch(f, modes int) *fiberScratch {
+	fs := fiberPool.Get().(*fiberScratch)
+	if cap(fs.s) < f {
+		fs.s = make([]float64, f)
+		fs.w = make([]float64, f)
+	}
+	fs.s = fs.s[:f]
+	fs.w = fs.w[:f]
+	if cap(fs.idx) < modes {
+		fs.idx = make([]int, modes)
+	}
+	fs.idx = fs.idx[:modes]
+	return fs
+}
+
+// wPool holds the fiber-weight chunk of the generic mode-0 path.
+var wPool = sync.Pool{New: func() any { s := make([]float64, 0, 1<<14); return &s }}
+
+// MTTKRP computes the Matricized-Tensor Times Khatri-Rao Product for mode n:
+//
+//	M = X_(n) · (A(N-1) ⊙ ... ⊙ A(n+1) ⊙ A(n-1) ⊙ ... ⊙ A(0))
+//
+// without materializing the unfolding or the Khatri-Rao product. factors[k]
+// must be Dims[k]×F for every k ≠ n; the result is Dims[n]×F.
+func MTTKRP(t *Dense, factors []*mat.Matrix, n int) *mat.Matrix {
+	checkFactors(t.Dims, factors, n)
+	out := mat.New(t.Dims[n], factors[(n+1)%len(factors)].Cols)
+	mttkrpInto(out, t, factors, n)
+	return out
+}
+
+// MTTKRPInto is MTTKRP writing into dst (Dims[n]×F), which is zeroed first.
+// Hot loops (CP-ALS sweeps) use it to reuse one accumulator per mode.
+func MTTKRPInto(dst *mat.Matrix, t *Dense, factors []*mat.Matrix, n int) {
+	checkFactors(t.Dims, factors, n)
+	f := factors[(n+1)%len(factors)].Cols
+	if dst.Rows != t.Dims[n] || dst.Cols != f {
+		panic(fmt.Sprintf("tensor: MTTKRPInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, t.Dims[n], f))
+	}
+	mttkrpInto(dst, t, factors, n)
+}
+
+func mttkrpInto(dst *mat.Matrix, t *Dense, factors []*mat.Matrix, n int) {
+	dst.Zero()
+	f := dst.Cols
+	if len(t.Data) == 0 || f == 0 {
+		return
+	}
+	if len(t.Dims) == 3 {
+		mttkrp3(dst, t, factors, n, f)
+		return
+	}
+	mttkrpN(dst, t, factors, n, f)
+}
+
+// mttkrp3 is the 3-way fast path: the single outer-mode factor row is used
+// directly as the fiber weight (n > 0), or the two outer rows are Hadamard
+// multiplied once per fiber (n == 0).
+func mttkrp3(dst *mat.Matrix, t *Dense, factors []*mat.Matrix, n, f int) {
+	i0n, i1n, i2n := t.Dims[0], t.Dims[1], t.Dims[2]
+	x := t.Data
+	workers := par.WorkersFor(len(x) * 2 * f)
+	switch n {
+	case 0:
+		a1, a2 := factors[1], factors[2]
+		parRowPanels(workers, i0n, func(lo, hi int) {
+			fs := getFiberScratch(f, 3)
+			w := fs.w
+			panel := dst.Data[lo*f : hi*f]
+			for i2 := 0; i2 < i2n; i2++ {
+				r2 := a2.Row(i2)
+				base := i2 * i1n * i0n
+				for i1 := 0; i1 < i1n; i1++ {
+					mat.HadamardVec(w, a1.Row(i1), r2)
+					fb := base + i1*i0n
+					mat.OuterAdd(panel, w, x[fb+lo:fb+hi], f)
+				}
+			}
+			fiberPool.Put(fs)
+		})
+	case 1:
+		a0, a2 := factors[0], factors[2]
+		par.DoWorkers(workers, i1n, func(j int) {
+			fs := getFiberScratch(f, 3)
+			s := fs.s
+			orow := dst.Row(j)
+			for i2 := 0; i2 < i2n; i2++ {
+				fb := (i2*i1n + j) * i0n
+				for c := range s {
+					s[c] = 0
+				}
+				mat.VecMatMulAdd(s, a0.Data, x[fb:fb+i0n], f)
+				w := a2.Row(i2)
+				for c, sv := range s {
+					orow[c] += sv * w[c]
+				}
+			}
+			fiberPool.Put(fs)
+		})
+	case 2:
+		a0, a1 := factors[0], factors[1]
+		par.DoWorkers(workers, i2n, func(j int) {
+			fs := getFiberScratch(f, 3)
+			s := fs.s
+			orow := dst.Row(j)
+			base := j * i1n * i0n
+			for i1 := 0; i1 < i1n; i1++ {
+				fb := base + i1*i0n
+				for c := range s {
+					s[c] = 0
+				}
+				mat.VecMatMulAdd(s, a0.Data, x[fb:fb+i0n], f)
+				w := a1.Row(i1)
+				for c, sv := range s {
+					orow[c] += sv * w[c]
+				}
+			}
+			fiberPool.Put(fs)
+		})
+	}
+}
+
+// wChunkFibers is how many fiber weights the generic mode-0 path
+// materializes per chunk (bounding scratch at wChunkFibers×F floats).
+const wChunkFibers = 4096
+
+// mttkrpN is the generic N-way fiber loop.
+func mttkrpN(dst *mat.Matrix, t *Dense, factors []*mat.Matrix, n, f int) {
+	dims := t.Dims
+	nModes := len(dims)
+	i0n := dims[0]
+	x := t.Data
+	if nModes == 1 {
+		// Degenerate: the Khatri-Rao chain is empty, M[i,c] = x[i].
+		for i0 := 0; i0 < i0n; i0++ {
+			orow := dst.Row(i0)
+			v := x[i0]
+			for c := range orow {
+				orow[c] += v
+			}
+		}
+		return
+	}
+	nf := len(x) / i0n
+	fdims := dims[1:]
+	workers := par.WorkersFor(len(x) * 2 * f)
+
+	if n == 0 {
+		// Materialize fiber weights in chunks, then apply each chunk's
+		// rank-one fiber updates over output-row panels. Every output row
+		// sees the fibers in ascending order regardless of panel bounds.
+		sp := wPool.Get().(*[]float64)
+		if cap(*sp) < wChunkFibers*f {
+			*sp = make([]float64, wChunkFibers*f)
+		}
+		wchunk := (*sp)[:wChunkFibers*f]
+		for cf0 := 0; cf0 < nf; cf0 += wChunkFibers {
+			cf1 := cf0 + wChunkFibers
+			if cf1 > nf {
+				cf1 = nf
+			}
+			buildFiberWeights(wchunk, factors, fdims, cf0, cf1, f, workers)
+			parRowPanels(workers, i0n, func(lo, hi int) {
+				panel := dst.Data[lo*f : hi*f]
+				for fi := cf0; fi < cf1; fi++ {
+					fb := fi * i0n
+					mat.OuterAdd(panel, wchunk[(fi-cf0)*f:(fi-cf0+1)*f], x[fb+lo:fb+hi], f)
+				}
+			})
+		}
+		wPool.Put(sp)
+		return
+	}
+
+	// n ≥ 1: every fiber belongs to exactly one output row j = idx[n].
+	// Fiber-space geometry: fibers are indexed by (i_1, ..., i_{N-1}) in
+	// Fortran order, so the fibers of row j are runs of sfn consecutive
+	// fibers repeated outerN times.
+	sfn := 1
+	for k := 1; k < n; k++ {
+		sfn *= dims[k]
+	}
+	outerN := nf / (sfn * dims[n])
+	lowDims := dims[1:n]   // decoded along q
+	highDims := dims[n+1:] // decoded along outer
+	hasW := len(lowDims)+len(highDims) > 0
+	par.DoWorkers(workers, dims[n], func(j int) {
+		fs := getFiberScratch(f, nModes)
+		s, w := fs.s, fs.w
+		idxHigh := fs.idx[:len(highDims)]
+		idxLow := fs.idx[len(highDims) : len(highDims)+len(lowDims)]
+		for k := range idxHigh {
+			idxHigh[k] = 0
+		}
+		for outer := 0; outer < outerN; outer++ {
+			for k := range idxLow {
+				idxLow[k] = 0
+			}
+			for q := 0; q < sfn; q++ {
+				fi := (outer*dims[n]+j)*sfn + q
+				fb := fi * i0n
+				for c := range s {
+					s[c] = 0
+				}
+				mat.VecMatMulAdd(s, factors[0].Data, x[fb:fb+i0n], f)
+				orow := dst.Row(j)
+				if hasW {
+					fiberWeight(w, factors, idxLow, idxHigh, n)
+					for c, sv := range s {
+						orow[c] += sv * w[c]
+					}
+				} else {
+					for c, sv := range s {
+						orow[c] += sv
+					}
+				}
+				incIndex(idxLow, lowDims)
+			}
+			incIndex(idxHigh, highDims)
+		}
+		fiberPool.Put(fs)
+	})
+}
+
+// fiberWeight writes the Hadamard product of the outer-mode factor rows
+// (modes 1..n-1 at idxLow, modes n+1.. at idxHigh) into w, multiplying in
+// ascending mode order.
+func fiberWeight(w []float64, factors []*mat.Matrix, idxLow, idxHigh []int, n int) {
+	first := true
+	for k, i := range idxLow {
+		row := factors[k+1].Row(i)
+		if first {
+			copy(w, row)
+			first = false
+			continue
+		}
+		for c := range w {
+			w[c] *= row[c]
+		}
+	}
+	for k, i := range idxHigh {
+		row := factors[n+1+k].Row(i)
+		if first {
+			copy(w, row)
+			first = false
+			continue
+		}
+		for c := range w {
+			w[c] *= row[c]
+		}
+	}
+}
+
+// buildFiberWeights fills wchunk with the fiber weights of fibers
+// [cf0, cf1): the Hadamard product of the factor rows of every mode except
+// mode 0, multiplied in ascending mode order. Each weight depends only on
+// its fiber index, so the build parallelizes freely.
+func buildFiberWeights(wchunk []float64, factors []*mat.Matrix, fdims []int, cf0, cf1, f, workers int) {
+	count := cf1 - cf0
+	const grain = 512
+	np := (count + grain - 1) / grain
+	par.DoWorkers(workers, np, func(p int) {
+		lo := cf0 + p*grain
+		hi := lo + grain
+		if hi > cf1 {
+			hi = cf1
+		}
+		idx := make([]int, len(fdims))
+		unlinear(idx, lo, fdims)
+		for fi := lo; fi < hi; fi++ {
+			w := wchunk[(fi-cf0)*f : (fi-cf0+1)*f]
+			first := true
+			for k, i := range idx {
+				row := factors[k+1].Row(i)
+				if first {
+					copy(w, row)
+					first = false
+					continue
+				}
+				for c := range w {
+					w[c] *= row[c]
+				}
+			}
+			if first {
+				for c := range w {
+					w[c] = 1
+				}
+			}
+			incIndex(idx, fdims)
+		}
+	})
+}
+
+// unlinear decodes a Fortran-order linear index into idx over dims.
+func unlinear(idx []int, lin int, dims []int) {
+	for k, d := range dims {
+		idx[k] = lin % d
+		lin /= d
+	}
+}
+
+// parRowPanels splits [0, rows) into contiguous panels (at most one per
+// worker pass, at least 64 rows each) and runs fn on each. Panel bounds
+// never influence results: each output row is owned by exactly one panel.
+// The floor bounds the duplicated per-fiber weight work of the mode-0
+// callers, which recompute weights once per panel: with ≥64-row panels
+// the duplication stays under 1/128 of the panel's multiply-add work.
+func parRowPanels(workers, rows int, fn func(lo, hi int)) {
+	panel := (rows + workers - 1) / workers
+	if panel < 64 {
+		panel = 64
+	}
+	np := (rows + panel - 1) / panel
+	par.DoWorkers(workers, np, func(p int) {
+		lo := p * panel
+		hi := lo + panel
+		if hi > rows {
+			hi = rows
+		}
+		fn(lo, hi)
+	})
+}
+
+// MTTKRPSparse is MTTKRP over a COO tensor: cost O(nnz · N · F).
+func MTTKRPSparse(t *COO, factors []*mat.Matrix, n int) *mat.Matrix {
+	checkFactors(t.Dims, factors, n)
+	out := mat.New(t.Dims[n], factors[(n+1)%len(factors)].Cols)
+	mttkrpSparseInto(out, t, factors, n)
+	return out
+}
+
+// MTTKRPSparseInto is MTTKRPSparse writing into dst (Dims[n]×F), which is
+// zeroed first.
+func MTTKRPSparseInto(dst *mat.Matrix, t *COO, factors []*mat.Matrix, n int) {
+	checkFactors(t.Dims, factors, n)
+	f := factors[(n+1)%len(factors)].Cols
+	if dst.Rows != t.Dims[n] || dst.Cols != f {
+		panic(fmt.Sprintf("tensor: MTTKRPSparseInto: dst %d×%d, want %d×%d", dst.Rows, dst.Cols, t.Dims[n], f))
+	}
+	mttkrpSparseInto(dst, t, factors, n)
+}
+
+func mttkrpSparseInto(dst *mat.Matrix, t *COO, factors []*mat.Matrix, n int) {
+	dst.Zero()
+	f := dst.Cols
+	fs := getFiberScratch(f, len(t.Dims))
+	defer fiberPool.Put(fs)
+	prod := fs.s
+	for p, v := range t.Vals {
+		for c := range prod {
+			prod[c] = v
+		}
+		for k, fk := range factors {
+			if k == n {
+				continue
+			}
+			row := fk.Row(t.Indices[k][p])
+			for c := range prod {
+				prod[c] *= row[c]
+			}
+		}
+		orow := dst.Row(t.Indices[n][p])
+		for c := range prod {
+			orow[c] += prod[c]
+		}
+	}
+}

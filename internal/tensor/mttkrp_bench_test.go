@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/par"
+)
+
+// BenchmarkMTTKRP measures the dense MTTKRP kernel on the paper's benchmark
+// block shape (256³, rank 16), per mode and per worker count. The recorded
+// baselines live in BENCH_kernels.json at the repo root.
+func BenchmarkMTTKRP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandomDense(rng, 256, 256, 256)
+	const f = 16
+	factors := []*mat.Matrix{
+		mat.Random(256, f, rng), mat.Random(256, f, rng), mat.Random(256, f, rng),
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "maxprocs"
+		}
+		for n := 0; n < 3; n++ {
+			b.Run(fmt.Sprintf("%s/mode%d", name, n), func(b *testing.B) {
+				defer par.SetWorkers(par.SetWorkers(workers))
+				out := mat.New(256, f)
+				b.SetBytes(int64(len(x.Data) * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MTTKRPInto(out, x, factors, n)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMTTKRP4Mode exercises the generic N-way fiber loop (the 3-way
+// shape above takes the specialized fast path).
+func BenchmarkMTTKRP4Mode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandomDense(rng, 64, 64, 64, 64)
+	const f = 16
+	factors := make([]*mat.Matrix, 4)
+	for k := range factors {
+		factors[k] = mat.Random(64, f, rng)
+	}
+	defer par.SetWorkers(par.SetWorkers(1))
+	out := mat.New(64, f)
+	b.SetBytes(int64(len(x.Data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MTTKRPInto(out, x, factors, 1)
+	}
+}

@@ -1,0 +1,93 @@
+package twopcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/grid"
+	"twopcp/internal/phase1"
+	"twopcp/internal/tensor"
+)
+
+// TestDecomposeKernelWorkersBitExact is the end-to-end determinism
+// guarantee for the parallel compute kernels: the full 2PCP pipeline —
+// Phase-1 per-block ALS, Phase-2 refinement, final fit — produces
+// bit-identical factors, FitTrace and swap counts at every KernelWorkers
+// setting.
+func TestDecomposeKernelWorkersBitExact(t *testing.T) {
+	x := tensor.RandomDense(rand.New(rand.NewSource(77)), 20, 18, 16)
+	run := func(kw int) *Result {
+		res, err := Decompose(x, Options{
+			Rank:          4,
+			Partitions:    []int{2},
+			MaxIters:      12,
+			Seed:          9,
+			KernelWorkers: kw,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, kw := range []int{2, 7, 0} {
+		res := run(kw)
+		if res.Fit != serial.Fit {
+			t.Fatalf("KernelWorkers=%d: Fit %v != %v", kw, res.Fit, serial.Fit)
+		}
+		if len(res.FitTrace) != len(serial.FitTrace) {
+			t.Fatalf("KernelWorkers=%d: trace length %d != %d", kw, len(res.FitTrace), len(serial.FitTrace))
+		}
+		for i, f := range serial.FitTrace {
+			if res.FitTrace[i] != f {
+				t.Fatalf("KernelWorkers=%d: FitTrace[%d] %v != %v", kw, i, res.FitTrace[i], f)
+			}
+		}
+		if res.Swaps != serial.Swaps {
+			t.Fatalf("KernelWorkers=%d: Swaps %d != %d", kw, res.Swaps, serial.Swaps)
+		}
+		for m := range res.Model.Factors {
+			if !res.Model.Factors[m].Equal(serial.Model.Factors[m]) {
+				t.Fatalf("KernelWorkers=%d: factor %d differs", kw, m)
+			}
+		}
+	}
+}
+
+// TestPhase1KernelWorkersBitExact checks the same property for phase1.Run
+// alone, across both the block-level Workers pool and the kernel workers.
+func TestPhase1KernelWorkersBitExact(t *testing.T) {
+	x := tensor.RandomDense(rand.New(rand.NewSource(78)), 24, 20, 16)
+	p, err := grid.New(x.Dims, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := phase1.NewDenseSource(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(blockWorkers, kernelWorkers int) *phase1.Result {
+		defer applyKernelWorkers(Options{KernelWorkers: kernelWorkers})()
+		res, err := phase1.Run(src, phase1.Options{
+			Rank: 3, MaxIters: 10, Seed: 4, Workers: blockWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1, 1)
+	for _, cfg := range [][2]int{{1, 2}, {1, 7}, {2, 2}, {4, 7}} {
+		res := run(cfg[0], cfg[1])
+		for id := range serial.Sub {
+			for m := range serial.Sub[id] {
+				if !res.Sub[id][m].Equal(serial.Sub[id][m]) {
+					t.Fatalf("workers=%v: block %d mode %d differs", cfg, id, m)
+				}
+			}
+			if res.Fits[id] != serial.Fits[id] {
+				t.Fatalf("workers=%v: block %d fit differs", cfg, id)
+			}
+		}
+	}
+}

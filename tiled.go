@@ -21,6 +21,7 @@ import (
 // in the last few ulps because the tile-streamed reduction sums in a
 // different order.
 func DecomposeTiledFile(path string, opts Options) (*Result, error) {
+	defer applyKernelWorkers(opts)()
 	r, err := tfile.Open(path)
 	if err != nil {
 		return nil, err

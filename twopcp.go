@@ -7,6 +7,7 @@ import (
 	"twopcp/internal/blockstore"
 	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
+	"twopcp/internal/par"
 	"twopcp/internal/phase1"
 	"twopcp/internal/refine"
 )
@@ -48,6 +49,18 @@ type Options struct {
 	StoreDir string
 	// Seed makes the whole run reproducible.
 	Seed int64
+	// KernelWorkers caps the intra-kernel parallelism of the dense compute
+	// kernels (MTTKRP, Gram and GEMM row panels) for the duration of the
+	// call: 0 keeps the process default (GOMAXPROCS), 1 forces serial
+	// kernels, higher values allow that many concurrent panel workers.
+	// Results are bit-identical at every setting — the kernels assign each
+	// output region to exactly one worker and reduce partials in fixed
+	// order — so the knob only changes wall clock. The cap is one
+	// process-global value while the call runs: concurrent decompositions
+	// may safely overlap (the last one to finish restores the process
+	// default), but while calls requesting different caps overlap, the
+	// most recently started cap applies to all of them.
+	KernelWorkers int
 	// PrefetchDepth overlaps Phase-2 I/O with compute: the engine issues
 	// buffer prefetches this many schedule steps ahead of the step it is
 	// updating. 0 (the default) keeps Phase 2 fully synchronous. The
@@ -87,8 +100,22 @@ type Result struct {
 	BytesWritten int64
 }
 
+// applyKernelWorkers installs the KernelWorkers cap for the duration of a
+// call and returns a restore function for the caller to defer. The scoped
+// push/pop cannot leak a stale cap across overlapping calls, whatever
+// their completion order: popping re-applies the newest still-active cap
+// and the last call to finish restores the process default.
+func applyKernelWorkers(opts Options) func() {
+	if opts.KernelWorkers <= 0 {
+		return func() {}
+	}
+	token := par.PushWorkers(opts.KernelWorkers)
+	return func() { par.PopWorkers(token) }
+}
+
 // Decompose runs the full 2PCP pipeline on a dense tensor.
 func Decompose(x *Dense, opts Options) (*Result, error) {
+	defer applyKernelWorkers(opts)()
 	p, err := patternFor(x.Dims, opts)
 	if err != nil {
 		return nil, err
@@ -109,6 +136,7 @@ func Decompose(x *Dense, opts Options) (*Result, error) {
 // targets dense scientific tensors, but the pipeline applies unchanged;
 // per-block ALS switches to sparse MTTKRP.)
 func DecomposeSparse(x *COO, opts Options) (*Result, error) {
+	defer applyKernelWorkers(opts)()
 	p, err := patternFor(x.Dims, opts)
 	if err != nil {
 		return nil, err
