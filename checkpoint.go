@@ -1,0 +1,104 @@
+package twopcp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"twopcp/internal/cpals"
+	"twopcp/internal/runstate"
+)
+
+// openRunState opens (or resumes) the checkpoint directory's run manifest
+// for the resolved pattern. The manifest's option fingerprint covers every
+// field that changes the run's results; parallelism and I/O-pipeline knobs
+// are excluded, so a run may be resumed with different Workers /
+// KernelWorkers / PrefetchDepth / IOWorkers settings (results are
+// bit-identical at every setting — see the determinism contract in the
+// package documentation).
+func openRunState(opts Options, p *Pattern, inputKind string) (*runstate.Run, error) {
+	meta := runstate.Meta{
+		InputKind:      inputKind,
+		Dims:           append([]int(nil), p.Dims...),
+		Partitions:     append([]int(nil), p.K...),
+		Rank:           opts.Rank,
+		Schedule:       opts.Schedule.String(),
+		Replacement:    opts.Replacement.String(),
+		BufferFraction: opts.BufferFraction,
+		BufferBytes:    opts.BufferBytes,
+		MaxIters:       opts.MaxIters,
+		Tol:            finiteTol(opts.Tol),
+		Phase1MaxIters: opts.Phase1MaxIters,
+		Phase1Tol:      finiteTol(opts.Phase1Tol),
+		Seed:           opts.Seed,
+	}
+	return runstate.Open(opts.Checkpoint, meta, p.NumBlocks(), opts.Resume)
+}
+
+// finiteTol folds ±Inf tolerances (legal ways to disable convergence
+// checks) to the finite extremes: JSON cannot carry non-finite numbers,
+// and for fingerprinting purposes the fold is equivalent — no improvement
+// can cross either bound.
+func finiteTol(tol float64) float64 {
+	if math.IsInf(tol, -1) {
+		return -math.MaxFloat64
+	}
+	if math.IsInf(tol, 1) {
+		return math.MaxFloat64
+	}
+	return tol
+}
+
+// finishRun records the completed Result in the checkpoint directory (when
+// checkpointing) and returns res. Called by the Decompose front-ends after
+// the final fit is in; once SaveResult succeeds, resuming the directory is
+// a no-op that returns this Result.
+func finishRun(rs *runstate.Run, res *Result) (*Result, error) {
+	if rs == nil {
+		return res, nil
+	}
+	st := &runstate.ResultState{
+		Fit:          res.Fit,
+		Phase1NS:     int64(res.Phase1Time),
+		Phase2NS:     int64(res.Phase2Time),
+		VirtualIters: res.VirtualIters,
+		Converged:    res.Converged,
+		FitTrace:     res.FitTrace,
+		Swaps:        res.Swaps,
+		SwapsPerIter: res.SwapsPerIter,
+		BytesRead:    res.BytesRead,
+		BytesWritten: res.BytesWritten,
+		Factors:      res.Model.Factors,
+	}
+	if err := rs.SaveResult(st); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// resultFromState reconstructs the public Result of a completed run from
+// its checkpoint (the no-op resume path).
+func resultFromState(st *runstate.ResultState) *Result {
+	return &Result{
+		Model:        cpals.NewKTensor(st.Factors),
+		Fit:          st.Fit,
+		Phase1Time:   time.Duration(st.Phase1NS),
+		Phase2Time:   time.Duration(st.Phase2NS),
+		VirtualIters: st.VirtualIters,
+		Converged:    st.Converged,
+		FitTrace:     st.FitTrace,
+		Swaps:        st.Swaps,
+		SwapsPerIter: st.SwapsPerIter,
+		BytesRead:    st.BytesRead,
+		BytesWritten: st.BytesWritten,
+	}
+}
+
+// validateCheckpointOptions rejects option combinations the durability
+// layer cannot honor.
+func validateCheckpointOptions(opts Options) error {
+	if opts.Resume && opts.Checkpoint == "" {
+		return fmt.Errorf("twopcp: Resume requires Checkpoint to name the checkpoint directory")
+	}
+	return nil
+}

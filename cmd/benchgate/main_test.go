@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: twopcp/internal/refine
+BenchmarkPhase2Prefetch/sync-2         	      10	181770968 ns/op	        34.00 swaps
+BenchmarkPhase2Prefetch/prefetch-2     	      10	 87090878 ns/op	        34.00 swaps
+BenchmarkPhase2Prefetch/prefetch+checkpoint-2     	      10	 88000000 ns/op	        34.00 swaps
+BenchmarkPhase1Tiled/InMemory-2        	       5	 44944373 ns/op	        19.69 MB/s	         3.852 peakHeap-MB
+BenchmarkPhase1Tiled/Tiled-2           	       5	 45664951 ns/op	        19.38 MB/s	         3.710 peakHeap-MB
+BenchmarkALSSweep/fresh-2              	       3	  9771654 ns/op	   53150 B/op	      41 allocs/op
+BenchmarkALSSweep/workspace-2          	       3	  9655172 ns/op	   26938 B/op	      20 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	meas := parseBenchOutput(sampleLog)
+	if len(meas) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7", len(meas))
+	}
+	sync := meas["BenchmarkPhase2Prefetch/sync"]
+	if sync == nil || sync.NsPerOp != 181770968 {
+		t.Fatalf("sync = %+v", sync)
+	}
+	if sync.Metrics["swaps"] != 34 {
+		t.Fatalf("sync swaps = %v", sync.Metrics["swaps"])
+	}
+	ws := meas["BenchmarkALSSweep/workspace"]
+	if !ws.hasAllocs || ws.AllocsPerOp != 20 {
+		t.Fatalf("workspace allocs = %+v", ws)
+	}
+	if meas["BenchmarkPhase1Tiled/Tiled"].Metrics["peakHeap-MB"] != 3.710 {
+		t.Fatal("custom metric lost")
+	}
+}
+
+func TestParseKeepsBestOfRepeatedRuns(t *testing.T) {
+	log := `BenchmarkX/a-8   10   200 ns/op   7 allocs/op
+BenchmarkX/a-8   10   100 ns/op   9 allocs/op
+`
+	meas := parseBenchOutput(log)
+	m := meas["BenchmarkX/a"]
+	if m.NsPerOp != 100 {
+		t.Fatalf("ns/op = %v, want min 100", m.NsPerOp)
+	}
+	if m.AllocsPerOp != 9 {
+		t.Fatalf("allocs/op = %v, want max 9", m.AllocsPerOp)
+	}
+}
+
+// writeBaselines drops minimal BENCH_*.json files matching the committed
+// schemas into dir.
+func writeBaselines(t *testing.T, dir string) {
+	t.Helper()
+	files := map[string]any{
+		"BENCH_phase2_prefetch.json": map[string]any{
+			"speedup": 2.08,
+			"results": map[string]any{
+				"sync":     map[string]any{"ns_per_op": []float64{181770968}},
+				"prefetch": map[string]any{"ns_per_op": []float64{87090878}},
+			},
+		},
+		"BENCH_phase1_tiled.json": map[string]any{
+			"overhead": 0.03,
+			"results": map[string]any{
+				"in_memory": map[string]any{"ns_per_op": []float64{44944373}},
+				"tiled":     map[string]any{"ns_per_op": []float64{45664951}},
+			},
+		},
+		"BENCH_kernels.json": map[string]any{
+			"benchmarks": map[string]any{
+				"ALSSweep_dense_64x64x64_rank16_2sweeps": map[string]any{
+					"new_workspace": map[string]any{"ns_per_op": 9655172.0, "allocs_per_op": 20.0},
+				},
+			},
+		},
+	}
+	for name, content := range files {
+		data, err := json.Marshal(content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func gateByName(gates []gate, name string) *gate {
+	for i := range gates {
+		if gates[i].Name == name {
+			return &gates[i]
+		}
+	}
+	return nil
+}
+
+func TestGatesPassOnBaselineNumbers(t *testing.T) {
+	dir := t.TempDir()
+	writeBaselines(t, dir)
+	meas := parseBenchOutput(sampleLog)
+	gates, err := evaluate(meas, dir, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gates {
+		if !g.Pass {
+			t.Errorf("gate %s failed on baseline-identical numbers: %+v", g.Name, g)
+		}
+	}
+	for _, want := range []string{
+		"phase2-prefetch-speedup", "phase2-prefetch-swap-invariance",
+		"phase2-checkpoint-overhead",
+		"phase1-tiled-overhead", "als-workspace-allocs", "als-workspace-vs-fresh",
+		"phase2-prefetch-abs-ns/sync", "phase1-tiled-abs-ns/tiled", "als-workspace-abs-ns",
+	} {
+		if gateByName(gates, want) == nil {
+			t.Errorf("gate %s missing", want)
+		}
+	}
+}
+
+func TestGatesCatchRegressions(t *testing.T) {
+	dir := t.TempDir()
+	writeBaselines(t, dir)
+
+	// Prefetch speedup collapses to ~1x.
+	slow := `BenchmarkPhase2Prefetch/sync-2   10  181770968 ns/op  34.0 swaps
+BenchmarkPhase2Prefetch/prefetch-2   10  180000000 ns/op  34.0 swaps
+`
+	gates, err := evaluate(parseBenchOutput(slow), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "phase2-prefetch-speedup"); g == nil || g.Pass {
+		t.Errorf("speedup collapse not caught: %+v", g)
+	}
+
+	// Checkpoint overhead blowing past the 5% acceptance limit.
+	heavy := `BenchmarkPhase2Prefetch/sync-2   10  181770968 ns/op  34.0 swaps
+BenchmarkPhase2Prefetch/prefetch-2   10  87090878 ns/op  34.0 swaps
+BenchmarkPhase2Prefetch/prefetch+checkpoint-2   10  95000000 ns/op  34.0 swaps
+`
+	gates, err = evaluate(parseBenchOutput(heavy), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "phase2-checkpoint-overhead"); g == nil || g.Pass {
+		t.Errorf("checkpoint overhead not caught: %+v", g)
+	}
+
+	// Swap counts drifting between sync and prefetch.
+	drift := `BenchmarkPhase2Prefetch/sync-2   10  181770968 ns/op  34.0 swaps
+BenchmarkPhase2Prefetch/prefetch-2   10  87090878 ns/op  36.0 swaps
+`
+	gates, err = evaluate(parseBenchOutput(drift), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "phase2-prefetch-swap-invariance"); g == nil || g.Pass {
+		t.Errorf("swap drift not caught: %+v", g)
+	}
+
+	// Tiled overhead blowing past in-memory.
+	fat := `BenchmarkPhase1Tiled/InMemory-2   5  44944373 ns/op
+BenchmarkPhase1Tiled/Tiled-2   5  60000000 ns/op
+`
+	gates, err = evaluate(parseBenchOutput(fat), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "phase1-tiled-overhead"); g == nil || g.Pass {
+		t.Errorf("tiled overhead not caught: %+v", g)
+	}
+
+	// Workspace allocation regression.
+	leaky := `BenchmarkALSSweep/fresh-2   3  9771654 ns/op  41 allocs/op
+BenchmarkALSSweep/workspace-2   3  9655172 ns/op  131 allocs/op
+`
+	gates, err = evaluate(parseBenchOutput(leaky), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "als-workspace-allocs"); g == nil || g.Pass {
+		t.Errorf("alloc regression not caught: %+v", g)
+	}
+}
+
+func TestMissingInputsSkipNotFail(t *testing.T) {
+	dir := t.TempDir() // no baseline files at all
+	gates, err := evaluate(parseBenchOutput(sampleLog), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gates {
+		if !g.Skipped || !g.Pass {
+			t.Errorf("gate %s should skip without baselines: %+v", g.Name, g)
+		}
+	}
+}

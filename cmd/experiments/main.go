@@ -33,12 +33,20 @@ func main() {
 		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous; counts are depth-invariant)")
 		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
 		kworkers  = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
+		ckptDir   = flag.String("checkpoint", "", "directory for durable run checkpoints (one subdirectory per experiment run; honored by the convergence experiment)")
+		resume    = flag.Bool("resume", false, "resume runs previously checkpointed under -checkpoint")
 	)
 	flag.Parse()
 	if *kworkers > 0 {
 		par.SetWorkers(*kworkers)
 	}
-	ioCfg := experiments.IO{PrefetchDepth: *prefetch, IOWorkers: *ioWorkers}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+	ioCfg := experiments.IO{
+		PrefetchDepth: *prefetch, IOWorkers: *ioWorkers,
+		Checkpoint: *ckptDir, Resume: *resume,
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|all")
 		os.Exit(2)

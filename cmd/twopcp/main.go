@@ -11,9 +11,16 @@
 // tile and buffer sizes rather than the tensor size (pair with -store to
 // keep Phase 2 on disk too). Factor matrices can be exported with
 // -out-prefix.
+//
+// Long runs survive crashes with -checkpoint <dir>: progress is
+// checkpointed durably (per Phase-1 block, and per Phase-2 schedule step
+// batch), and a killed run restarted with -resume <dir> skips completed
+// work and finishes with bit-for-bit identical factors, fit trace and swap
+// counts. See the README's "Crash recovery" walkthrough.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -45,11 +52,22 @@ func main() {
 		storeDir  = flag.String("store", "", "directory for out-of-core data units (empty = in-memory)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		outPrefix = flag.String("out-prefix", "", "write factor matrices to <prefix>-mode<i>.csv")
+		ckptDir   = flag.String("checkpoint", "", "directory for durable run checkpoints: a killed run can be restarted with -resume and picks up where the last checkpoint left off")
+		resumeDir = flag.String("resume", "", "resume the run checkpointed in this directory (implies -checkpoint <dir>; the options must match the original run)")
+		ckptSteps = flag.Int("checkpoint-steps", 0, "Phase-2 checkpoint cadence in schedule steps (0 = once per scheduling cycle)")
+		jsonOut   = flag.String("json", "", "also write the result (fit, trace, swaps, timings) as JSON to this file")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	checkpoint, resume := *ckptDir, false
+	if *resumeDir != "" {
+		if checkpoint != "" && checkpoint != *resumeDir {
+			log.Fatalf("-checkpoint %q and -resume %q name different directories", checkpoint, *resumeDir)
+		}
+		checkpoint, resume = *resumeDir, true
 	}
 	kind, err := schedule.ParseKind(*schedName)
 	if err != nil {
@@ -60,19 +78,22 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := twopcp.Options{
-		Rank:           *rank,
-		Partitions:     []int{*parts},
-		Schedule:       kind,
-		Replacement:    pol,
-		BufferFraction: *frac,
-		MaxIters:       *maxIters,
-		Tol:            *tol,
-		Workers:        *workers,
-		KernelWorkers:  *kworkers,
-		PrefetchDepth:  *prefetch,
-		IOWorkers:      *ioWorkers,
-		StoreDir:       *storeDir,
-		Seed:           *seed,
+		Rank:                 *rank,
+		Partitions:           []int{*parts},
+		Schedule:             kind,
+		Replacement:          pol,
+		BufferFraction:       *frac,
+		MaxIters:             *maxIters,
+		Tol:                  *tol,
+		Workers:              *workers,
+		KernelWorkers:        *kworkers,
+		PrefetchDepth:        *prefetch,
+		IOWorkers:            *ioWorkers,
+		StoreDir:             *storeDir,
+		Seed:                 *seed,
+		Checkpoint:           checkpoint,
+		Resume:               resume,
+		CheckpointEverySteps: *ckptSteps,
 	}
 
 	res, dims, err := decomposeFile(*in, opts)
@@ -99,6 +120,35 @@ func main() {
 			fmt.Printf("wrote %s (%d×%d)\n", path, f.Rows, f.Cols)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeResultJSON(*jsonOut, dims, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// writeResultJSON records the run's deterministic outputs (plus timings)
+// for tooling — the CI crash-recovery job diffs these files between an
+// interrupted-and-resumed run and an uninterrupted one.
+func writeResultJSON(path string, dims []int, res *twopcp.Result) error {
+	out := struct {
+		Dims         []int     `json:"dims"`
+		Fit          float64   `json:"fit"`
+		VirtualIters int       `json:"virtual_iters"`
+		Converged    bool      `json:"converged"`
+		FitTrace     []float64 `json:"fit_trace"`
+		Swaps        int64     `json:"swaps"`
+		SwapsPerIter float64   `json:"swaps_per_iter"`
+		Phase1NS     int64     `json:"phase1_ns"`
+		Phase2NS     int64     `json:"phase2_ns"`
+	}{dims, res.Fit, res.VirtualIters, res.Converged, res.FitTrace,
+		res.Swaps, res.SwapsPerIter, int64(res.Phase1Time), int64(res.Phase2Time)}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // decomposeFile sniffs the tensor format and runs the pipeline.

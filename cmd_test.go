@@ -1,12 +1,17 @@
 package twopcp_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // CLI smoke tests: build each command once and drive the full
@@ -162,6 +167,98 @@ func TestCLISparseAndErrors(t *testing.T) {
 	cmd = exec.Command(twopcpBin, "-in", bad)
 	if err := cmd.Run(); err == nil {
 		t.Fatal("garbage input accepted")
+	}
+}
+
+// TestCLICrashRecovery SIGKILLs a checkpointed decomposition mid-Phase-2
+// through the real binary and verifies the resumed run's factors and
+// result JSON are bit-for-bit identical to an uninterrupted run (the CI
+// crash-recovery job runs the same scenario via scripts/crash_recovery.sh).
+func TestCLICrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tensorgen := buildCmd(t, dir, "tensorgen")
+	twopcpBin := buildCmd(t, dir, "twopcp")
+
+	tpath := filepath.Join(dir, "x.tptl")
+	runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "30x30x30", "-rank", "3",
+		"-noise", "0.3", "-tiles", "3x3x3", "-seed", "11", "-out", tpath)
+
+	args := []string{"-in", tpath, "-rank", "3", "-parts", "3", "-buffer", "0.5",
+		"-iters", "500", "-tol=-1", "-seed", "11"}
+
+	refJSON := filepath.Join(dir, "ref.json")
+	runCmd(t, twopcpBin, append(args, "-out-prefix", filepath.Join(dir, "ref"), "-json", refJSON)...)
+
+	// Start the checkpointed run and kill it hard once Phase 2 has
+	// checkpointed at least once.
+	ckpt := filepath.Join(dir, "ckpt")
+	cmd := exec.Command(twopcpBin, append(args, "-checkpoint", ckpt, "-checkpoint-steps", "1")...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	phase2 := filepath.Join(ckpt, "phase2.ckpt")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(phase2); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("no Phase-2 checkpoint appeared within 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let it advance past the first checkpoint
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v (run may have finished too early — enlarge the workload)", err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("killed run exited cleanly; the kill landed after completion")
+	}
+
+	// Resume and compare everything deterministic against the reference.
+	resJSON := filepath.Join(dir, "res.json")
+	out := runCmd(t, twopcpBin, append(args, "-resume", ckpt, "-out-prefix", filepath.Join(dir, "res"), "-json", resJSON)...)
+	if !strings.Contains(out, "fit") {
+		t.Fatalf("resume output: %s", out)
+	}
+	for m := 0; m < 3; m++ {
+		ref, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("ref-mode%d.csv", m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("res-mode%d.csv", m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, res) {
+			t.Fatalf("mode-%d factors differ between reference and resumed run", m)
+		}
+	}
+	var ref, res map[string]any
+	refData, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resData, err := os.ReadFile(resJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(refData, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resData, &res); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"phase1_ns", "phase2_ns"} { // wall clock legitimately differs
+		delete(ref, k)
+		delete(res, k)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatalf("result JSON differs:\nreference: %v\nresumed:   %v", ref, res)
 	}
 }
 

@@ -75,7 +75,10 @@
 // One caveat: the kernel-parallelism cap is a single process-global value,
 // so while concurrent calls requesting different KernelWorkers overlap,
 // the most recently started cap applies to all of them — wall clock may
-// shift, results never do (see the next section).
+// shift, results never do (see the next section). None of this
+// parallelism affects crash recovery either: a checkpointed run may be
+// resumed with different Workers/KernelWorkers/PrefetchDepth/IOWorkers
+// (see Durability below).
 //
 // # Determinism of the parallel kernels
 //
@@ -91,14 +94,56 @@
 // time only. Combined with the per-block seeding of Phase 1 and the
 // depth-invariant Phase-2 pipeline, an entire run is reproducible from
 // Options.Seed alone regardless of Workers, KernelWorkers, IOWorkers or
-// PrefetchDepth.
+// PrefetchDepth. This contract is also what makes crash recovery exact:
+// replaying the schedule from a checkpoint reproduces the uninterrupted
+// run bit for bit (next section).
+//
+// # Durability and crash recovery
+//
+// Long decompositions survive crashes when Options.Checkpoint names a
+// directory (CLI: -checkpoint / -resume). The directory holds a
+// versioned manifest (JSON envelope with a CRC32-protected body)
+// recording the run's option fingerprint, stage and per-block Phase-1
+// completion, plus binary checkpoint files: one per completed Phase-1
+// block (sub-factors + fit), the latest Phase-2 state (schedule
+// position, FitTrace so far, every current factor partition, a buffer-
+// manager snapshot and cumulative I/O statistics) and, once the run
+// completes, the final Result.
+//
+// Exactly what is fsync'd when: every manifest update and checkpoint
+// file is written to a temp file in the checkpoint directory, fsync'd,
+// renamed into place, and the directory is fsync'd — readers observe
+// either the previous or the new complete version, never a torn write.
+// A Phase-1 block is durable before it is marked complete in the
+// manifest; the Phase-2 state file is replaced atomically at every
+// checkpoint (cadence: Options.CheckpointEverySteps schedule steps,
+// default one cycle); the final Result file is installed before the
+// manifest flips to "done". The Phase-2 data-unit store itself needs no
+// crash consistency: on resume the units are rewritten from the
+// checkpointed factors, so even the in-memory store resumes correctly.
+// (FileStore Puts are nonetheless fsync-before-rename — see
+// internal/blockstore — with directory syncs deferred to Close.)
+//
+// A run killed at an arbitrary point and restarted with Options.Resume
+// skips completed blocks, replays Phase 2 from the last checkpoint, and
+// produces bit-for-bit identical factors, FitTrace and Swaps to an
+// uninterrupted run — enforced by tests that inject faults at dozens of
+// interruption points and by CI's SIGKILL crash-recovery job. The
+// manifest fingerprint covers everything that changes results (shape,
+// partitions, rank, schedule, replacement, buffer sizing, bounds,
+// tolerances, seed); resuming with a mismatched fingerprint is refused,
+// resuming a completed run returns the recorded Result without
+// recomputation, and parallelism/prefetch knobs may differ between the
+// original and resumed processes because results never depend on them
+// (see the two sections above).
 //
 // # Architecture
 //
 // The public API wraps the internal packages: tensor (dense/sparse tensors,
 // MTTKRP), cpals (in-memory ALS), grid (partitioning), sfc + schedule
 // (traversal orders), blockstore + buffer (out-of-core data units and
-// replacement policies), phase1/refine (the two phases), mapreduce + haten2
+// replacement policies), runstate (durable manifests and checkpoints),
+// phase1/refine (the two phases), mapreduce + haten2
 // (the MapReduce substrate and the paper's comparison baseline) and
 // experiments (regenerating every table and figure of the paper). See
 // DESIGN.md for the full inventory and EXPERIMENTS.md for reproduction

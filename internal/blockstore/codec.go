@@ -40,7 +40,24 @@ func writeMatrix(w io.Writer, m *mat.Matrix) error {
 	return nil
 }
 
+// maxDecodeBytes is the fallback matrix-payload budget when the caller
+// cannot bound the decode by an actual file size (2^34 bytes = 16 GiB of
+// float64). FileStore.Get always can, and passes the file's size instead,
+// so a damaged header can never trigger an allocation the file could not
+// possibly back.
+const maxDecodeBytes = int64(1) << 34
+
 func readMatrix(r io.Reader) (*mat.Matrix, error) {
+	budget := maxDecodeBytes
+	return readMatrixBudget(r, &budget)
+}
+
+// readMatrixBudget decodes one matrix, charging its declared payload
+// against *budget before allocating: a header that declares more float64
+// data than the budget has left is corrupt by construction (the budget is
+// the file size when known), and failing here turns what would be a fatal
+// multi-gigabyte allocation attempt into an ordinary decode error.
+func readMatrixBudget(r io.Reader, budget *int64) (*mat.Matrix, error) {
 	var hdr [2]int32
 	if err := binary.Read(r, binary.LittleEndian, hdr[:]); err != nil {
 		return nil, fmt.Errorf("blockstore: read matrix header: %w", err)
@@ -48,6 +65,14 @@ func readMatrix(r io.Reader) (*mat.Matrix, error) {
 	if hdr[0] < 0 || hdr[1] < 0 {
 		return nil, fmt.Errorf("blockstore: negative matrix shape %d×%d", hdr[0], hdr[1])
 	}
+	// Compare in elements to stay overflow-safe: rows·cols of two int32s
+	// fits int64, but the byte count may not.
+	elems := int64(hdr[0]) * int64(hdr[1])
+	if elems > *budget/8 {
+		return nil, fmt.Errorf("blockstore: matrix shape %d×%d declares %d elements, more than the %d-byte decode budget holds (corrupt header?)",
+			hdr[0], hdr[1], elems, *budget)
+	}
+	*budget -= elems * 8
 	m := mat.New(int(hdr[0]), int(hdr[1]))
 	if err := binary.Read(r, binary.LittleEndian, m.Data); err != nil {
 		return nil, fmt.Errorf("blockstore: read matrix data: %w", err)
@@ -87,8 +112,20 @@ func EncodeUnit(w io.Writer, u *Unit) error {
 	return bw.Flush()
 }
 
-// DecodeUnit deserializes a unit from r.
+// DecodeUnit deserializes a unit from r with the fallback decode budget.
 func DecodeUnit(r io.Reader) (*Unit, error) {
+	return DecodeUnitWithin(r, maxDecodeBytes)
+}
+
+// DecodeUnitWithin deserializes a unit whose total matrix payload cannot
+// exceed maxBytes. FileStore.Get passes the unit file's actual size
+// (scaled by the maximum deflate expansion for compressed stores), so
+// corrupt headers fail cleanly instead of sizing allocations from garbage.
+func DecodeUnitWithin(r io.Reader, maxBytes int64) (*Unit, error) {
+	if maxBytes <= 0 || maxBytes > maxDecodeBytes {
+		maxBytes = maxDecodeBytes
+	}
+	budget := maxBytes
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(unitMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -101,7 +138,7 @@ func DecodeUnit(r io.Reader) (*Unit, error) {
 	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
 		return nil, fmt.Errorf("blockstore: read unit header: %w", err)
 	}
-	a, err := readMatrix(br)
+	a, err := readMatrixBudget(br, &budget)
 	if err != nil {
 		return nil, err
 	}
@@ -112,13 +149,16 @@ func DecodeUnit(r io.Reader) (*Unit, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("blockstore: negative U count %d", n)
 	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("blockstore: U count %d is implausibly large (corrupt header?)", n)
+	}
 	u := &Unit{Mode: int(hdr[0]), Part: int(hdr[1]), A: a, U: make(map[int]*mat.Matrix, n)}
 	for i := int32(0); i < n; i++ {
 		var id int32
 		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
 			return nil, fmt.Errorf("blockstore: read block id: %w", err)
 		}
-		m, err := readMatrix(br)
+		m, err := readMatrixBudget(br, &budget)
 		if err != nil {
 			return nil, err
 		}

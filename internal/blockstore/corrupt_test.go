@@ -1,0 +1,145 @@
+package blockstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twopcp/internal/mat"
+)
+
+func corruptTestUnit() *Unit {
+	rng := rand.New(rand.NewSource(1))
+	return &Unit{
+		Mode: 1, Part: 2,
+		A: mat.Random(6, 3, rng),
+		U: map[int]*mat.Matrix{0: mat.Random(6, 3, rng), 4: mat.Random(6, 3, rng)},
+	}
+}
+
+// TestFileStoreGetCorruptUnit pins the typed-error contract: every way a
+// unit file can be damaged on disk — zero-length, truncated at several
+// depths, wrong magic, garbage header sizes, a broken gzip stream —
+// surfaces as ErrCorrupt from Get, never as a panic, an allocation blowup
+// or an untyped decode error. ErrNotFound stays reserved for units that
+// were never written.
+func TestFileStoreGetCorruptUnit(t *testing.T) {
+	newStore := func(t *testing.T, opts ...FileStoreOption) (*FileStore, string) {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := NewFileStore(dir, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(corruptTestUnit()); err != nil {
+			t.Fatal(err)
+		}
+		return s, filepath.Join(dir, "unit-1-2.tpun")
+	}
+
+	t.Run("zero-length", func(t *testing.T) {
+		s, path := newStore(t)
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(1, 2); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("zero-length unit: %v", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		s, path := newStore(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, keep := range []int{1, 3, 4, 9, 12, len(data) / 2, len(data) - 1} {
+			if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(1, 2); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated to %d bytes: %v", keep, err)
+			}
+		}
+	})
+
+	t.Run("bad-magic", func(t *testing.T) {
+		s, path := newStore(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(data, "XXXX")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(1, 2); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bad magic: %v", err)
+		}
+	})
+
+	t.Run("absurd-shape", func(t *testing.T) {
+		// Headers declaring matrices the file could not possibly back must
+		// fail cleanly instead of attempting the allocation — both the
+		// astronomically large (~2^60 elements) and the "plausible" kind
+		// (40000×50000 ≈ 16 GB) that a loose element cap would wave through.
+		s, path := newStore(t)
+		for _, shape := range [][2]int32{{1 << 30, 1 << 30}, {40000, 50000}} {
+			var buf bytes.Buffer
+			buf.WriteString("TPUN")
+			binary.Write(&buf, binary.LittleEndian, [2]int32{1, 2}) // mode, part
+			binary.Write(&buf, binary.LittleEndian, shape)
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(1, 2); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("absurd shape %v: %v", shape, err)
+			}
+		}
+	})
+
+	t.Run("gzip-damage", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := NewFileStore(dir, WithCompression())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(corruptTestUnit()); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "unit-1-2.tpun.gz")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero-length compressed file.
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(1, 2); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("zero-length gzip unit: %v", err)
+		}
+		// Truncated compressed stream.
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(1, 2); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated gzip unit: %v", err)
+		}
+	})
+
+	t.Run("missing-stays-not-found", func(t *testing.T) {
+		s, _ := newStore(t)
+		_, err := s.Get(0, 0)
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing unit: %v", err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatalf("missing unit misreported as corrupt: %v", err)
+		}
+	})
+}

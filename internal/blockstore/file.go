@@ -111,7 +111,12 @@ func (s *FileStore) Put(u *Unit) error {
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. A unit file that exists but cannot be decoded —
+// zero-length, truncated mid-matrix, wrong magic, a damaged gzip stream or
+// a header declaring an absurd shape — yields ErrCorrupt rather than a raw
+// decode error (or, worse, an attempted allocation sized by garbage): Puts
+// are atomic, so a file in that state means on-disk damage, not an
+// in-progress write.
 func (s *FileStore) Get(mode, part int) (*Unit, error) {
 	f, err := os.Open(s.unitPath(mode, part))
 	if err != nil {
@@ -121,23 +126,36 @@ func (s *FileStore) Get(mode, part int) (*Unit, error) {
 		return nil, fmt.Errorf("blockstore: %w", err)
 	}
 	defer f.Close()
+	corrupt := func(err error) error {
+		return fmt.Errorf("%w: ⟨%d,%d⟩ (%s): %v", ErrCorrupt, mode, part, s.unitPath(mode, part), err)
+	}
+	// Bound decode allocations by what the file could actually contain, so
+	// a garbage header cannot size a multi-gigabyte allocation. 1032:1 is
+	// deflate's maximum expansion ratio.
+	var limit int64
+	if fi, err := f.Stat(); err == nil {
+		limit = fi.Size()
+		if s.compress {
+			limit *= 1032
+		}
+	}
 	var u *Unit
 	if s.compress {
 		zr, err := gzip.NewReader(f)
 		if err != nil {
-			return nil, fmt.Errorf("blockstore: gzip: %w", err)
+			return nil, corrupt(err)
 		}
-		u, err = DecodeUnit(zr)
+		u, err = DecodeUnitWithin(zr, limit)
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
 		if err := zr.Close(); err != nil {
-			return nil, fmt.Errorf("blockstore: gzip: %w", err)
+			return nil, corrupt(err)
 		}
 	} else {
-		u, err = DecodeUnit(f)
+		u, err = DecodeUnitWithin(f, limit)
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
 	}
 	s.mu.Lock()

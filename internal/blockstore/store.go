@@ -68,6 +68,14 @@ func (s *Stats) Add(other Stats) {
 // ErrNotFound is returned by Get for units that were never Put.
 var ErrNotFound = errors.New("blockstore: unit not found")
 
+// ErrCorrupt is returned by FileStore.Get for unit files that exist but
+// cannot be decoded — zero-length or truncated files, bad magic, damaged
+// gzip streams or absurd declared shapes. It is distinct from ErrNotFound
+// so callers can tell "never written" from "written but damaged": the
+// first is often a caller bug, the second is data loss that must not be
+// papered over.
+var ErrCorrupt = errors.New("blockstore: corrupt unit")
+
 // Store persists data units and counts the I/O they generate.
 //
 // # Concurrency contract

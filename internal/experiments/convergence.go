@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"strings"
 
 	"twopcp/internal/blockstore"
@@ -11,6 +12,7 @@ import (
 	"twopcp/internal/grid"
 	"twopcp/internal/phase1"
 	"twopcp/internal/refine"
+	"twopcp/internal/runstate"
 	"twopcp/internal/schedule"
 )
 
@@ -73,14 +75,36 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 	}
 	res := &ConvergenceResult{Config: cfg, Traces: map[schedule.Kind][]float64{}}
 	for _, kind := range schedule.Kinds {
-		eng, err := refine.New(refine.Config{
+		ecfg := refine.Config{
 			Phase1: p1, Store: blockstore.NewMemStore(),
 			Schedule: kind, Policy: buffer.LRU,
 			MaxVirtualIters: cfg.VirtualIters,
 			Tol:             math.Inf(-1),
 			PrefetchDepth:   cfg.IO.PrefetchDepth,
 			IOWorkers:       cfg.IO.IOWorkers,
-		})
+		}
+		if cfg.IO.Checkpoint != "" {
+			// One checkpoint subdirectory per schedule: the traces are
+			// independent runs, each resumable on its own. Resume-or-create
+			// per subdirectory — an interrupted suite may have started only
+			// some of the kinds before the crash.
+			sub := filepath.Join(cfg.IO.Checkpoint, "convergence-"+kind.String())
+			rs, err := runstate.Open(
+				sub,
+				runstate.Meta{
+					InputKind: "dense", Dims: p.Dims, Partitions: p.K,
+					Rank: cfg.Rank, Schedule: kind.String(), Replacement: buffer.LRU.String(),
+					// JSON cannot carry -Inf; the finite minimum is an
+					// equivalent fingerprint for "convergence disabled".
+					MaxIters: cfg.VirtualIters, Tol: -math.MaxFloat64, Seed: cfg.Seed,
+				},
+				p.NumBlocks(), cfg.IO.Resume && runstate.HasManifest(sub))
+			if err != nil {
+				return nil, err
+			}
+			ecfg.Checkpoint = rs
+		}
+		eng, err := refine.New(ecfg)
 		if err != nil {
 			return nil, err
 		}

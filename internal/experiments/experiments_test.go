@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -267,5 +269,48 @@ func TestConvergenceTraces(t *testing.T) {
 	}
 	if s := res.String(); !strings.Contains(s, "Convergence") {
 		t.Fatalf("render: %s", s)
+	}
+}
+
+// TestConvergenceCheckpointPartialResume: resuming an interrupted
+// convergence suite must work even for schedule kinds whose subdirectory
+// was never created before the crash (resume-or-create per kind), and the
+// traces must match an uncheckpointed run exactly.
+func TestConvergenceCheckpointPartialResume(t *testing.T) {
+	cfg := ConvergenceConfig{Side: 12, Parts: 2, Rank: 2, VirtualIters: 4, Seed: 10}
+	plain, err := RunConvergence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ck := cfg
+	ck.IO = IO{Checkpoint: dir}
+	if _, err := RunConvergence(ck); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash before the last kinds started: drop all but the
+	// first kind's checkpoint subdirectory, then resume the suite.
+	for _, kind := range schedule.Kinds[1:] {
+		if err := os.RemoveAll(filepath.Join(dir, "convergence-"+kind.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := cfg
+	re.IO = IO{Checkpoint: dir, Resume: true}
+	res, err := RunConvergence(re)
+	if err != nil {
+		t.Fatalf("partial resume: %v", err)
+	}
+	for kind, tr := range plain.Traces {
+		got := res.Traces[kind]
+		if len(got) != len(tr) {
+			t.Fatalf("%v trace length %d vs %d", kind, len(got), len(tr))
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				t.Fatalf("%v trace[%d] = %v, want %v", kind, i, got[i], tr[i])
+			}
+		}
 	}
 }

@@ -37,4 +37,13 @@ type IO struct {
 	PrefetchDepth int
 	// IOWorkers sizes the async I/O pool (0 = auto when PrefetchDepth > 0).
 	IOWorkers int
+	// Checkpoint, when non-empty, makes the experiment's long decomposition
+	// runs durable: each run checkpoints into its own subdirectory of this
+	// directory (named after the run), and Resume restarts interrupted runs
+	// from their last checkpoint. Results are bit-identical either way.
+	// Currently honored by the convergence experiment, whose per-schedule
+	// trace runs are the longest single engine invocations in the suite.
+	Checkpoint string
+	// Resume continues runs previously checkpointed under Checkpoint.
+	Resume bool
 }

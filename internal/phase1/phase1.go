@@ -117,6 +117,20 @@ func PartitionToChunks(x *tensor.Dense, p *grid.Pattern, store *blockstore.Chunk
 	return nil
 }
 
+// Checkpointer persists completed block decompositions so an interrupted
+// Phase 1 can restart without redoing them. runstate.Run is the production
+// implementation. Because every block is seeded from Seed ^ blockID, a
+// reloaded block is bit-identical to a recomputed one, so mixing
+// checkpointed and fresh blocks cannot change the Result.
+type Checkpointer interface {
+	// LoadBlock returns the previously recorded sub-factors and fit of
+	// block id, or ok=false when none (or an unusable one) exists.
+	LoadBlock(id int) (factors []*mat.Matrix, fit float64, ok bool, err error)
+	// SaveBlock durably records a completed block. It must be safe for
+	// concurrent use (the worker pool checkpoints in parallel).
+	SaveBlock(id int, factors []*mat.Matrix, fit float64) error
+}
+
 // Options configures Phase 1.
 type Options struct {
 	// Rank is the target decomposition rank F.
@@ -129,6 +143,10 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallel block decompositions (default GOMAXPROCS).
 	Workers int
+	// Checkpoint, when non-nil, records every completed block and skips
+	// blocks it already holds — completed blocks are not even read from
+	// the Source again.
+	Checkpoint Checkpointer
 }
 
 // Result carries the Phase-1 sub-factors.
@@ -193,6 +211,18 @@ func Run(src Source, opts Options) (*Result, error) {
 			// so per-sweep scratch is allocated once, not per block.
 			ws := cpals.NewWorkspace()
 			for j := range jobs {
+				if opts.Checkpoint != nil {
+					factors, fit, ok, err := opts.Checkpoint.LoadBlock(j.id)
+					if err != nil {
+						fail(j.vec, err)
+						return
+					}
+					if ok && blockShapeOK(factors, j.vec, p, opts.Rank) {
+						res.Sub[j.id] = factors
+						res.Fits[j.id] = fit
+						continue
+					}
+				}
 				block, err := src.Block(j.vec)
 				if err == nil {
 					var factors []*mat.Matrix
@@ -201,6 +231,9 @@ func Run(src Source, opts Options) (*Result, error) {
 					if err == nil {
 						res.Sub[j.id] = factors
 						res.Fits[j.id] = fit
+						if opts.Checkpoint != nil {
+							err = opts.Checkpoint.SaveBlock(j.id, factors, fit)
+						}
 					}
 				}
 				if err != nil {
@@ -224,6 +257,23 @@ send:
 		return nil, firstErr
 	}
 	return res, nil
+}
+
+// blockShapeOK reports whether checkpointed factors have the shape this
+// run's pattern and rank demand; anything else is silently recomputed (a
+// manifest-level fingerprint mismatch is rejected upstream, so this only
+// guards against damaged block files).
+func blockShapeOK(factors []*mat.Matrix, vec []int, p *grid.Pattern, rank int) bool {
+	_, size := p.Block(vec)
+	if len(factors) != len(size) {
+		return false
+	}
+	for m, f := range factors {
+		if f == nil || f.Rows != size[m] || f.Cols != rank {
+			return false
+		}
+	}
+	return true
 }
 
 // DecomposeBlock runs CP-ALS on one block (dense or COO) and returns its

@@ -1,0 +1,118 @@
+package refine
+
+import (
+	"fmt"
+
+	"twopcp/internal/runstate"
+)
+
+// Checkpointer persists and restores Phase-2 progress. runstate.Run is the
+// production implementation; the engine only requires this method pair so
+// tests can substitute failure-injecting fakes.
+//
+// The engine checkpoints at schedule-step boundaries (all units released,
+// no update in flight), every Config.CheckpointEverySteps steps. A
+// checkpoint is the complete mutable state of the refinement — the current
+// A factor partitions, the schedule position, the FitTrace and the buffer
+// snapshot — so an engine rebuilt from it replays the remaining steps
+// bit-for-bit: the P/Q components are pure functions of the checkpointed A
+// (and the Phase-1 U), and the buffer snapshot pins every subsequent
+// hit/miss/eviction decision.
+type Checkpointer interface {
+	// LoadPhase2 returns the latest checkpoint, or ok=false when none
+	// exists.
+	LoadPhase2() (*runstate.Phase2State, bool, error)
+	// SavePhase2 durably records st.
+	SavePhase2(st *runstate.Phase2State) error
+}
+
+// validateState checks a loaded checkpoint against this engine's pattern
+// and schedule before any of it is trusted.
+func (e *Engine) validateState(st *runstate.Phase2State) error {
+	p := e.pattern
+	rank := e.cfg.Phase1.Rank
+	if len(st.A) != p.NModes() {
+		return fmt.Errorf("refine: checkpoint has %d factor modes, pattern %d", len(st.A), p.NModes())
+	}
+	for mode, row := range st.A {
+		if len(row) != p.K[mode] {
+			return fmt.Errorf("refine: checkpoint mode %d has %d partitions, pattern %d", mode, len(row), p.K[mode])
+		}
+		for part, a := range row {
+			_, rows := p.ModeRange(mode, part)
+			if a == nil {
+				return fmt.Errorf("refine: checkpoint A(%d)_(%d) is missing", mode, part)
+			}
+			if a.Rows != rows || a.Cols != rank {
+				return fmt.Errorf("refine: checkpoint A(%d)_(%d) is %d×%d, want %d×%d",
+					mode, part, a.Rows, a.Cols, rows, rank)
+			}
+		}
+	}
+	if st.NextStep < 0 || st.NextStep >= len(e.sched.Steps) {
+		return fmt.Errorf("refine: checkpoint step %d outside schedule of %d steps", st.NextStep, len(e.sched.Steps))
+	}
+	if st.Pos < 0 || st.Pos >= e.sched.UpdatesPerCycle() {
+		return fmt.Errorf("refine: checkpoint position %d outside cycle of %d accesses", st.Pos, e.sched.UpdatesPerCycle())
+	}
+	if st.Updates < 0 || st.VirtualIters < 0 || st.WarmupLeft < 0 {
+		return fmt.Errorf("refine: checkpoint has negative progress counters")
+	}
+	if len(st.FitTrace) != st.VirtualIters {
+		return fmt.Errorf("refine: checkpoint trace has %d entries for %d virtual iterations",
+			len(st.FitTrace), st.VirtualIters)
+	}
+	return nil
+}
+
+// saveCheckpoint snapshots the engine at a step boundary and hands it to
+// the Checkpointer. nextStep/pos/updates describe the replay position (the
+// first not-yet-executed step); the caller passes its loop-local
+// convergence state verbatim.
+func (e *Engine) saveCheckpoint(nextStep, pos, updates int, res *Result, prevFit float64, warmupLeft int) error {
+	entries, cursor, bstats, err := e.mgr.Snapshot()
+	if err != nil {
+		return err
+	}
+	bs := runstate.BufferState{Resident: entries, Cursor: cursor, Stats: bstats}
+	storeStats := e.cfg.Store.Stats()
+	storeStats.Add(e.statsOffset)
+	st := &runstate.Phase2State{
+		NextStep:     nextStep,
+		Pos:          pos,
+		Updates:      updates,
+		VirtualIters: res.VirtualIters,
+		FitTrace:     append([]float64(nil), res.FitTrace...),
+		PrevFit:      prevFit,
+		WarmupLeft:   warmupLeft,
+		Buffer:       bs,
+		StoreStats:   storeStats,
+		A:            e.curA,
+	}
+	if err := e.cfg.Checkpoint.SavePhase2(st); err != nil {
+		return fmt.Errorf("refine: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restoreFromState installs a validated checkpoint into a freshly built
+// engine: the buffer snapshot is reloaded from the store (the units were
+// just re-seeded from the checkpointed A by prepareUnits), the store's
+// counters are zeroed so restoration traffic never double-counts, and the
+// checkpoint's cumulative statistics become the engine's offsets.
+func (e *Engine) restoreFromState(st *runstate.Phase2State) error {
+	if err := e.mgr.Restore(st.Buffer.Resident, st.Buffer.Cursor, st.Buffer.Stats); err != nil {
+		return err
+	}
+	e.cfg.Store.ResetStats()
+	e.statsOffset = st.StoreStats
+	e.startStep = st.NextStep
+	e.startPos = st.Pos
+	e.startUpdates = st.Updates
+	e.startVirtIters = st.VirtualIters
+	e.startTrace = append([]float64(nil), st.FitTrace...)
+	e.startPrevFit = st.PrevFit
+	e.startWarmupLeft = st.WarmupLeft
+	e.resumed = true
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"twopcp/internal/grid"
 	"twopcp/internal/mat"
 	"twopcp/internal/phase1"
+	"twopcp/internal/runstate"
 	"twopcp/internal/schedule"
 )
 
@@ -81,6 +82,17 @@ type Config struct {
 	// and background write-back goroutines). Defaults to 2 when
 	// PrefetchDepth > 0, else 0 (synchronous).
 	IOWorkers int
+	// Checkpoint, when non-nil, makes the refinement durable: the engine
+	// checkpoints its complete mutable state at schedule-step boundaries
+	// (see Checkpointer) and, when the Checkpointer already holds a
+	// checkpoint, resumes from it — skipping every step up to the
+	// checkpoint and replaying the rest bit-for-bit. Incompatible with
+	// DivideUpdate (that tracker's state is accumulated in place and is
+	// not reconstructible from a checkpoint).
+	Checkpoint Checkpointer
+	// CheckpointEverySteps is the checkpoint cadence in schedule steps
+	// (default: one full cycle; 1 checkpoints after every block position).
+	CheckpointEverySteps int
 }
 
 // Result reports a Phase-2 run.
@@ -116,6 +128,24 @@ type Engine struct {
 	scratchT      *mat.Matrix
 	scratchVec    []int
 	scratchMTTKRP map[int]*mat.Matrix
+
+	// Checkpoint state (only populated when cfg.Checkpoint != nil).
+	// curA[mode][part] tracks the current factor partition so a checkpoint
+	// never has to read units back; the matrices are replaced, never
+	// mutated, so holding references is safe. statsOffset carries the
+	// resumed run's pre-crash store traffic; the start* fields position
+	// Run at the restored step.
+	curA            [][]*mat.Matrix
+	ckptEvery       int
+	statsOffset     blockstore.Stats
+	resumed         bool
+	startStep       int
+	startPos        int
+	startUpdates    int
+	startVirtIters  int
+	startTrace      []float64
+	startPrevFit    float64
+	startWarmupLeft int
 }
 
 // New validates cfg, prepares the data units in the store, initializes the
@@ -136,11 +166,38 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.PrefetchDepth > 0 && cfg.IOWorkers <= 0 {
 		cfg.IOWorkers = 2
 	}
+	if cfg.Checkpoint != nil && cfg.DivideUpdate {
+		return nil, fmt.Errorf("refine: Checkpoint is incompatible with DivideUpdate (in-place tracker state is not restorable)")
+	}
 	p := cfg.Phase1.Pattern
 	e := &Engine{cfg: cfg, pattern: p}
 	e.sched = schedule.New(cfg.Schedule, p)
 
-	if err := e.prepareUnits(); err != nil {
+	// A pre-existing checkpoint replaces the seeded factors wholesale; it
+	// is loaded and validated before anything derives state from seeds.
+	var restored *runstate.Phase2State
+	if cfg.Checkpoint != nil {
+		st, ok, err := cfg.Checkpoint.LoadPhase2()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if err := e.validateState(st); err != nil {
+				return nil, err
+			}
+			restored = st
+		}
+		e.curA = make([][]*mat.Matrix, p.NModes())
+		for mode := range e.curA {
+			e.curA[mode] = make([]*mat.Matrix, p.K[mode])
+		}
+		e.ckptEvery = cfg.CheckpointEverySteps
+		if e.ckptEvery <= 0 {
+			e.ckptEvery = len(e.sched.Steps)
+		}
+	}
+
+	if err := e.prepareUnits(e.factorSeeder(restored)); err != nil {
 		return nil, err
 	}
 	if cfg.DivideUpdate {
@@ -148,7 +205,7 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.comps = newComponents(cfg.Phase1)
 	}
-	e.seedComponents()
+	e.seedComponents(e.factorSeeder(restored))
 
 	capacity := cfg.CapacityBytes
 	if capacity <= 0 {
@@ -167,7 +224,25 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.mgr = mgr
+	if restored != nil {
+		if err := e.restoreFromState(restored); err != nil {
+			mgr.Close()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// factorSeeder returns the A(mode)_(part) source used to seed the store
+// and the components: the checkpointed factors when resuming, otherwise
+// the usual deterministic initialization (each call site builds its own
+// seeder so the RNG draw sequence matches the original seeding exactly).
+func (e *Engine) factorSeeder(restored *runstate.Phase2State) func(mode, part int) *mat.Matrix {
+	if restored != nil {
+		return func(mode, part int) *mat.Matrix { return restored.A[mode][part] }
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	return func(mode, part int) *mat.Matrix { return e.initialA(mode, part, rng) }
 }
 
 // initialA builds the seed for A(mode)_(part).
@@ -188,15 +263,18 @@ func (e *Engine) initialA(mode, part int, rng *rand.Rand) *mat.Matrix {
 }
 
 // prepareUnits writes every ⟨mode, part⟩ unit into the store: the seeded
-// A(i)_(ki) plus the slab's Phase-1 U(i)_l matrices.
-func (e *Engine) prepareUnits() error {
-	rng := rand.New(rand.NewSource(e.cfg.Seed))
+// (or checkpoint-restored) A(i)_(ki) plus the slab's Phase-1 U(i)_l
+// matrices. On resume this is what makes the store consistent with the
+// checkpoint regardless of where the previous process died — the store's
+// A values are never trusted across a restart, they are always rewritten
+// from the seeder.
+func (e *Engine) prepareUnits(seed func(mode, part int) *mat.Matrix) error {
 	for mode := 0; mode < e.pattern.NModes(); mode++ {
 		for part := 0; part < e.pattern.K[mode]; part++ {
 			u := &blockstore.Unit{
 				Mode: mode,
 				Part: part,
-				A:    e.initialA(mode, part, rng),
+				A:    seed(mode, part),
 				U:    make(map[int]*mat.Matrix),
 			}
 			for _, id := range e.pattern.Slab(mode, part) {
@@ -213,18 +291,24 @@ func (e *Engine) prepareUnits() error {
 // seedComponents computes the initial P and Q from the seeded A parts.
 // The store was just seeded by prepareUnits; rather than reading every
 // unit back, regenerate the same initial A deterministically (same seed,
-// same generation order), sparing a full store sweep at setup. The stats
-// reset wipes the prepareUnits writes so setup traffic is never counted
-// as swaps.
-func (e *Engine) seedComponents() {
-	rng := rand.New(rand.NewSource(e.cfg.Seed))
+// same generation order — or reuse the checkpointed factors when
+// resuming), sparing a full store sweep at setup. The components are pure
+// functions of the current A and the Phase-1 U, which is exactly why a
+// resumed engine's P/Q state is bit-identical to the uninterrupted run's
+// at the checkpoint. The stats reset wipes the prepareUnits writes so
+// setup traffic is never counted as swaps.
+func (e *Engine) seedComponents(seed func(mode, part int) *mat.Matrix) {
 	for mode := 0; mode < e.pattern.NModes(); mode++ {
 		for part := 0; part < e.pattern.K[mode]; part++ {
 			slabU := make(map[int]*mat.Matrix)
 			for _, id := range e.pattern.Slab(mode, part) {
 				slabU[id] = e.cfg.Phase1.Sub[id][mode]
 			}
-			e.comps.SetA(mode, part, e.initialA(mode, part, rng), slabU)
+			a := seed(mode, part)
+			e.comps.SetA(mode, part, a, slabU)
+			if e.curA != nil {
+				e.curA[mode][part] = a
+			}
 		}
 	}
 	e.cfg.Store.ResetStats()
@@ -265,6 +349,9 @@ func (e *Engine) update(u *blockstore.Unit) {
 	aNew := mat.RightSolveSPD(t, s)
 	u.A = aNew
 	e.comps.SetA(mode, part, aNew, u.U)
+	if e.curA != nil {
+		e.curA[mode][part] = aNew
+	}
 }
 
 // prefetchAhead hands the buffer manager the accesses of the next
@@ -297,7 +384,10 @@ func (e *Engine) Run() (*Result, error) {
 	virtLen := e.sched.VirtualIterationLength()
 	updates := 0
 	warmupLeft := e.cfg.WarmupVirtualIters
-	prevFit := e.comps.SurrogateFit()
+	var prevFit float64
+	if !e.resumed {
+		prevFit = e.comps.SurrogateFit()
+	}
 	done := false
 	// Termination is only evaluated once every block position has been
 	// visited at least once — i.e. from the second full cycle on (paper
@@ -305,10 +395,21 @@ func (e *Engine) Run() (*Result, error) {
 	// a fit plateau before the first cycle completes only means the
 	// not-yet-visited partitions still hold their initialization.
 	minIters := int(math.Ceil(e.sched.VirtualIterationsPerCycle()))
-	pos := 0 // position in the cyclic access string
+	pos := 0       // position in the cyclic access string
+	startStep := 0 // first step of the first (possibly partial) cycle
+	if e.resumed {
+		updates = e.startUpdates
+		warmupLeft = e.startWarmupLeft
+		prevFit = e.startPrevFit
+		res.VirtualIters = e.startVirtIters
+		res.FitTrace = e.startTrace
+		pos = e.startPos
+		startStep = e.startStep
+	}
+	stepsSinceCkpt := 0
 
 	for !done && res.VirtualIters < e.cfg.MaxVirtualIters {
-		for si := range e.sched.Steps {
+		for si := startStep; si < len(e.sched.Steps); si++ {
 			step := &e.sched.Steps[si]
 			// Acquire the step's units in schedule order.
 			units := make([]*blockstore.Unit, len(step.Accesses))
@@ -357,7 +458,18 @@ func (e *Engine) Run() (*Result, error) {
 			if done {
 				break
 			}
+			if e.cfg.Checkpoint != nil {
+				stepsSinceCkpt++
+				if stepsSinceCkpt >= e.ckptEvery {
+					next := (si + 1) % len(e.sched.Steps)
+					if err := e.saveCheckpoint(next, pos, updates, res, prevFit, warmupLeft); err != nil {
+						return nil, err
+					}
+					stepsSinceCkpt = 0
+				}
+			}
 		}
+		startStep = 0
 	}
 
 	if err := e.mgr.FlushAll(); err != nil {
@@ -365,6 +477,7 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	res.BufferStats = e.mgr.Stats()
 	res.StoreStats = e.cfg.Store.Stats()
+	res.StoreStats.Add(e.statsOffset)
 	if res.VirtualIters > 0 {
 		res.SwapsPerVirtualIter = float64(res.BufferStats.Fetches) / float64(res.VirtualIters)
 	}

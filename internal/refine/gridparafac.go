@@ -39,11 +39,11 @@ func RunGridParafac(cfg Config, workers int) (*Result, error) {
 	}
 	// Reuse the engine's setup: units in the store, components seeded.
 	e := &Engine{cfg: cfg, pattern: cfg.Phase1.Pattern}
-	if err := e.prepareUnits(); err != nil {
+	if err := e.prepareUnits(e.factorSeeder(nil)); err != nil {
 		return nil, err
 	}
 	e.comps = newComponents(cfg.Phase1)
-	e.seedComponents()
+	e.seedComponents(e.factorSeeder(nil))
 
 	p := e.pattern
 	rank := cfg.Phase1.Rank

@@ -1,0 +1,102 @@
+package runstate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/mat"
+)
+
+// blockMagic tags a Phase-1 block checkpoint file.
+const blockMagic = "TP1B"
+
+func (r *Run) blockPath(id int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("p1-block-%d.ckpt", id))
+}
+
+// SaveBlock durably records the completed Phase-1 block: its λ-folded
+// sub-factors and ALS fit go into p1-block-<id>.ckpt and the manifest's
+// completion set is updated. It implements phase1.Checkpointer and is safe
+// for concurrent use by the Phase-1 worker pool.
+func (r *Run) SaveBlock(id int, factors []*mat.Matrix, fit float64) error {
+	var buf bytes.Buffer
+	hdr := struct {
+		ID     int32
+		Fit    float64
+		NModes int32
+	}{int32(id), fit, int32(len(factors))}
+	if err := binary.Write(&buf, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("runstate: encode block %d: %w", id, err)
+	}
+	for _, f := range factors {
+		if err := blockstore.WriteMatrix(&buf, f); err != nil {
+			return fmt.Errorf("runstate: encode block %d: %w", id, err)
+		}
+	}
+	name := fmt.Sprintf("p1-block-%d.ckpt", id)
+	if err := writeFileAtomic(r.dir, name, frame(blockMagic, buf.Bytes())); err != nil {
+		return err
+	}
+	return r.markBlockDone(id)
+}
+
+// LoadBlock returns the checkpointed sub-factors and fit of block id, or
+// ok=false when the block has no (usable) checkpoint. A truncated or
+// CRC-invalid block file is treated as absent — the block is re-derivable
+// from the input, so recomputing beats failing the resume. Only real I/O
+// errors (permissions, disk faults) are returned. It implements
+// phase1.Checkpointer.
+func (r *Run) LoadBlock(id int) ([]*mat.Matrix, float64, bool, error) {
+	data, err := os.ReadFile(r.blockPath(id))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("runstate: read block %d: %w", id, err)
+	}
+	payload, err := unframe(blockMagic, data)
+	if err != nil {
+		return nil, 0, false, nil // corrupt: recompute
+	}
+	br := bytes.NewReader(payload)
+	var hdr struct {
+		ID     int32
+		Fit    float64
+		NModes int32
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, 0, false, nil
+	}
+	if int(hdr.ID) != id || hdr.NModes < 0 || hdr.NModes > 64 {
+		return nil, 0, false, nil
+	}
+	factors := make([]*mat.Matrix, hdr.NModes)
+	for m := range factors {
+		factors[m], err = blockstore.ReadMatrix(br)
+		if err != nil {
+			return nil, 0, false, nil
+		}
+	}
+	// A valid block file IS the completion record; rebuild the in-memory
+	// summary from it so a resumed run's manifest flushes stay accurate
+	// even when the crash predated the last batched manifest write.
+	r.noteBlockDone(id)
+	return factors, hdr.Fit, true, nil
+}
+
+// noteBlockDone records a completion in memory only; the next manifest
+// flush (markBlockDone batching, or BeginPhase2) persists it.
+func (r *Run) noteBlockDone(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.done[id] {
+		r.done[id] = true
+		r.body.Phase1Done = append(r.body.Phase1Done, id)
+	}
+}

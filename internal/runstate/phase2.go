@@ -1,0 +1,127 @@
+package runstate
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/buffer"
+	"twopcp/internal/mat"
+)
+
+// phase2Magic tags the Phase-2 checkpoint file.
+const phase2Magic = "TP2C"
+
+// BufferState is the replacement-relevant snapshot of the buffer manager:
+// the resident units in ascending last-use order, the Forward policy's
+// schedule cursor and the cumulative statistics (types shared with
+// buffer.Manager.Snapshot/Restore, so nothing is lost in translation).
+// Restoring it makes every subsequent hit/miss/eviction decision — and
+// therefore the paper's swap counts — identical to the uninterrupted
+// run's.
+type BufferState struct {
+	Resident []buffer.SnapshotEntry `json:"resident"`
+	Cursor   int                    `json:"cursor"`
+	Stats    buffer.Stats           `json:"stats"`
+}
+
+// Phase2State is one Phase-2 checkpoint, taken at a schedule-step boundary.
+// Together with the (re-derivable) Phase-1 sub-factors it is the complete
+// mutable state of the refinement: the A factor partitions carry the
+// numbers, everything else pins the engine's position so replay continues
+// exactly where the checkpoint was taken.
+type Phase2State struct {
+	// NextStep is the schedule step index replay resumes at.
+	NextStep int `json:"next_step"`
+	// Pos is the engine's position in the cyclic access string.
+	Pos int `json:"pos"`
+	// Updates counts sub-factor updates performed so far.
+	Updates int `json:"updates"`
+	// VirtualIters and FitTrace are the completed virtual iterations and
+	// their surrogate-fit trajectory.
+	VirtualIters int       `json:"virtual_iters"`
+	FitTrace     []float64 `json:"fit_trace"`
+	// PrevFit is the fit at the last virtual-iteration boundary (the
+	// convergence comparand).
+	PrevFit float64 `json:"prev_fit"`
+	// WarmupLeft is the remaining warm-up virtual iterations.
+	WarmupLeft int `json:"warmup_left"`
+	// Buffer is the buffer-manager snapshot.
+	Buffer BufferState `json:"buffer"`
+	// StoreStats is the cumulative store traffic at the checkpoint.
+	StoreStats blockstore.Stats `json:"store_stats"`
+	// A[mode][part] are the current factor partitions A(mode)_(part); they
+	// travel in the binary section of the checkpoint file, not the JSON
+	// header.
+	A [][]*mat.Matrix `json:"-"`
+}
+
+// phase2Header is the JSON half of the checkpoint file; AParts records the
+// per-mode partition counts so the binary matrix section is self-framing.
+type phase2Header struct {
+	Phase2State
+	AParts []int `json:"a_parts"`
+}
+
+func (r *Run) phase2Path() string { return filepath.Join(r.dir, "phase2.ckpt") }
+
+// SavePhase2 atomically installs st as the latest Phase-2 checkpoint. It
+// implements refine.Checkpointer.
+func (r *Run) SavePhase2(st *Phase2State) error {
+	hdr := phase2Header{Phase2State: *st, AParts: make([]int, len(st.A))}
+	var mats []*mat.Matrix
+	for m, row := range st.A {
+		hdr.AParts[m] = len(row)
+		mats = append(mats, row...)
+	}
+	payload, err := encodeSection("phase2", hdr, mats)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(r.dir, "phase2.ckpt", frame(phase2Magic, payload))
+}
+
+// LoadPhase2 returns the latest Phase-2 checkpoint, or ok=false when none
+// exists (fresh run, or the run was interrupted before the first Phase-2
+// checkpoint). Unlike Phase-1 block files, a corrupt phase2.ckpt is an
+// error: it is the one file that cannot be recomputed locally, and silently
+// restarting Phase 2 would discard real progress the caller believes is
+// durable. It implements refine.Checkpointer.
+func (r *Run) LoadPhase2() (*Phase2State, bool, error) {
+	data, err := os.ReadFile(r.phase2Path())
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("runstate: read phase2 checkpoint: %w", err)
+	}
+	payload, err := unframe(phase2Magic, data)
+	if err != nil {
+		return nil, false, err
+	}
+	var hdr phase2Header
+	br, err := decodeSection("phase2", payload, &hdr)
+	if err != nil {
+		return nil, false, err
+	}
+	total := 0
+	for _, parts := range hdr.AParts {
+		if parts < 0 || parts > 1<<20 {
+			return nil, false, fmt.Errorf("%w: phase2 declares %d partitions", ErrCorrupt, parts)
+		}
+		total += parts
+	}
+	mats, err := readMatrices("phase2", br, total)
+	if err != nil {
+		return nil, false, err
+	}
+	st := hdr.Phase2State
+	st.A = make([][]*mat.Matrix, len(hdr.AParts))
+	for m, parts := range hdr.AParts {
+		st.A[m], mats = mats[:parts], mats[parts:]
+	}
+	return &st, true, nil
+}

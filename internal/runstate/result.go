@@ -1,0 +1,87 @@
+package runstate
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"twopcp/internal/mat"
+)
+
+// resultMagic tags the final-result checkpoint file.
+const resultMagic = "TPRS"
+
+// ResultState is the persisted form of a completed run's Result. Resuming
+// a finished run returns it without recomputation (the no-op resume
+// contract). The factor matrices travel in the binary section; everything
+// else is the JSON header.
+type ResultState struct {
+	Fit          float64   `json:"fit"`
+	Phase1NS     int64     `json:"phase1_ns"`
+	Phase2NS     int64     `json:"phase2_ns"`
+	VirtualIters int       `json:"virtual_iters"`
+	Converged    bool      `json:"converged"`
+	FitTrace     []float64 `json:"fit_trace"`
+	Swaps        int64     `json:"swaps"`
+	SwapsPerIter float64   `json:"swaps_per_iter"`
+	BytesRead    int64     `json:"bytes_read"`
+	BytesWritten int64     `json:"bytes_written"`
+	// Factors are the full per-mode factor matrices A(i).
+	Factors []*mat.Matrix `json:"-"`
+}
+
+type resultHeader struct {
+	ResultState
+	NFactors int `json:"n_factors"`
+}
+
+func (r *Run) resultPath() string { return filepath.Join(r.dir, "result.ckpt") }
+
+// SaveResult durably records the completed run's Result and marks the
+// manifest done. The result file is installed before the stage flips, so a
+// crash between the two leaves a resumable phase-2 state rather than a
+// done-marker without a result.
+func (r *Run) SaveResult(st *ResultState) error {
+	hdr := resultHeader{ResultState: *st, NFactors: len(st.Factors)}
+	payload, err := encodeSection("result", hdr, st.Factors)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(r.dir, "result.ckpt", frame(resultMagic, payload)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.body.Stage = StageDone
+	return r.saveManifestLocked()
+}
+
+// LoadResult returns the completed run's Result. It fails with ErrCorrupt
+// when the file is damaged and ErrNoManifest-style absence when the run
+// never completed.
+func (r *Run) LoadResult() (*ResultState, error) {
+	data, err := os.ReadFile(r.resultPath())
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("runstate: run is marked done but %s is missing", filepath.Base(r.resultPath()))
+		}
+		return nil, fmt.Errorf("runstate: read result: %w", err)
+	}
+	payload, err := unframe(resultMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	var hdr resultHeader
+	br, err := decodeSection("result", payload, &hdr)
+	if err != nil {
+		return nil, err
+	}
+	st := hdr.ResultState
+	st.Factors, err = readMatrices("result", br, hdr.NFactors)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,409 @@
+// Package runstate makes long 2PCP decompositions durable: it maintains a
+// fsync'd, versioned run manifest plus per-stage checkpoint files under a
+// single checkpoint directory, so a run killed at an arbitrary point can be
+// restarted and skip every completed block decomposition (Phase 1) and
+// every refinement step up to the last checkpoint (Phase 2) — producing
+// bit-for-bit identical factors, FitTrace and swap counts to an
+// uninterrupted run (the package-level determinism contract of twopcp makes
+// replay from a checkpoint exact).
+//
+// # Layout
+//
+// A checkpoint directory contains:
+//
+//	manifest.json        versioned JSON envelope (CRC32-protected body):
+//	                     the run's option fingerprint, the partition
+//	                     pattern, the current stage and the set of
+//	                     completed Phase-1 blocks.
+//	p1-block-<id>.ckpt   one binary file per completed Phase-1 block:
+//	                     the block's λ-folded sub-factors and ALS fit.
+//	phase2.ckpt          the latest Phase-2 checkpoint: schedule position,
+//	                     FitTrace so far, every current A(i)_(ki) factor
+//	                     partition, the buffer-manager snapshot and the
+//	                     cumulative I/O statistics.
+//	result.ckpt          the final Result once the run completes; resuming
+//	                     a completed run is a no-op that returns it.
+//
+// # Durability
+//
+// Every file is written with the same discipline: serialize to a temp file
+// in the checkpoint directory, fsync it, rename it into place, then fsync
+// the directory. A crash can therefore never surface a torn or half-written
+// manifest or checkpoint — readers see either the previous complete version
+// or the new complete version. Binary checkpoint files carry a magic tag
+// and a CRC32 of their payload; the manifest body is CRC32-protected inside
+// its JSON envelope. A checkpoint that fails its CRC is reported as
+// ErrCorrupt (Phase-1 block files are the exception: they are re-derivable,
+// so a corrupt one is treated as absent and the block is recomputed).
+package runstate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Version is the manifest schema version this package writes.
+const Version = 1
+
+var (
+	// ErrNoManifest is returned when resuming from a directory that holds
+	// no (complete) manifest.
+	ErrNoManifest = errors.New("runstate: no manifest")
+	// ErrMismatch is returned when a manifest's option fingerprint does not
+	// match the resuming run's options.
+	ErrMismatch = errors.New("runstate: manifest does not match run options")
+	// ErrCorrupt marks a manifest or checkpoint whose CRC or framing is
+	// invalid.
+	ErrCorrupt = errors.New("runstate: corrupt checkpoint")
+	// ErrExists is returned when starting a fresh (non-resume) run in a
+	// directory that already holds a manifest.
+	ErrExists = errors.New("runstate: checkpoint directory already holds a run manifest")
+)
+
+// Stage is the run's coarse progress marker.
+type Stage string
+
+const (
+	// StagePhase1 means per-block decompositions are (or were) in progress.
+	StagePhase1 Stage = "phase1"
+	// StagePhase2 means Phase 1 completed and refinement is in progress.
+	StagePhase2 Stage = "phase2"
+	// StageDone means the run completed and result.ckpt holds the Result.
+	StageDone Stage = "done"
+)
+
+// Meta is the option fingerprint recorded in the manifest. Resume compares
+// it field-for-field: every field here changes the run's results, so a
+// mismatch means the checkpoint belongs to a different computation.
+// Parallelism and I/O-pipeline knobs (Workers, KernelWorkers,
+// PrefetchDepth, IOWorkers) are deliberately absent — results are
+// bit-identical at every setting, so a run may be resumed with different
+// parallelism.
+type Meta struct {
+	// InputKind distinguishes the pipeline front-end: "dense", "sparse" or
+	// "tiled".
+	InputKind string `json:"input_kind"`
+	// Dims are the input tensor's mode sizes.
+	Dims []int `json:"dims"`
+	// Partitions is the resolved pattern K (one entry per mode).
+	Partitions []int `json:"partitions"`
+	Rank       int   `json:"rank"`
+	// Schedule and Replacement are the paper abbreviations (HO, FOR, ...).
+	Schedule    string `json:"schedule"`
+	Replacement string `json:"replacement"`
+	// The remaining fields are recorded exactly as the caller passed them
+	// (zero means "the default"), so a resume with the same literal options
+	// matches.
+	BufferFraction float64 `json:"buffer_fraction"`
+	BufferBytes    int64   `json:"buffer_bytes"`
+	MaxIters       int     `json:"max_iters"`
+	Tol            float64 `json:"tol"`
+	Phase1MaxIters int     `json:"phase1_max_iters"`
+	Phase1Tol      float64 `json:"phase1_tol"`
+	Seed           int64   `json:"seed"`
+}
+
+// manifestBody is the CRC-protected content of manifest.json.
+type manifestBody struct {
+	Meta      Meta  `json:"meta"`
+	Stage     Stage `json:"stage"`
+	NumBlocks int   `json:"num_blocks"`
+	// Phase1Done lists the linear ids of completed Phase-1 blocks, sorted.
+	Phase1Done []int `json:"phase1_done,omitempty"`
+}
+
+// envelope frames the manifest body with a version and a CRC32 (IEEE) of
+// the exact body bytes.
+type envelope struct {
+	Version int             `json:"version"`
+	CRC32   uint32          `json:"crc32"`
+	Body    json.RawMessage `json:"body"`
+}
+
+// Run is a handle on one checkpoint directory. It is safe for concurrent
+// use (Phase-1 workers checkpoint blocks in parallel).
+type Run struct {
+	dir     string
+	resumed bool
+
+	mu   sync.Mutex
+	body manifestBody
+	done map[int]bool // mirror of body.Phase1Done
+}
+
+// Open creates (resume=false) or loads (resume=true) the run manifest in
+// dir.
+//
+// A fresh run requires a directory without a manifest (ErrExists
+// otherwise); any stale checkpoint files from an earlier, manifest-less
+// state are removed so they can never leak into the new run. A resumed run
+// requires a manifest (ErrNoManifest) whose Meta matches field-for-field
+// (ErrMismatch); numBlocks must also agree.
+func Open(dir string, meta Meta, numBlocks int, resume bool) (*Run, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstate: create checkpoint dir: %w", err)
+	}
+	r := &Run{dir: dir, resumed: resume, done: make(map[int]bool)}
+	path := r.manifestPath()
+	// A SIGKILL can land between writeFileAtomic's CreateTemp and rename;
+	// no writer is live at Open time, so any temp file here is dead weight
+	// from a previous crash.
+	if err := r.removeFiles(isTempFile); err != nil {
+		return nil, err
+	}
+	if resume {
+		body, err := loadManifest(path)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(body.Meta, meta) {
+			return nil, fmt.Errorf("%w: manifest records %+v, run has %+v", ErrMismatch, body.Meta, meta)
+		}
+		if body.NumBlocks != numBlocks {
+			return nil, fmt.Errorf("%w: manifest records %d blocks, run has %d", ErrMismatch, body.NumBlocks, numBlocks)
+		}
+		r.body = *body
+		for _, id := range body.Phase1Done {
+			r.done[id] = true
+		}
+		return r, nil
+	}
+	if _, err := os.Lstat(path); err == nil {
+		return nil, fmt.Errorf("%w: %s (pass Resume to continue it, or use a fresh directory)", ErrExists, dir)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("runstate: stat manifest: %w", err)
+	}
+	if err := r.removeFiles(isStaleCheckpoint); err != nil {
+		return nil, err
+	}
+	r.body = manifestBody{Meta: meta, Stage: StagePhase1, NumBlocks: numBlocks}
+	if err := r.saveManifestLocked(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Dir returns the checkpoint directory.
+func (r *Run) Dir() string { return r.dir }
+
+// Resumed reports whether this handle was opened in resume mode.
+func (r *Run) Resumed() bool { return r.resumed }
+
+// Stage returns the run's current stage.
+func (r *Run) Stage() Stage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.body.Stage
+}
+
+// Meta returns the recorded option fingerprint.
+func (r *Run) Meta() Meta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.body.Meta
+}
+
+// Phase1Completed returns how many Phase-1 blocks the manifest records as
+// done.
+func (r *Run) Phase1Completed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.body.Phase1Done)
+}
+
+// BeginPhase2 marks Phase 1 complete. It is idempotent.
+func (r *Run) BeginPhase2() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.body.Stage != StagePhase1 {
+		return nil
+	}
+	r.body.Stage = StagePhase2
+	return r.saveManifestLocked()
+}
+
+func (r *Run) manifestPath() string { return filepath.Join(r.dir, "manifest.json") }
+
+// saveManifestLocked atomically rewrites manifest.json. Called with mu held
+// (or before the Run is shared).
+func (r *Run) saveManifestLocked() error {
+	sort.Ints(r.body.Phase1Done)
+	body, err := json.Marshal(r.body)
+	if err != nil {
+		return fmt.Errorf("runstate: marshal manifest: %w", err)
+	}
+	env, err := json.Marshal(envelope{Version: Version, CRC32: crc32.ChecksumIEEE(body), Body: body})
+	if err != nil {
+		return fmt.Errorf("runstate: marshal manifest envelope: %w", err)
+	}
+	return writeFileAtomic(r.dir, "manifest.json", append(env, '\n'))
+}
+
+func loadManifest(path string) (*manifestBody, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w in %s", ErrNoManifest, filepath.Dir(path))
+		}
+		return nil, fmt.Errorf("runstate: read manifest: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: manifest is not valid JSON: %v", ErrCorrupt, err)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("runstate: manifest version %d, this build reads %d", env.Version, Version)
+	}
+	if crc32.ChecksumIEEE(env.Body) != env.CRC32 {
+		return nil, fmt.Errorf("%w: manifest body CRC mismatch", ErrCorrupt)
+	}
+	var body manifestBody
+	if err := json.Unmarshal(env.Body, &body); err != nil {
+		return nil, fmt.Errorf("%w: manifest body: %v", ErrCorrupt, err)
+	}
+	switch body.Stage {
+	case StagePhase1, StagePhase2, StageDone:
+	default:
+		return nil, fmt.Errorf("%w: unknown stage %q", ErrCorrupt, body.Stage)
+	}
+	return &body, nil
+}
+
+// HasManifest reports whether dir holds a run manifest — the
+// resume-or-create predicate for callers that manage a family of
+// checkpoint subdirectories (an interrupted multi-run suite may have
+// started only some of them before the crash).
+func HasManifest(dir string) bool {
+	_, err := os.Lstat(filepath.Join(dir, "manifest.json"))
+	return err == nil
+}
+
+// isStaleCheckpoint matches checkpoint artifacts left behind without a
+// manifest (e.g. from an interrupted cleanup); a fresh run removes them so
+// it can never load state it did not write.
+func isStaleCheckpoint(name string) bool {
+	return name == "phase2.ckpt" || name == "result.ckpt" ||
+		strings.HasPrefix(name, "p1-block-") || isTempFile(name)
+}
+
+// isTempFile matches writeFileAtomic's in-flight temp names.
+func isTempFile(name string) bool { return strings.Contains(name, ".tmp-") }
+
+// removeFiles deletes every directory entry matching the predicate.
+func (r *Run) removeFiles(match func(name string) bool) error {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("runstate: scan checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if !match(e.Name()) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(r.dir, e.Name())); err != nil {
+			return fmt.Errorf("runstate: remove stale %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// phase1FlushEvery batches the manifest rewrite during Phase 1. The
+// per-block .ckpt files (CRC-tagged, atomically installed before the block
+// is marked done) are the authoritative completion record on resume; the
+// manifest's Phase1Done list is a progress summary, so it does not need a
+// full rewrite + fsync pair per block — at billion-block granularity that
+// would serialize the worker pool behind O(blocks²) manifest I/O.
+const phase1FlushEvery = 64
+
+// markBlockDone records block id as complete, rewriting the manifest every
+// phase1FlushEvery completions and at the final block (BeginPhase2 also
+// persists the complete list when Phase 1 ends early between flushes).
+func (r *Run) markBlockDone(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done[id] {
+		return nil
+	}
+	r.done[id] = true
+	r.body.Phase1Done = append(r.body.Phase1Done, id)
+	if n := len(r.body.Phase1Done); n%phase1FlushEvery != 0 && n != r.body.NumBlocks {
+		return nil
+	}
+	return r.saveManifestLocked()
+}
+
+// writeFileAtomic durably installs data at dir/name: temp file, fsync,
+// rename, directory fsync. Readers observe either the previous complete
+// file or the new complete file, and the rename survives a crash.
+func writeFileAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("runstate: write %s: %w", name, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("runstate: sync %s: %w", name, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("runstate: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("runstate: install %s: %w", name, err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("runstate: dirsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("runstate: dirsync: %w", err)
+	}
+	return nil
+}
+
+// frame prefixes payload with a 4-byte magic and a little-endian CRC32
+// (IEEE) of the payload; unframe validates and strips both.
+func frame(magic string, payload []byte) []byte {
+	out := make([]byte, 0, len(magic)+4+len(payload))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+func unframe(magic string, data []byte) ([]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: %d-byte file is shorter than its %s header", ErrCorrupt, len(data), magic)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %s)", ErrCorrupt, data[:len(magic)], magic)
+	}
+	want := binary.LittleEndian.Uint32(data[len(magic):])
+	payload := data[len(magic)+4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: %s payload CRC mismatch", ErrCorrupt, magic)
+	}
+	return payload, nil
+}

@@ -1,0 +1,247 @@
+package twopcp_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twopcp"
+	"twopcp/internal/runstate"
+)
+
+func resumeOpts(dir string) twopcp.Options {
+	return twopcp.Options{
+		Rank:           3,
+		Partitions:     []int{2, 2, 2},
+		Schedule:       twopcp.HilbertOrder,
+		Replacement:    twopcp.Forward,
+		BufferFraction: 0.5,
+		MaxIters:       8,
+		Tol:            1e-6,
+		Seed:           9,
+		Checkpoint:     dir,
+	}
+}
+
+func sameResult(t *testing.T, name string, got, want *twopcp.Result) {
+	t.Helper()
+	if got.Fit != want.Fit {
+		t.Fatalf("%s: fit %v, want %v", name, got.Fit, want.Fit)
+	}
+	if got.Swaps != want.Swaps || got.VirtualIters != want.VirtualIters || got.Converged != want.Converged {
+		t.Fatalf("%s: swaps/iters/converged = %d/%d/%v, want %d/%d/%v", name,
+			got.Swaps, got.VirtualIters, got.Converged, want.Swaps, want.VirtualIters, want.Converged)
+	}
+	if len(got.FitTrace) != len(want.FitTrace) {
+		t.Fatalf("%s: trace length %d, want %d", name, len(got.FitTrace), len(want.FitTrace))
+	}
+	for i := range want.FitTrace {
+		if got.FitTrace[i] != want.FitTrace[i] {
+			t.Fatalf("%s: trace[%d] = %v, want %v", name, i, got.FitTrace[i], want.FitTrace[i])
+		}
+	}
+	for m := range want.Model.Factors {
+		g, w := got.Model.Factors[m], want.Model.Factors[m]
+		for i := range w.Data {
+			if g.Data[i] != w.Data[i] {
+				t.Fatalf("%s: factor %d differs at flat index %d", name, m, i)
+			}
+		}
+	}
+}
+
+// TestDecomposeWithCheckpointMatchesPlain verifies the overhead-only
+// contract: checkpointing changes no result field that the determinism
+// contract covers, and resuming the completed run is a no-op that returns
+// the recorded Result.
+func TestDecomposeWithCheckpointMatchesPlain(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(4)), 16, 16, 16)
+
+	plainOpts := resumeOpts("")
+	plainOpts.Checkpoint = ""
+	plain, err := twopcp.Decompose(x, plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	ckpt, err := twopcp.Decompose(x, resumeOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "checkpointed", ckpt, plain)
+
+	// Resume after completion: a no-op returning the final Result.
+	reOpts := resumeOpts(dir)
+	reOpts.Resume = true
+	resumed, err := twopcp.Decompose(x, reOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "noop-resume", resumed, plain)
+}
+
+// TestResumeEdgeCases covers the rejection paths: missing manifest,
+// mismatched options/seed, re-running a fresh run over an existing
+// manifest, and Resume without a Checkpoint directory.
+func TestResumeEdgeCases(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(4)), 16, 16, 16)
+
+	t.Run("resume-without-checkpoint-dir", func(t *testing.T) {
+		opts := resumeOpts("")
+		opts.Checkpoint = ""
+		opts.Resume = true
+		if _, err := twopcp.Decompose(x, opts); err == nil {
+			t.Fatal("Resume without Checkpoint accepted")
+		}
+	})
+
+	t.Run("resume-without-manifest", func(t *testing.T) {
+		opts := resumeOpts(filepath.Join(t.TempDir(), "empty"))
+		opts.Resume = true
+		if _, err := twopcp.Decompose(x, opts); !errors.Is(err, runstate.ErrNoManifest) {
+			t.Fatalf("got %v, want ErrNoManifest", err)
+		}
+	})
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if _, err := twopcp.Decompose(x, resumeOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("fresh-run-over-existing-manifest", func(t *testing.T) {
+		if _, err := twopcp.Decompose(x, resumeOpts(dir)); !errors.Is(err, runstate.ErrExists) {
+			t.Fatalf("got %v, want ErrExists", err)
+		}
+	})
+
+	t.Run("mismatched-seed", func(t *testing.T) {
+		opts := resumeOpts(dir)
+		opts.Resume = true
+		opts.Seed = 10
+		if _, err := twopcp.Decompose(x, opts); !errors.Is(err, runstate.ErrMismatch) {
+			t.Fatalf("got %v, want ErrMismatch", err)
+		}
+	})
+
+	t.Run("mismatched-rank", func(t *testing.T) {
+		opts := resumeOpts(dir)
+		opts.Resume = true
+		opts.Rank = 4
+		if _, err := twopcp.Decompose(x, opts); !errors.Is(err, runstate.ErrMismatch) {
+			t.Fatalf("got %v, want ErrMismatch", err)
+		}
+	})
+
+	t.Run("mismatched-schedule", func(t *testing.T) {
+		opts := resumeOpts(dir)
+		opts.Resume = true
+		opts.Schedule = twopcp.ZOrder
+		if _, err := twopcp.Decompose(x, opts); !errors.Is(err, runstate.ErrMismatch) {
+			t.Fatalf("got %v, want ErrMismatch", err)
+		}
+	})
+
+	t.Run("infinite-tolerances-fingerprint", func(t *testing.T) {
+		// ±Inf tolerances are legal (they disable convergence checks) and
+		// must fold to finite fingerprint values instead of failing the
+		// manifest's JSON encoding.
+		dir := filepath.Join(t.TempDir(), "ckpt")
+		opts := resumeOpts(dir)
+		opts.Tol = math.Inf(-1)
+		opts.Phase1Tol = math.Inf(-1)
+		opts.MaxIters = 3
+		if _, err := twopcp.Decompose(x, opts); err != nil {
+			t.Fatalf("checkpointed run with -Inf tolerances: %v", err)
+		}
+		opts.Resume = true
+		if _, err := twopcp.Decompose(x, opts); err != nil {
+			t.Fatalf("resume with -Inf tolerances: %v", err)
+		}
+	})
+
+	t.Run("read-only-checkpoint-dir", func(t *testing.T) {
+		base := t.TempDir()
+		file := filepath.Join(base, "occupied")
+		if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		opts := resumeOpts(filepath.Join(file, "nested"))
+		if _, err := twopcp.Decompose(x, opts); err == nil {
+			t.Fatal("checkpoint dir under a regular file accepted")
+		}
+		if os.Geteuid() != 0 {
+			ro := filepath.Join(base, "ro")
+			if err := os.Mkdir(ro, 0o555); err != nil {
+				t.Fatal(err)
+			}
+			opts.Checkpoint = filepath.Join(ro, "ckpt")
+			if _, err := twopcp.Decompose(x, opts); err == nil {
+				t.Fatal("checkpoint dir under a read-only directory accepted")
+			}
+		}
+	})
+}
+
+// TestTiledCheckpointResume exercises the checkpoint plumbing of the
+// out-of-core front-end: DecomposeTiledFile with a checkpoint matches the
+// plain run, and a completed tiled run no-op resumes.
+func TestTiledCheckpointResume(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(4)), 16, 14, 12)
+	path := filepath.Join(t.TempDir(), "x.tptl")
+	if err := twopcp.SaveTiled(path, x, []int{3, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	plainOpts := resumeOpts("")
+	plainOpts.Checkpoint = ""
+	plain, err := twopcp.DecomposeTiledFile(path, plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	ckpt, err := twopcp.DecomposeTiledFile(path, resumeOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "tiled-checkpointed", ckpt, plain)
+
+	reOpts := resumeOpts(dir)
+	reOpts.Resume = true
+	resumed, err := twopcp.DecomposeTiledFile(path, reOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "tiled-noop-resume", resumed, plain)
+}
+
+// TestSparseCheckpointResume does the same for the sparse front-end.
+func TestSparseCheckpointResume(t *testing.T) {
+	x := twopcp.RandomCOO(rand.New(rand.NewSource(6)), 0.2, 14, 12, 10)
+
+	plainOpts := resumeOpts("")
+	plainOpts.Checkpoint = ""
+	plain, err := twopcp.DecomposeSparse(x, plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	ckpt, err := twopcp.DecomposeSparse(x, resumeOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "sparse-checkpointed", ckpt, plain)
+
+	reOpts := resumeOpts(dir)
+	reOpts.Resume = true
+	resumed, err := twopcp.DecomposeSparse(x, reOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "sparse-noop-resume", resumed, plain)
+}

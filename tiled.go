@@ -35,15 +35,18 @@ func DecomposeTiledFile(path string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(src, p, opts)
+	res, rs, complete, err := run(src, p, opts, "tiled")
 	if err != nil {
 		return nil, err
+	}
+	if complete {
+		return res, nil
 	}
 	res.Fit, err = tiledFit(r, res.Model)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return finishRun(rs, res)
 }
 
 // SaveTiled writes an in-memory dense tensor as a .tptl tiled file,

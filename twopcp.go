@@ -10,6 +10,7 @@ import (
 	"twopcp/internal/par"
 	"twopcp/internal/phase1"
 	"twopcp/internal/refine"
+	"twopcp/internal/runstate"
 )
 
 // Options configures a two-phase decomposition.
@@ -73,6 +74,29 @@ type Options struct {
 	// IOWorkers sizes the asynchronous I/O pool serving prefetches and
 	// background write-backs (default 2 when PrefetchDepth > 0, else 0).
 	IOWorkers int
+	// Checkpoint, when non-empty, names a directory in which the run keeps
+	// a durable, versioned manifest of its progress: every completed
+	// Phase-1 block and, at schedule-step granularity, the complete
+	// Phase-2 refinement state. A run killed at an arbitrary point can be
+	// restarted with Resume and produces bit-for-bit identical factors,
+	// FitTrace and swap counts to an uninterrupted run. See the Durability
+	// section of the package documentation for exactly what is fsync'd
+	// when.
+	Checkpoint string
+	// Resume continues the run recorded in the Checkpoint directory:
+	// completed Phase-1 blocks are loaded instead of recomputed and Phase
+	// 2 restarts from its latest checkpoint. The manifest's option
+	// fingerprint must match this run's options (same input shape,
+	// partitions, rank, schedule, replacement, buffer sizing, iteration
+	// bounds, tolerances and seed — parallelism and prefetch knobs may
+	// differ); resuming an already-completed run is a no-op that returns
+	// the recorded Result.
+	Resume bool
+	// CheckpointEverySteps sets the Phase-2 checkpoint cadence in schedule
+	// steps (default: one full scheduling cycle; 1 checkpoints after every
+	// block position). Smaller values lose less work to a crash and cost
+	// more checkpoint I/O.
+	CheckpointEverySteps int
 }
 
 // Result reports a two-phase decomposition.
@@ -124,12 +148,15 @@ func Decompose(x *Dense, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(src, p, opts)
+	res, rs, complete, err := run(src, p, opts, "dense")
 	if err != nil {
 		return nil, err
 	}
+	if complete {
+		return res, nil
+	}
 	res.Fit = res.Model.Fit(x)
-	return res, nil
+	return finishRun(rs, res)
 }
 
 // DecomposeSparse runs the full 2PCP pipeline on a sparse tensor. (2PCP
@@ -145,12 +172,15 @@ func DecomposeSparse(x *COO, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(src, p, opts)
+	res, rs, complete, err := run(src, p, opts, "sparse")
 	if err != nil {
 		return nil, err
 	}
+	if complete {
+		return res, nil
+	}
 	res.Fit = res.Model.FitSparse(x)
-	return res, nil
+	return finishRun(rs, res)
 }
 
 // CPALS runs plain in-memory CP-ALS (the paper's "Naive CP" baseline and
@@ -199,32 +229,60 @@ func patternFor(dims []int, opts Options) (*Pattern, error) {
 	return grid.New(dims, parts)
 }
 
-func run(src phase1.Source, p *Pattern, opts Options) (*Result, error) {
-	out := &Result{}
+// run executes both phases. When opts.Checkpoint is set it opens (or
+// resumes) the run manifest first; complete=true means the directory holds
+// a finished run whose Result was returned without recomputation.
+func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Result, rs *runstate.Run, complete bool, err error) {
+	if err := validateCheckpointOptions(opts); err != nil {
+		return nil, nil, false, err
+	}
+	if opts.Checkpoint != "" {
+		rs, err = openRunState(opts, p, inputKind)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if rs.Stage() == runstate.StageDone {
+			st, err := rs.LoadResult()
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return resultFromState(st), rs, true, nil
+		}
+	}
+	out = &Result{}
 
 	start := time.Now()
-	p1, err := phase1.Run(src, phase1.Options{
+	p1opts := phase1.Options{
 		Rank:     opts.Rank,
 		MaxIters: opts.Phase1MaxIters,
 		Tol:      opts.Phase1Tol,
 		Seed:     opts.Seed,
 		Workers:  opts.Workers,
-	})
+	}
+	if rs != nil {
+		p1opts.Checkpoint = rs
+	}
+	p1, err := phase1.Run(src, p1opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 	out.Phase1Time = time.Since(start)
+	if rs != nil {
+		if err := rs.BeginPhase2(); err != nil {
+			return nil, nil, false, err
+		}
+	}
 
 	var store blockstore.Store
 	if opts.StoreDir != "" {
 		store, err = blockstore.NewFileStore(opts.StoreDir)
 		if err != nil {
-			return nil, err
+			return nil, nil, false, err
 		}
 	} else {
 		store = blockstore.NewMemStore()
 	}
-	eng, err := refine.New(refine.Config{
+	cfg := refine.Config{
 		Phase1:          p1,
 		Store:           store,
 		Schedule:        opts.Schedule,
@@ -236,20 +294,25 @@ func run(src phase1.Source, p *Pattern, opts Options) (*Result, error) {
 		Seed:            opts.Seed,
 		PrefetchDepth:   opts.PrefetchDepth,
 		IOWorkers:       opts.IOWorkers,
-	})
+	}
+	if rs != nil {
+		cfg.Checkpoint = rs
+		cfg.CheckpointEverySteps = opts.CheckpointEverySteps
+	}
+	eng, err := refine.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 	start = time.Now()
 	r, err := eng.Run()
 	if err != nil {
 		store.Close()
-		return nil, err
+		return nil, nil, false, err
 	}
 	// Close surfaces durability errors the store deferred (FileStore
 	// reports directory-sync failures here rather than failing Puts).
 	if err := store.Close(); err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 	out.Phase2Time = time.Since(start)
 
@@ -261,5 +324,5 @@ func run(src phase1.Source, p *Pattern, opts Options) (*Result, error) {
 	out.SwapsPerIter = r.SwapsPerVirtualIter
 	out.BytesRead = r.StoreStats.BytesRead
 	out.BytesWritten = r.StoreStats.BytesWritten
-	return out, nil
+	return out, rs, false, nil
 }
