@@ -17,6 +17,10 @@ import (
 // bit-identical at every setting — see the determinism contract in the
 // package documentation).
 func openRunState(opts Options, p *Pattern, inputKind string) (*runstate.Run, error) {
+	solver, err := opts.Constraint.solver(opts.Lambda)
+	if err != nil {
+		return nil, err
+	}
 	meta := runstate.Meta{
 		InputKind:      inputKind,
 		Dims:           append([]int(nil), p.Dims...),
@@ -31,6 +35,8 @@ func openRunState(opts Options, p *Pattern, inputKind string) (*runstate.Run, er
 		Phase1MaxIters: opts.Phase1MaxIters,
 		Phase1Tol:      finiteTol(opts.Phase1Tol),
 		Seed:           opts.Seed,
+		Constraint:     cpals.FingerprintName(solver),
+		Lambda:         opts.Lambda,
 	}
 	return runstate.Open(opts.Checkpoint, meta, p.NumBlocks(), opts.Resume)
 }

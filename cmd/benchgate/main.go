@@ -287,6 +287,22 @@ func evaluate(meas map[string]*measurement, baselineDir string, tol float64, abs
 				Limit: limit, Pass: ws.NsPerOp <= limit,
 				Detail: "the reusable workspace must never be slower than fresh allocation",
 			})
+			if nn, okN := meas["BenchmarkALSSweep/nonneg"]; okN {
+				// The constrained-solver acceptance bound: a nonnegative
+				// (HALS) ALS sweep must cost at most 2× the unconstrained
+				// workspace sweep. The ratio is machine-independent (both
+				// sides run the same MTTKRP/Gram kernels; only the row
+				// solve differs), so it is gated on every runner. The
+				// recorded baseline is informational.
+				overhead := nn.NsPerOp / ws.NsPerOp
+				baseOverhead, _ := digFloat(kf, "benchmarks", "ALSSweep_dense_64x64x64_rank16_2sweeps", "nonneg", "overhead_vs_workspace")
+				const nnLimit = 2.0
+				add(gate{
+					Name: "als-nonneg-overhead", Measured: overhead, Baseline: baseOverhead,
+					Limit: nnLimit, Pass: overhead <= nnLimit,
+					Detail: fmt.Sprintf("nonneg %.0f ns/op vs workspace %.0f ns/op; constrained sweeps must cost <= 2x unconstrained", nn.NsPerOp, ws.NsPerOp),
+				})
+			}
 			if absolute {
 				if base, ok := digFloat(kf, "benchmarks", "ALSSweep_dense_64x64x64_rank16_2sweeps", "new_workspace", "ns_per_op"); ok {
 					limit := base * (1 + tol)

@@ -35,6 +35,8 @@ func main() {
 		kworkers  = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
 		ckptDir   = flag.String("checkpoint", "", "directory for durable run checkpoints (one subdirectory per experiment run; honored by the convergence experiment)")
 		resume    = flag.Bool("resume", false, "resume runs previously checkpointed under -checkpoint")
+		constr    = flag.String("constraint", "none", "row-update solver for the convergence experiment: none, ridge (needs -lambda) or nonneg")
+		lambda    = flag.Float64("lambda", 0, "ridge damping weight (with -constraint ridge)")
 	)
 	flag.Parse()
 	if *kworkers > 0 {
@@ -127,7 +129,9 @@ func main() {
 	})
 
 	run("convergence", func() error {
-		res, err := experiments.RunConvergence(experiments.ConvergenceConfig{Seed: *seed, IO: ioCfg})
+		res, err := experiments.RunConvergence(experiments.ConvergenceConfig{
+			Seed: *seed, IO: ioCfg, Constraint: *constr, Lambda: *lambda,
+		})
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,13 @@
 // keep Phase 2 on disk too). Factor matrices can be exported with
 // -out-prefix.
 //
+// Constrained decompositions are selected with -constraint: "ridge"
+// damps every normal-equation solve with -lambda (Tikhonov), "nonneg"
+// produces element-wise nonnegative factors. Both run through the same
+// two-phase pipeline with the same determinism and crash-recovery
+// guarantees; the constraint is part of the checkpoint fingerprint, so a
+// -resume with a different -constraint or -lambda is rejected.
+//
 // Long runs survive crashes with -checkpoint <dir>: progress is
 // checkpointed durably (per Phase-1 block, and per Phase-2 schedule step
 // batch), and a killed run restarted with -resume <dir> skips completed
@@ -50,6 +57,8 @@ func main() {
 		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous)")
 		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
 		storeDir  = flag.String("store", "", "directory for out-of-core data units (empty = in-memory)")
+		constr    = flag.String("constraint", "none", "row-update solver: none (least squares), ridge (Tikhonov-damped, needs -lambda) or nonneg (element-wise nonnegative factors)")
+		lambda    = flag.Float64("lambda", 0, "ridge damping weight (required > 0 with -constraint ridge)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		outPrefix = flag.String("out-prefix", "", "write factor matrices to <prefix>-mode<i>.csv")
 		ckptDir   = flag.String("checkpoint", "", "directory for durable run checkpoints: a killed run can be restarted with -resume and picks up where the last checkpoint left off")
@@ -77,6 +86,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	constraint, err := twopcp.ParseConstraint(*constr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := twopcp.Options{
 		Rank:                 *rank,
 		Partitions:           []int{*parts},
@@ -90,6 +103,8 @@ func main() {
 		PrefetchDepth:        *prefetch,
 		IOWorkers:            *ioWorkers,
 		StoreDir:             *storeDir,
+		Constraint:           constraint,
+		Lambda:               *lambda,
 		Seed:                 *seed,
 		Checkpoint:           checkpoint,
 		Resume:               resume,
@@ -104,6 +119,13 @@ func main() {
 	fmt.Printf("tensor     : %v\n", dims)
 	fmt.Printf("rank       : %d   partitions: %d per mode\n", *rank, *parts)
 	fmt.Printf("schedule   : %s   replacement: %s   buffer: %.2g×total\n", kind, pol, *frac)
+	if constraint != twopcp.ConstraintNone {
+		if constraint == twopcp.ConstraintRidge {
+			fmt.Printf("constraint : %s (lambda %g)\n", constraint, *lambda)
+		} else {
+			fmt.Printf("constraint : %s\n", constraint)
+		}
+	}
 	fmt.Printf("fit        : %.6f\n", res.Fit)
 	fmt.Printf("phase 1    : %v\n", res.Phase1Time)
 	fmt.Printf("phase 2    : %v  (%d virtual iterations, converged=%v)\n",

@@ -98,6 +98,46 @@
 // replaying the schedule from a checkpoint reproduces the uninterrupted
 // run bit for bit (next section).
 //
+// # Solvers and constraints
+//
+// Options.Constraint swaps the row-block solver that both phases apply —
+// the one numerical operation the two-phase architecture leaves open.
+// Every mode update (Phase 1's per-block ALS sweeps, Phase 2's partition
+// refinements) reduces to the normal equations A·V = M over an F×F Gram
+// system; the solver decides how that system is solved:
+//
+//   - ConstraintNone (default): plain least squares via Cholesky with a
+//     pseudo-inverse fallback. Bit-for-bit the historical behavior — the
+//     solver seam adds no floating-point operation to this path.
+//   - ConstraintRidge: Tikhonov damping, A = M·(V + Λ·I)⁻¹ with
+//     Λ = Options.Lambda (> 0 required). Every eigenvalue of the system is
+//     lifted by Λ, so the solve stays on the Cholesky fast path with
+//     conditioning bounded by (λ_max+Λ)/Λ even when collinear factor
+//     columns make V numerically singular.
+//   - ConstraintNonneg: element-wise nonnegative factors via HALS
+//     (hierarchical ALS) updates over the cached Gram system, warm-started
+//     from the current factor. Cost is rows·F² per update — the same
+//     order as the Cholesky solve it replaces — so MTTKRP still dominates
+//     and a constrained sweep stays within 2× of an unconstrained one
+//     (gated in CI by cmd/benchgate).
+//
+// What every solver guarantees, and tests enforce:
+//
+//   - Normalization: cpals folds column norms into the Kruskal weights λ
+//     after every update; solver outputs are safe to normalize (nonneg
+//     factors stay nonneg under positive column scaling, λ stays ≥ 0),
+//     and Phase 1's λ^(1/N) folding preserves the constraint in the
+//     sub-factors. Phase 2 updates factors at model scale (identity
+//     core), so SurrogateFit needs no solver-specific adjustment.
+//   - Determinism: solvers are serial and fixed-order, so the full
+//     determinism contract (bit-identical results at every worker count,
+//     kernel worker count, and prefetch depth) holds for all three modes.
+//   - Resume fingerprints: the constraint name and ridge weight join the
+//     checkpoint manifest fingerprint. A constrained run checkpoints and
+//     resumes bit-exact (fault-injection sweeps cover all three modes),
+//     and resuming with a different constraint or Lambda is refused.
+//     Manifests written before solvers existed resume as ConstraintNone.
+//
 // # Durability and crash recovery
 //
 // Long decompositions survive crashes when Options.Checkpoint names a

@@ -1,0 +1,148 @@
+package twopcp_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twopcp"
+)
+
+// Golden-file regression suite: committed fixtures under testdata/ pin the
+// exact bits the pipeline produces for every solver, so a kernel or solver
+// change that drifts numerics — even in the last ulp — fails loudly
+// instead of silently shifting results.
+//
+// Regenerate after an *intentional* numeric change with:
+//
+//	go test -run TestGolden -update-golden
+//
+// and commit the diff (including testdata/golden.tptl). The fixtures were
+// recorded on linux/amd64; Go's float64 semantics make them stable across
+// the toolchains CI runs.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures")
+
+// goldenTensor is the deterministic input shared by all golden runs.
+func goldenTensor() *twopcp.Dense {
+	return twopcp.RandomDense(rand.New(rand.NewSource(42)), 12, 10, 8)
+}
+
+func goldenOpts(c twopcp.Constraint, lambda float64) twopcp.Options {
+	return twopcp.Options{
+		Rank:           3,
+		Partitions:     []int{2},
+		BufferFraction: 0.5,
+		MaxIters:       6,
+		Tol:            1e-9,
+		Seed:           42,
+		Constraint:     c,
+		Lambda:         lambda,
+	}
+}
+
+// goldenDump serializes a Result's deterministic fields bit-exactly: every
+// float64 as its 16-digit hex bit pattern. The final Fit is deliberately
+// excluded — the tiled front-end legally differs from the dense one in its
+// last few ulps (tile-ordered reduction); everything else must be
+// bit-identical across front-ends.
+func goldenDump(res *twopcp.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iters %d converged %v swaps %d\n", res.VirtualIters, res.Converged, res.Swaps)
+	b.WriteString("trace")
+	for _, f := range res.FitTrace {
+		fmt.Fprintf(&b, " %016x", math.Float64bits(f))
+	}
+	b.WriteString("\n")
+	for m, a := range res.Model.Factors {
+		fmt.Fprintf(&b, "mode %d %dx%d\n", m, a.Rows, a.Cols)
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "%016x", math.Float64bits(v))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden-"+name+".txt")
+}
+
+// TestGoldenFixtureTensor pins the committed .tptl fixture to the
+// generator: testdata/golden.tptl must hold exactly goldenTensor().
+func TestGoldenFixtureTensor(t *testing.T) {
+	path := filepath.Join("testdata", "golden.tptl")
+	x := goldenTensor()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := twopcp.SaveTiled(path, x, []int{3, 2, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := twopcp.LoadTiled(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if len(got.Dims) != len(x.Dims) {
+		t.Fatalf("fixture has %d modes, want %d", len(got.Dims), len(x.Dims))
+	}
+	for i := range x.Data {
+		if got.Data[i] != x.Data[i] {
+			t.Fatalf("fixture cell %d is %x, want %x", i, got.Data[i], x.Data[i])
+		}
+	}
+}
+
+// TestGoldenFactors decomposes the fixture with all three solvers through
+// both the in-memory and the tiled front-end and compares the factor/trace
+// dumps byte-for-byte against the committed goldens.
+func TestGoldenFactors(t *testing.T) {
+	x := goldenTensor()
+	tiledPath := filepath.Join("testdata", "golden.tptl")
+	for _, tc := range constraintCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := goldenOpts(tc.constraint, tc.lambda)
+			dense, err := twopcp.Decompose(x, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dump := goldenDump(dense)
+
+			path := goldenPath(tc.name)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update-golden to regenerate)", err)
+			}
+			if dump != string(want) {
+				t.Fatalf("dense %s run drifted from golden %s:\ngot:\n%s\nwant:\n%s",
+					tc.name, path, dump, want)
+			}
+
+			tiled, err := twopcp.DecomposeTiledFile(tiledPath, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tdump := goldenDump(tiled); tdump != string(want) {
+				t.Fatalf("tiled %s run drifted from golden %s", tc.name, path)
+			}
+		})
+	}
+}

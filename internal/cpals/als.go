@@ -33,6 +33,11 @@ type Options struct {
 	// but must not be shared by concurrent calls; results are identical
 	// with or without it.
 	Workspace *Workspace
+	// Solver picks the row-block update applied each mode sweep; nil
+	// selects LeastSquares, the historical unconstrained behavior (the
+	// default path is bit-for-bit unchanged). See the Solver contract for
+	// what Ridge and Nonnegative guarantee.
+	Solver Solver
 }
 
 // Info reports how an ALS run went.
@@ -69,6 +74,12 @@ func (o *Options) normalize(dims []int) (Options, error) {
 		}
 	} else if out.Rng == nil {
 		return out, fmt.Errorf("%w: need Rng or Init", ErrBadOptions)
+	}
+	if err := ValidateSolver(out.Solver); err != nil {
+		return out, err
+	}
+	if out.Solver == nil {
+		out.Solver = LeastSquares{}
 	}
 	return out, nil
 }
@@ -141,9 +152,21 @@ func alsCore(dims []int, normX float64, mttkrp func(*mat.Matrix, []*mat.Matrix, 
 				}
 			}
 			a := factors[mode]
-			mat.RightSolveSPDInto(a, m, v, &ws.spd)
+			if o.Solver.WarmStart() {
+				// Unfold λ into the warm start: the factor columns are
+				// unit-norm with the model's scale held in λ, but the
+				// solver's iterate lives at the true scale of the update
+				// target, so the warm start is A·diag(λ).
+				a.ScaleColumns(lambda)
+			}
+			o.Solver.Solve(a, m, v, &ws.solver)
 			a.NormalizeColumnsTo(ws.norms, ws.inv, 1e-300)
 			copy(lambda, ws.norms)
+			// Refresh the Gram cache from the *normalized* factor: the
+			// sweep-end fit below reads this cache, so it must reflect the
+			// exact factors/λ the returned KTensor will carry (the
+			// TestFitMatchesDirectNorm regression pins this against the
+			// direct-norm fit).
 			mat.GramInto(grams[mode], a)
 			lastM = m
 		}

@@ -26,7 +26,7 @@ type Workspace struct {
 	lambda []float64
 	norms  []float64
 	inv    []float64
-	spd    mat.SPDScratch
+	solver SolverScratch
 }
 
 // NewWorkspace returns an empty workspace; buffers are created on first

@@ -100,7 +100,9 @@ func TestDecomposeKernelWorkersBitExact(t *testing.T) {
 }
 
 // BenchmarkALSSweep measures full CP-ALS sweeps on a 64³ rank-16 block —
-// the Phase-1 inner loop — with and without workspace reuse. The recorded
+// the Phase-1 inner loop — with and without workspace reuse, plus the
+// nonnegative HALS solver on the workspace path (benchgate holds its
+// overhead over the unconstrained workspace sweep to ≤ 2×). The recorded
 // baselines live in BENCH_kernels.json at the repo root.
 func BenchmarkALSSweep(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
@@ -109,21 +111,26 @@ func BenchmarkALSSweep(b *testing.B) {
 		mat.Random(64, 16, rng), mat.Random(64, 16, rng), mat.Random(64, 16, rng),
 	}
 	defer par.SetWorkers(par.SetWorkers(1))
-	for _, withWS := range []bool{false, true} {
-		name := "fresh"
-		if withWS {
-			name = "workspace"
-		}
-		b.Run(name, func(b *testing.B) {
+	variants := []struct {
+		name   string
+		withWS bool
+		solver Solver
+	}{
+		{"fresh", false, nil},
+		{"workspace", true, nil},
+		{"nonneg", true, Nonnegative{}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
 			var ws *Workspace
-			if withWS {
+			if v.withWS {
 				ws = NewWorkspace()
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, _, err := Decompose(x, Options{
-					Rank: 16, MaxIters: 2, Tol: 1e-16, Init: init, Workspace: ws,
+					Rank: 16, MaxIters: 2, Tol: 1e-16, Init: init, Workspace: ws, Solver: v.solver,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -8,6 +8,7 @@ import (
 
 	"twopcp/internal/blockstore"
 	"twopcp/internal/buffer"
+	"twopcp/internal/cpals"
 	"twopcp/internal/datasets"
 	"twopcp/internal/grid"
 	"twopcp/internal/phase1"
@@ -31,6 +32,12 @@ type ConvergenceConfig struct {
 	// VirtualIters to trace (default 40).
 	VirtualIters int
 	Seed         int64
+	// Constraint and Lambda pick the row-update solver for both phases
+	// ("", "ridge"+Lambda or "nonneg" — see cpals.NewSolver), so the
+	// schedule comparison can be rerun under constrained updates. The
+	// solver identity joins the per-schedule checkpoint fingerprints.
+	Constraint string
+	Lambda     float64
 	// IO configures the Phase-2 async prefetch pipeline (zero = sync).
 	// The traces are identical either way.
 	IO IO
@@ -60,6 +67,14 @@ type ConvergenceResult struct {
 // RunConvergence executes the trace comparison.
 func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 	cfg.setDefaults()
+	solver, err := cpals.NewSolver(cfg.Constraint, cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical fingerprint name (shared with the twopcp checkpoint
+	// layer): "" for least squares whatever spelling the caller used, so
+	// checkpoints match across "", "none" and "ls".
+	fpConstraint := cpals.FingerprintName(solver)
 	rng := newRand(cfg.Seed)
 	x := datasets.DenseUniform(rng, 0.5, cfg.Side, cfg.Side, cfg.Side)
 	p := grid.UniformCube(3, cfg.Side, cfg.Parts)
@@ -68,7 +83,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 		return nil, err
 	}
 	p1, err := phase1.Run(src, phase1.Options{
-		Rank: cfg.Rank, MaxIters: 10, Tol: 1e-3, Seed: cfg.Seed,
+		Rank: cfg.Rank, MaxIters: 10, Tol: 1e-3, Seed: cfg.Seed, Solver: solver,
 	})
 	if err != nil {
 		return nil, err
@@ -82,6 +97,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 			Tol:             math.Inf(-1),
 			PrefetchDepth:   cfg.IO.PrefetchDepth,
 			IOWorkers:       cfg.IO.IOWorkers,
+			Solver:          solver,
 		}
 		if cfg.IO.Checkpoint != "" {
 			// One checkpoint subdirectory per schedule: the traces are
@@ -97,6 +113,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 					// JSON cannot carry -Inf; the finite minimum is an
 					// equivalent fingerprint for "convergence disabled".
 					MaxIters: cfg.VirtualIters, Tol: -math.MaxFloat64, Seed: cfg.Seed,
+					Constraint: fpConstraint, Lambda: cfg.Lambda,
 				},
 				p.NumBlocks(), cfg.IO.Resume && runstate.HasManifest(sub))
 			if err != nil {

@@ -147,6 +147,12 @@ type Options struct {
 	// blocks it already holds — completed blocks are not even read from
 	// the Source again.
 	Checkpoint Checkpointer
+	// Solver picks the per-block ALS row update (nil = least squares,
+	// bit-for-bit the historical path). Every block uses the same solver;
+	// the per-block seeding and the worker-count invariance are untouched
+	// because the solver runs inside the (deterministic, serial) ALS
+	// sweep of each block.
+	Solver cpals.Solver
 }
 
 // Result carries the Phase-1 sub-factors.
@@ -289,7 +295,7 @@ func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *c
 	vec := p.Unlinear(blockID, nil)
 	_, size := p.Block(vec)
 	rng := rand.New(rand.NewSource(opts.Seed ^ int64(blockID)*0x9E3779B9))
-	alsOpts := cpals.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Rng: rng, Workspace: ws}
+	alsOpts := cpals.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Rng: rng, Workspace: ws, Solver: opts.Solver}
 
 	var (
 		kt   *cpals.KTensor

@@ -260,3 +260,42 @@ func TestDecomposeBlockFitSanity(t *testing.T) {
 		t.Fatal("folded factors do not reproduce the reported fit")
 	}
 }
+
+// TestRunConstrainedSolver: threading a solver through Options reaches
+// every block — nonneg sub-factors stay element-wise nonnegative after the
+// λ^(1/N) folding — and stays bit-deterministic across worker counts.
+func TestRunConstrainedSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.RandomDense(rng, 10, 9, 8)
+	p := grid.MustNew([]int{10, 9, 8}, []int{2, 2, 2})
+	src, err := NewDenseSource(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rank: 2, MaxIters: 4, Tol: 1e-8, Seed: 3, Solver: cpals.Nonnegative{}}
+	ref, err := Run(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, sub := range ref.Sub {
+		for m, f := range sub {
+			for i, v := range f.Data {
+				if v < 0 {
+					t.Fatalf("block %d mode %d entry %d is %g", id, m, i, v)
+				}
+			}
+		}
+	}
+	opts.Workers = 3
+	again, err := Run(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range ref.Sub {
+		for m := range ref.Sub[id] {
+			if !again.Sub[id][m].Equal(ref.Sub[id][m]) {
+				t.Fatalf("block %d mode %d differs across worker counts", id, m)
+			}
+		}
+	}
+}

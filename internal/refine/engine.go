@@ -7,6 +7,7 @@ import (
 
 	"twopcp/internal/blockstore"
 	"twopcp/internal/buffer"
+	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
 	"twopcp/internal/mat"
 	"twopcp/internal/phase1"
@@ -82,6 +83,17 @@ type Config struct {
 	// and background write-back goroutines). Defaults to 2 when
 	// PrefetchDepth > 0, else 0 (synchronous).
 	IOWorkers int
+	// Solver picks the per-partition row update (nil = least squares,
+	// bit-for-bit the historical path): the grid-PARAFAC rule solves
+	// A(i)_(ki)·S = T, and constrained solvers replace that solve while
+	// keeping T and S — and therefore the P/Q component bookkeeping and
+	// SurrogateFit — unchanged. Warm-start solvers (Nonnegative) iterate
+	// from the pinned unit's current A, which in Phase 2 already carries
+	// the model's true scale (identity core: no λ to unfold). The update
+	// stays deterministic at every worker count, prefetch depth and
+	// checkpoint cadence because the solve itself is serial and the
+	// engine's update order is schedule-driven.
+	Solver cpals.Solver
 	// Checkpoint, when non-nil, makes the refinement durable: the engine
 	// checkpoints its complete mutable state at schedule-step boundaries
 	// (see Checkpointer) and, when the Checkpointer already holds a
@@ -120,6 +132,7 @@ type Engine struct {
 	sched   *schedule.Schedule
 	comps   tracker
 	mgr     *buffer.Manager
+	solver  cpals.Solver
 
 	// Hot-loop scratch (see update). scratchMTTKRP holds one rows×rank
 	// accumulator per distinct partition row count.
@@ -128,6 +141,7 @@ type Engine struct {
 	scratchT      *mat.Matrix
 	scratchVec    []int
 	scratchMTTKRP map[int]*mat.Matrix
+	solverScratch cpals.SolverScratch
 
 	// Checkpoint state (only populated when cfg.Checkpoint != nil).
 	// curA[mode][part] tracks the current factor partition so a checkpoint
@@ -169,8 +183,14 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Checkpoint != nil && cfg.DivideUpdate {
 		return nil, fmt.Errorf("refine: Checkpoint is incompatible with DivideUpdate (in-place tracker state is not restorable)")
 	}
+	if err := cpals.ValidateSolver(cfg.Solver); err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
 	p := cfg.Phase1.Pattern
-	e := &Engine{cfg: cfg, pattern: p}
+	e := &Engine{cfg: cfg, pattern: p, solver: cfg.Solver}
+	if e.solver == nil {
+		e.solver = cpals.LeastSquares{}
+	}
 	e.sched = schedule.New(cfg.Schedule, p)
 
 	// A pre-existing checkpoint replaces the seeded factors wholesale; it
@@ -346,7 +366,11 @@ func (e *Engine) update(u *blockstore.Unit) {
 		e.comps.STermMulInto(term, vec, mode)
 		s.AddInPlace(term)
 	}
-	aNew := mat.RightSolveSPD(t, s)
+	aNew := mat.New(rows, rank)
+	if e.solver.WarmStart() {
+		aNew.CopyFrom(u.A)
+	}
+	e.solver.Solve(aNew, t, s, &e.solverScratch)
 	u.A = aNew
 	e.comps.SetA(mode, part, aNew, u.U)
 	if e.curA != nil {

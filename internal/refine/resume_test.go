@@ -9,6 +9,7 @@ import (
 
 	"twopcp/internal/blockstore"
 	"twopcp/internal/buffer"
+	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
 	"twopcp/internal/phase1"
 	"twopcp/internal/runstate"
@@ -121,21 +122,28 @@ func TestCheckpointedRunMatchesPlainRun(t *testing.T) {
 func TestResumeBitForBitAcrossInterruptionPoints(t *testing.T) {
 	p1 := resumePhase1(t)
 	cases := []struct {
-		name  string
-		kind  schedule.Kind
-		pol   buffer.Policy
-		every int
-		tol   float64
+		name   string
+		kind   schedule.Kind
+		pol    buffer.Policy
+		every  int
+		tol    float64
+		solver cpals.Solver
 	}{
-		{"forward-hilbert-every1", schedule.HilbertOrder, buffer.Forward, 1, math.Inf(-1)},
-		{"lru-zorder-every3", schedule.ZOrder, buffer.LRU, 3, math.Inf(-1)},
-		{"converging-mru-fiber", schedule.FiberOrder, buffer.MRU, 2, 1e-4},
+		{"forward-hilbert-every1", schedule.HilbertOrder, buffer.Forward, 1, math.Inf(-1), nil},
+		{"lru-zorder-every3", schedule.ZOrder, buffer.LRU, 3, math.Inf(-1), nil},
+		{"converging-mru-fiber", schedule.FiberOrder, buffer.MRU, 2, 1e-4, nil},
+		// Constrained runs replay bit-for-bit too: the nonneg HALS update
+		// warm-starts from the checkpointed A (state the checkpoint fully
+		// carries) and the ridge damping is stateless.
+		{"nonneg-forward-hilbert", schedule.HilbertOrder, buffer.Forward, 1, math.Inf(-1), cpals.Nonnegative{}},
+		{"ridge-lru-zorder", schedule.ZOrder, buffer.LRU, 2, math.Inf(-1), cpals.Ridge{Lambda: 0.05}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			base := Config{
 				Phase1: p1, Schedule: tc.kind, Policy: tc.pol,
 				BufferFraction: 0.5, MaxVirtualIters: 6, Tol: tc.tol, Seed: 5,
+				Solver: tc.solver,
 			}
 			refCfg := base
 			refCfg.Store = blockstore.NewMemStore()

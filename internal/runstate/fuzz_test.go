@@ -1,0 +1,64 @@
+package runstate
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzRunstateManifest feeds arbitrary bytes to the manifest loader
+// through the real resume path (Open with resume=true). Contract: a
+// corrupt, truncated or hostile manifest.json must surface as an error —
+// ErrCorrupt, ErrMismatch or a version error — never as a panic, and a
+// manifest that does load must carry a stage the state machine knows.
+//
+// The seed corpus mirrors the truncated/corrupt-manifest regression tests:
+// a valid manifest, CRC and body mutations, version skew, bad stages and
+// non-JSON noise.
+func FuzzRunstateManifest(f *testing.F) {
+	meta := Meta{InputKind: "dense", Dims: []int{4, 4}, Partitions: []int{2, 2}, Rank: 2, Seed: 7}
+	dir := f.TempDir()
+	if _, err := Open(dir, meta, 4, false); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated JSON
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(`{"version":1,"crc32":0,"body":{}}`))
+	f.Add([]byte(`{"version":99,"crc32":0,"body":{}}`))
+	// Well-framed envelope (correct CRC) around a hostile body.
+	for _, body := range []string{
+		`{"meta":{},"stage":"phase9","num_blocks":4}`,
+		`{"meta":{"dims":[-1]},"stage":"phase1","num_blocks":-3}`,
+		`{"meta":{"constraint":"nonneg","lambda":1e308},"stage":"done","num_blocks":4}`,
+	} {
+		env, err := json.Marshal(envelope{Version: Version, CRC32: crc32.ChecksumIEEE([]byte(body)), Body: []byte(body)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(env)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, meta, 4, true)
+		if err != nil {
+			return
+		}
+		switch r.Stage() {
+		case StagePhase1, StagePhase2, StageDone:
+		default:
+			t.Fatalf("loaded manifest with unknown stage %q", r.Stage())
+		}
+	})
+}

@@ -111,6 +111,14 @@ type Meta struct {
 	Phase1MaxIters int     `json:"phase1_max_iters"`
 	Phase1Tol      float64 `json:"phase1_tol"`
 	Seed           int64   `json:"seed"`
+	// Constraint identifies the row-update solver ("" = least squares,
+	// "ridge", "nonneg") and Lambda the ridge damping weight. Both change
+	// every factor the run produces, so resuming a constrained checkpoint
+	// with a different solver (or weight) must be rejected. omitempty
+	// keeps unconstrained manifests byte-compatible with pre-solver
+	// releases, so their checkpoints remain resumable.
+	Constraint string  `json:"constraint,omitempty"`
+	Lambda     float64 `json:"lambda,omitempty"`
 }
 
 // manifestBody is the CRC-protected content of manifest.json.

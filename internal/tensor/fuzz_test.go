@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// Native fuzz targets for the binary tensor decoders. The contract under
+// fuzzing: ReadDense/ReadCOO may reject arbitrary input with an error but
+// must never panic, and must never allocate proportionally to a header
+// field the input's actual size cannot back (the remainingBytes limit —
+// without it a 30-byte input declaring 2^40 cells would OOM the process).
+//
+// The seed corpus reproduces the corrupt-file regression cases from
+// io_test.go: truncated payloads, dim-product overflow, implausible mode
+// counts and oversized nnz declarations.
+
+// denseSeed serializes a small valid dense tensor.
+func denseSeed(t testing.TB) []byte {
+	t.Helper()
+	x := RandomDense(rand.New(rand.NewSource(1)), 3, 2, 2)
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func cooSeed(t testing.TB) []byte {
+	t.Helper()
+	x := RandomCOO(rand.New(rand.NewSource(2)), 0.5, 3, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteCOO(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzHeader builds a header-only payload with the given magic, mode
+// count and dims — the shape of every hostile-header regression case.
+func fuzzHeader(magic string, nmodes uint32, dims ...uint64) []byte {
+	out := []byte(magic)
+	out = binary.LittleEndian.AppendUint32(out, nmodes)
+	for _, d := range dims {
+		out = binary.LittleEndian.AppendUint64(out, d)
+	}
+	return out
+}
+
+func FuzzReadDense(f *testing.F) {
+	valid := denseSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])                                  // truncated payload
+	f.Add(valid[:7])                                             // truncated header
+	f.Add([]byte("TPSP"))                                        // wrong magic
+	f.Add(fuzzHeader("TPDN", 3, 1<<41, 1<<41, 4))                // dim-product overflow
+	f.Add(fuzzHeader("TPDN", 3, 1<<30, 1<<30, 1))                // huge but in-range product
+	f.Add(fuzzHeader("TPDN", 1<<17, 8))                          // implausible mode count
+	f.Add(fuzzHeader("TPDN", 2, 0, 5))                           // zero-sized mode
+	f.Add(append(fuzzHeader("TPDN", 1, 2), 1, 2, 3, 4, 5, 6, 7)) // short payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := ReadDense(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent.
+		if n, derr := checkedLen(x.Dims); derr != nil || int64(len(x.Data)) != n {
+			t.Fatalf("accepted dense tensor inconsistent: dims %v, %d cells, %v", x.Dims, len(x.Data), derr)
+		}
+	})
+}
+
+func FuzzReadCOO(f *testing.F) {
+	valid := cooSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])        // truncated record
+	f.Add(valid[:9])                   // truncated dims
+	f.Add([]byte("TPDN"))              // wrong magic
+	f.Add(fuzzHeader("TPSP", 2, 4, 4)) // missing nnz field
+	huge := fuzzHeader("TPSP", 2, 4, 4)
+	huge = binary.LittleEndian.AppendUint64(huge, 1<<43) // nnz beyond maxTensorElems
+	f.Add(huge)
+	big := fuzzHeader("TPSP", 2, 4, 4)
+	big = binary.LittleEndian.AppendUint64(big, 1<<20) // nnz the file cannot back
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := ReadCOO(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, derr := checkedLen(x.Dims); derr != nil {
+			t.Fatalf("accepted sparse tensor with bad dims %v: %v", x.Dims, derr)
+		}
+		for m := range x.Dims {
+			if len(x.Indices[m]) != len(x.Vals) {
+				t.Fatalf("accepted sparse tensor with ragged indices")
+			}
+		}
+	})
+}

@@ -129,7 +129,16 @@ func ReadCOO(r io.Reader) (*COO, error) {
 		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
 			return nil, fmt.Errorf("tensor: read value: %w", err)
 		}
+		// Validate every coordinate against the declared dims before
+		// Append (which panics on out-of-range indices — correct for
+		// programmer error, but a corrupt or hostile file must surface as
+		// an error). The uint64 comparison also catches coordinates that
+		// would overflow int.
 		for m := range idx {
+			if coords[m] >= uint64(dims[m]) {
+				return nil, fmt.Errorf("tensor: nonzero %d: coordinate %d on mode %d outside dim %d",
+					p, coords[m], m, dims[m])
+			}
 			idx[m] = int(coords[m])
 		}
 		t.Append(idx, v)
@@ -248,11 +257,18 @@ func checkedLen(dims []int) (int64, error) {
 // headerBytes is the on-disk size of magic + nmodes + dims.
 func headerBytes(nmodes int) int64 { return 4 + 4 + 8*int64(nmodes) }
 
-// remainingBytes reports how many bytes r still has when it can tell
-// (a file, or anything with Stat), and -1 otherwise. It lets the
-// readers reject headers that promise more payload than exists before
-// allocating for them.
+// remainingBytes reports how many bytes r still has when it can tell —
+// a file (anything with Stat) or an in-memory reader (anything with
+// Len, e.g. bytes.Reader and strings.Reader) — and -1 otherwise. It
+// lets the readers reject headers that promise more payload than exists
+// before allocating for them; the Len branch is what keeps a fuzzer (or
+// any caller decoding an in-memory buffer) from being OOM-killed by a
+// 4-byte dims field declaring a terabyte-scale tensor the buffer cannot
+// possibly contain.
 func remainingBytes(r io.Reader) int64 {
+	if l, ok := r.(interface{ Len() int }); ok {
+		return int64(l.Len())
+	}
 	type sizer interface {
 		Stat() (os.FileInfo, error)
 	}

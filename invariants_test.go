@@ -1,0 +1,228 @@
+package twopcp_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twopcp"
+)
+
+// Root-level property suite: the solver contracts hold through the public
+// two-phase pipeline, on every input front-end, at every parallelism
+// setting. (The per-sweep numerical invariants — fit oracle, Gram
+// conditioning, 200+ randomized cases per solver — live next to the solver
+// in internal/cpals/invariants_test.go; this file asserts what only the
+// full pipeline can: front-end parity, worker/prefetch invariance and the
+// Phase-2 surrogate-fit trajectory.)
+
+// constraintCases enumerates the three solver modes with their trace
+// tolerances (ridge trades plain fit for the regularized objective, so its
+// monotonicity allowance is λ-sized).
+func constraintCases() []struct {
+	name       string
+	constraint twopcp.Constraint
+	lambda     float64
+	traceTol   float64
+} {
+	return []struct {
+		name       string
+		constraint twopcp.Constraint
+		lambda     float64
+		traceTol   float64
+	}{
+		{"ls", twopcp.ConstraintNone, 0, 1e-7},
+		{"ridge", twopcp.ConstraintRidge, 0.01, 0.011},
+		{"nonneg", twopcp.ConstraintNonneg, 0, 1e-7},
+	}
+}
+
+func baseOpts(c twopcp.Constraint, lambda float64) twopcp.Options {
+	return twopcp.Options{
+		Rank:           3,
+		Partitions:     []int{2},
+		BufferFraction: 0.5,
+		MaxIters:       8,
+		Tol:            1e-9,
+		Seed:           21,
+		Constraint:     c,
+		Lambda:         lambda,
+	}
+}
+
+func assertTrace(t *testing.T, name string, res *twopcp.Result, traceTol float64) {
+	t.Helper()
+	if math.IsNaN(res.Fit) || res.Fit < -1e-9 || res.Fit > 1+1e-9 {
+		t.Fatalf("%s: fit %v outside [0,1]", name, res.Fit)
+	}
+	for i, f := range res.FitTrace {
+		if math.IsNaN(f) || f > 1+1e-9 {
+			t.Fatalf("%s: trace[%d] = %v above 1", name, i, f)
+		}
+		if i > 0 && f < res.FitTrace[i-1]-traceTol {
+			t.Fatalf("%s: surrogate fit decreases at %d: %v -> %v", name, i, res.FitTrace[i-1], f)
+		}
+	}
+}
+
+func assertNonnegModel(t *testing.T, name string, res *twopcp.Result) {
+	t.Helper()
+	for m, a := range res.Model.Factors {
+		for j, v := range a.Data {
+			if v < 0 {
+				t.Fatalf("%s: factor %d entry %d is %g", name, m, j, v)
+			}
+		}
+	}
+}
+
+func assertSameRun(t *testing.T, name string, got, want *twopcp.Result) {
+	t.Helper()
+	if got.Fit != want.Fit || got.VirtualIters != want.VirtualIters || got.Swaps != want.Swaps {
+		t.Fatalf("%s: fit/iters/swaps %v/%d/%d, want %v/%d/%d",
+			name, got.Fit, got.VirtualIters, got.Swaps, want.Fit, want.VirtualIters, want.Swaps)
+	}
+	if len(got.FitTrace) != len(want.FitTrace) {
+		t.Fatalf("%s: trace length %d, want %d", name, len(got.FitTrace), len(want.FitTrace))
+	}
+	for i := range want.FitTrace {
+		if got.FitTrace[i] != want.FitTrace[i] {
+			t.Fatalf("%s: trace[%d] = %v, want %v", name, i, got.FitTrace[i], want.FitTrace[i])
+		}
+	}
+	for m := range want.Model.Factors {
+		g, w := got.Model.Factors[m], want.Model.Factors[m]
+		for i := range w.Data {
+			if g.Data[i] != w.Data[i] {
+				t.Fatalf("%s: factor %d differs at flat index %d", name, m, i)
+			}
+		}
+	}
+}
+
+// TestConstraintInvariantsAcrossFrontends runs every solver mode through
+// all three input front-ends (dense, sparse, tiled) and checks the solver
+// contract on each: bounded monotone surrogate trace, and — for nonneg —
+// element-wise nonnegative factors everywhere. Dense and tiled runs of the
+// same tensor must also agree bit-for-bit on factors and trace (the tiled
+// front-end parity contract, now under constrained solvers too).
+func TestConstraintInvariantsAcrossFrontends(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(21)), 14, 12, 10)
+	tiledPath := filepath.Join(t.TempDir(), "x.tptl")
+	if err := twopcp.SaveTiled(tiledPath, x, []int{3, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range constraintCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := baseOpts(tc.constraint, tc.lambda)
+
+			dense, err := twopcp.Decompose(x, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTrace(t, "dense", dense, tc.traceTol)
+
+			sparse, err := twopcp.DecomposeSparse(twopcp.FromDense(x), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTrace(t, "sparse", sparse, tc.traceTol)
+
+			tiled, err := twopcp.DecomposeTiledFile(tiledPath, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTrace(t, "tiled", tiled, tc.traceTol)
+
+			if tc.constraint == twopcp.ConstraintNonneg {
+				assertNonnegModel(t, "dense", dense)
+				assertNonnegModel(t, "sparse", sparse)
+				assertNonnegModel(t, "tiled", tiled)
+			}
+
+			// Dense and tiled read the same cells, so everything except
+			// the final Fit reduction (tile-ordered sums) is bit-equal.
+			if len(tiled.FitTrace) != len(dense.FitTrace) {
+				t.Fatalf("tiled trace length %d, dense %d", len(tiled.FitTrace), len(dense.FitTrace))
+			}
+			for i := range dense.FitTrace {
+				if tiled.FitTrace[i] != dense.FitTrace[i] {
+					t.Fatalf("tiled trace[%d] = %v, dense %v", i, tiled.FitTrace[i], dense.FitTrace[i])
+				}
+			}
+			for m := range dense.Model.Factors {
+				if !tiled.Model.Factors[m].Equal(dense.Model.Factors[m]) {
+					t.Fatalf("tiled factor %d differs from dense", m)
+				}
+			}
+		})
+	}
+}
+
+// TestConstrainedDeterminismAcrossParallelism is the acceptance sweep: for
+// each solver mode the run is bit-for-bit identical across Phase-1 worker
+// counts, kernel worker counts, and prefetch depths/IO workers.
+func TestConstrainedDeterminismAcrossParallelism(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(33)), 12, 12, 12)
+	for _, tc := range constraintCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := twopcp.Decompose(x, baseOpts(tc.constraint, tc.lambda))
+			if err != nil {
+				t.Fatal(err)
+			}
+			variants := []struct {
+				name                                   string
+				workers, kernelWorkers, depth, ioWorks int
+			}{
+				{"serial", 1, 1, 0, 0},
+				{"workers3-kernel2", 3, 2, 0, 0},
+				{"prefetch2", 1, 1, 2, 2},
+				{"workers2-prefetch3-io3", 2, 2, 3, 3},
+			}
+			for _, v := range variants {
+				opts := baseOpts(tc.constraint, tc.lambda)
+				opts.Workers = v.workers
+				opts.KernelWorkers = v.kernelWorkers
+				opts.PrefetchDepth = v.depth
+				opts.IOWorkers = v.ioWorks
+				got, err := twopcp.Decompose(x, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				assertSameRun(t, v.name, got, ref)
+			}
+		})
+	}
+}
+
+// TestConstraintOptionValidation: invalid constraint combinations are
+// rejected before any work happens.
+func TestConstraintOptionValidation(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(1)), 6, 6, 6)
+	bad := []twopcp.Options{
+		{Rank: 2, Seed: 1, Constraint: twopcp.ConstraintRidge},                     // ridge without lambda
+		{Rank: 2, Seed: 1, Constraint: twopcp.ConstraintRidge, Lambda: -1},         // negative lambda
+		{Rank: 2, Seed: 1, Constraint: twopcp.ConstraintNonneg, Lambda: 0.5},       // lambda without ridge
+		{Rank: 2, Seed: 1, Constraint: twopcp.ConstraintNone, Lambda: 0.5},         // lambda without ridge
+		{Rank: 2, Seed: 1, Constraint: twopcp.Constraint(99)},                      // unknown constraint
+		{Rank: 2, Seed: 1, Constraint: twopcp.ConstraintRidge, Lambda: math.NaN()}, // NaN lambda
+	}
+	for i, opts := range bad {
+		if _, err := twopcp.Decompose(x, opts); err == nil {
+			t.Fatalf("case %d (%+v): invalid constraint options accepted", i, opts)
+		}
+	}
+	if _, err := twopcp.ParseConstraint("bogus"); err == nil {
+		t.Fatal("ParseConstraint accepted bogus")
+	}
+	for _, s := range []string{"none", "ridge", "nonneg"} {
+		c, err := twopcp.ParseConstraint(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.String() != s {
+			t.Fatalf("round trip %q -> %q", s, c.String())
+		}
+	}
+}

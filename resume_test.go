@@ -186,6 +186,75 @@ func TestResumeEdgeCases(t *testing.T) {
 	})
 }
 
+// TestConstrainedCheckpointResume covers the solver identity in the
+// durability layer: checkpointing a constrained run changes nothing
+// (bit-for-bit vs plain), a completed constrained run no-op resumes, and a
+// resume with a different constraint — or a different ridge weight — is
+// rejected as a fingerprint mismatch.
+func TestConstrainedCheckpointResume(t *testing.T) {
+	x := twopcp.RandomDense(rand.New(rand.NewSource(4)), 16, 16, 16)
+	modes := []struct {
+		name       string
+		constraint twopcp.Constraint
+		lambda     float64
+	}{
+		{"nonneg", twopcp.ConstraintNonneg, 0},
+		{"ridge", twopcp.ConstraintRidge, 0.02},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			withConstraint := func(dir string) twopcp.Options {
+				opts := resumeOpts(dir)
+				opts.Constraint = mode.constraint
+				opts.Lambda = mode.lambda
+				return opts
+			}
+			plainOpts := withConstraint("")
+			plainOpts.Checkpoint = ""
+			plain, err := twopcp.Decompose(x, plainOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(t.TempDir(), "ckpt")
+			ckpt, err := twopcp.Decompose(x, withConstraint(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "constrained-checkpointed", ckpt, plain)
+
+			reOpts := withConstraint(dir)
+			reOpts.Resume = true
+			resumed, err := twopcp.Decompose(x, reOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "constrained-noop-resume", resumed, plain)
+
+			// Mismatched solver identity is rejected.
+			for _, bad := range []struct {
+				constraint twopcp.Constraint
+				lambda     float64
+			}{
+				{twopcp.ConstraintNone, 0},
+				{twopcp.ConstraintRidge, 0.5},
+				{twopcp.ConstraintNonneg, 0},
+			} {
+				if bad.constraint == mode.constraint && bad.lambda == mode.lambda {
+					continue
+				}
+				badOpts := withConstraint(dir)
+				badOpts.Resume = true
+				badOpts.Constraint = bad.constraint
+				badOpts.Lambda = bad.lambda
+				if _, err := twopcp.Decompose(x, badOpts); !errors.Is(err, runstate.ErrMismatch) {
+					t.Fatalf("resume with %v/%g over a %s checkpoint: got %v, want ErrMismatch",
+						bad.constraint, bad.lambda, mode.name, err)
+				}
+			}
+		})
+	}
+}
+
 // TestTiledCheckpointResume exercises the checkpoint plumbing of the
 // out-of-core front-end: DecomposeTiledFile with a checkpoint matches the
 // plain run, and a completed tiled run no-op resumes.

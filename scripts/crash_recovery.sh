@@ -7,7 +7,16 @@
 #
 # Usage: scripts/crash_recovery.sh   (from the repo root; CI runs it as the
 # crash-recovery job in .github/workflows/ci.yml)
+#
+# TWOPCP_CONSTRAINT=nonneg (or ridge, with TWOPCP_LAMBDA) reruns the whole
+# scenario under a constrained solver: the kill/resume diff must still be
+# bit-for-bit, and for nonneg the recovered factor CSVs must contain no
+# negative entries. CI runs the default pass in the smoke job and a nonneg
+# pass in the constraints job.
 set -euo pipefail
+
+constraint="${TWOPCP_CONSTRAINT:-none}"
+lambda="${TWOPCP_LAMBDA:-0}"
 
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
@@ -23,7 +32,9 @@ echo "== generating tiled input"
 # -tol=-1 disables convergence so both runs execute the full iteration
 # budget; -checkpoint-steps 1 checkpoints after every schedule step so the
 # kill always lands between checkpoints.
-args=(-in "$work/x.tptl" -rank 4 -parts 3 -buffer 0.5 -iters 600 -tol=-1 -seed 11)
+args=(-in "$work/x.tptl" -rank 4 -parts 3 -buffer 0.5 -iters 600 -tol=-1 -seed 11
+  -constraint "$constraint" -lambda "$lambda")
+echo "== constraint: $constraint (lambda $lambda)"
 
 echo "== reference (uninterrupted) run"
 "$work/twopcp" "${args[@]}" -out-prefix "$work/ref" -json "$work/ref.json" >/dev/null
@@ -79,6 +90,18 @@ else
     echo "FAIL: result JSON differs between reference and resumed run" >&2
     exit 1
   }
+fi
+
+if [ "$constraint" = nonneg ]; then
+  echo "== checking recovered factors are nonnegative"
+  # A negative factor entry prints with a leading minus (at line start or
+  # after a comma); exponents like 1e-05 never match these anchors.
+  for m in 0 1 2; do
+    if grep -q '^-\|,-' "$work/res-mode$m.csv"; then
+      echo "FAIL: negative entry in recovered nonneg factor mode $m" >&2
+      exit 1
+    fi
+  done
 fi
 
 echo "PASS: resumed run is bit-for-bit identical to the uninterrupted run"

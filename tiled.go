@@ -6,6 +6,7 @@ import (
 	"twopcp/internal/cpals"
 	"twopcp/internal/mat"
 	"twopcp/internal/phase1"
+	"twopcp/internal/tensor"
 	"twopcp/internal/tfile"
 )
 
@@ -71,6 +72,28 @@ func SaveTiled(path string, t *Dense, tiles []int) error {
 		}
 	}
 	return w.Close()
+}
+
+// LoadTiled materializes a .tptl tiled file as an in-memory dense tensor.
+// It is the inverse of SaveTiled for tensors that fit in memory; tensors
+// that do not should stay on disk and go through DecomposeTiledFile.
+func LoadTiled(path string) (*Dense, error) {
+	r, err := tfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	out := NewDense(r.Dims()...)
+	tiling := r.Tiling()
+	for _, vec := range tiling.Positions() {
+		tile, err := r.ReadTile(vec)
+		if err != nil {
+			return nil, err
+		}
+		from, size := tiling.Block(vec)
+		tensor.CopyRegion(out, from, tile, make([]int, len(size)), size)
+	}
+	return out, nil
 }
 
 // tiledFit computes 1 − ‖X−X̂‖/‖X‖ streaming over the file's tiles:

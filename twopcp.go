@@ -48,6 +48,19 @@ type Options struct {
 	// under this directory (true out-of-core); otherwise an in-memory
 	// store with identical semantics is used.
 	StoreDir string
+	// Constraint selects the row-update solver applied by both phases:
+	// ConstraintNone (the default) is plain least squares, bit-for-bit the
+	// historical behavior; ConstraintRidge damps every normal-equation
+	// solve with Lambda·I; ConstraintNonneg keeps every factor entry ≥ 0
+	// (HALS updates over the cached Gram systems). All three are
+	// bit-for-bit deterministic across worker counts and prefetch depths,
+	// and the solver identity is part of the checkpoint fingerprint, so a
+	// resume with a different constraint (or Lambda) is rejected. See the
+	// "Solvers and constraints" section of the package documentation.
+	Constraint Constraint
+	// Lambda is the ridge damping weight; required (> 0, finite) with
+	// ConstraintRidge and rejected with the other constraints.
+	Lambda float64
 	// Seed makes the whole run reproducible.
 	Seed int64
 	// KernelWorkers caps the intra-kernel parallelism of the dense compute
@@ -236,6 +249,10 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	if err := validateCheckpointOptions(opts); err != nil {
 		return nil, nil, false, err
 	}
+	solver, err := opts.Constraint.solver(opts.Lambda)
+	if err != nil {
+		return nil, nil, false, err
+	}
 	if opts.Checkpoint != "" {
 		rs, err = openRunState(opts, p, inputKind)
 		if err != nil {
@@ -258,6 +275,7 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		Tol:      opts.Phase1Tol,
 		Seed:     opts.Seed,
 		Workers:  opts.Workers,
+		Solver:   solver,
 	}
 	if rs != nil {
 		p1opts.Checkpoint = rs
@@ -294,6 +312,7 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		Seed:            opts.Seed,
 		PrefetchDepth:   opts.PrefetchDepth,
 		IOWorkers:       opts.IOWorkers,
+		Solver:          solver,
 	}
 	if rs != nil {
 		cfg.Checkpoint = rs

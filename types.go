@@ -1,6 +1,7 @@
 package twopcp
 
 import (
+	"fmt"
 	"math/rand"
 
 	"twopcp/internal/buffer"
@@ -40,6 +41,63 @@ const (
 	// HilbertOrder traverses blocks along a Hilbert curve (§VI-C.2).
 	HilbertOrder = schedule.HilbertOrder
 )
+
+// Constraint selects the row-update solver family applied by both phases
+// (Options.Constraint). The zero value is the unconstrained default.
+type Constraint int
+
+const (
+	// ConstraintNone runs plain least-squares ALS — the historical
+	// behavior, bit-for-bit unchanged.
+	ConstraintNone Constraint = iota
+	// ConstraintRidge damps every normal-equation solve with
+	// Options.Lambda·I (Tikhonov regularization), bounding the Gram
+	// system's conditioning by (λ_max+Λ)/Λ.
+	ConstraintRidge
+	// ConstraintNonneg keeps every factor entry ≥ 0 element-wise (HALS
+	// row updates over the cached Gram systems).
+	ConstraintNonneg
+)
+
+// String returns the constraint's CLI name: none, ridge or nonneg.
+func (c Constraint) String() string {
+	switch c {
+	case ConstraintNone:
+		return "none"
+	case ConstraintRidge:
+		return "ridge"
+	case ConstraintNonneg:
+		return "nonneg"
+	}
+	return fmt.Sprintf("Constraint(%d)", int(c))
+}
+
+// ParseConstraint maps a CLI name ("none"/""/"ls", "ridge", "nonneg") to
+// its Constraint.
+func ParseConstraint(s string) (Constraint, error) {
+	switch s {
+	case "", "none", "ls":
+		return ConstraintNone, nil
+	case "ridge":
+		return ConstraintRidge, nil
+	case "nonneg":
+		return ConstraintNonneg, nil
+	}
+	return 0, fmt.Errorf("twopcp: unknown constraint %q (want none, ridge or nonneg)", s)
+}
+
+// solver maps the constraint (plus the ridge weight) to its cpals solver,
+// validating the combination. An out-of-range Constraint value fails
+// NewSolver's name check. The manifest fingerprint name is derived from
+// the solver itself (cpals.FingerprintName), never from a second
+// spelling here.
+func (c Constraint) solver(lambda float64) (cpals.Solver, error) {
+	s, err := cpals.NewSolver(c.String(), lambda)
+	if err != nil {
+		return nil, fmt.Errorf("twopcp: %w", err)
+	}
+	return s, nil
+}
 
 // Replacement selects the buffer replacement policy (paper §VII).
 type Replacement = buffer.Policy
