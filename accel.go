@@ -1,0 +1,147 @@
+package twopcp
+
+import (
+	"fmt"
+
+	"twopcp/internal/cpals"
+	"twopcp/internal/phase1"
+	"twopcp/internal/sketch"
+)
+
+// validateAccelOptions rejects accelerator option combinations up front,
+// mirroring the constraint/Lambda validation: the tuning knobs are only
+// meaningful when an accelerator is selected.
+func validateAccelOptions(opts Options) error {
+	switch opts.Accelerator {
+	case AccelNone:
+		if opts.Phase0Rank != 0 {
+			return fmt.Errorf("twopcp: Phase0Rank %d is only meaningful with an accelerator", opts.Phase0Rank)
+		}
+		if opts.SketchOversample != 0 {
+			return fmt.Errorf("twopcp: SketchOversample %d is only meaningful with an accelerator", opts.SketchOversample)
+		}
+	case AccelTucker, AccelSketched:
+		if opts.Phase0Rank < 0 {
+			return fmt.Errorf("twopcp: Phase0Rank %d", opts.Phase0Rank)
+		}
+		if opts.SketchOversample < 0 {
+			return fmt.Errorf("twopcp: SketchOversample %d", opts.SketchOversample)
+		}
+	default:
+		return fmt.Errorf("twopcp: unknown accelerator %d", int(opts.Accelerator))
+	}
+	return nil
+}
+
+// warmPhase1MaxIters is the default per-block sweep budget when a Tucker
+// warm start is installed and the caller left Phase1MaxIters at its
+// default: the core solve already converged in the compressed space, so
+// the block pass only adapts the expanded factors locally.
+const warmPhase1MaxIters = 3
+
+// phase0Rank resolves the per-mode Tucker basis rank: Phase0Rank when
+// set, else the CP rank.
+func phase0Rank(opts Options) int {
+	if opts.Phase0Rank > 0 {
+		return opts.Phase0Rank
+	}
+	return opts.Rank
+}
+
+// runPhase0 applies the configured accelerator ahead of Phase 1: for
+// AccelTucker it computes the compress-then-refine warm start (possibly
+// falling back to brute force) and installs it as p1opts.Init; for
+// AccelSketched it wraps the Phase-1 row solver with leverage-score
+// sampling. It mutates p1opts in place and reports whether a warm start
+// or sampled solver was actually installed.
+//
+// Phase 0 is deterministic given the options (seeded sketches, serial
+// block streaming), so a resumed run recomputes bit-identical warm
+// starts — no Phase-0 state is checkpointed. Callers skip it entirely
+// once the manifest has advanced past Phase 1 (the warm start can no
+// longer influence anything).
+func runPhase0(src phase1.Source, opts Options, solver cpals.Solver, p1opts *phase1.Options) (accelerated bool, err error) {
+	switch opts.Accelerator {
+	case AccelNone:
+		return false, nil
+	case AccelSketched:
+		p1opts.Solver = cpals.Sketched{Inner: solver, Seed: opts.Seed}
+		return true, nil
+	case AccelTucker:
+		res, err := sketch.TuckerWarmStart(src, sketchOptions(opts, solver))
+		if err != nil {
+			return false, err
+		}
+		if res.Fallback {
+			return false, nil
+		}
+		p1opts.Init = res.Init
+		// The compress-then-refine contract: the core solve already did
+		// the slow convergence work, so the standard Phase-1 pass is a
+		// short polish from the warm start (Phase 2 then refines
+		// globally as usual). An explicit Phase1MaxIters overrides the
+		// short default — the derivation depends only on the options, so
+		// resumed runs reproduce it exactly.
+		if opts.Phase1MaxIters == 0 {
+			p1opts.MaxIters = warmPhase1MaxIters
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("twopcp: unknown accelerator %d", int(opts.Accelerator))
+}
+
+// sketchOptions maps the public accelerator knobs to the sketch layer.
+func sketchOptions(opts Options, solver cpals.Solver) sketch.Options {
+	return sketch.Options{
+		Rank:       phase0Rank(opts),
+		Oversample: opts.SketchOversample,
+		CPRank:     opts.Rank,
+		MaxIters:   corePhaseIters(opts),
+		Tol:        opts.Phase1Tol,
+		Seed:       opts.Seed,
+		Solver:     solver,
+		Nonneg:     opts.Constraint == ConstraintNonneg,
+	}
+}
+
+// corePhaseIters bounds the core CP-ALS sweeps: the core is tiny, so it
+// can afford more sweeps than a per-block ALS, but it must stay bounded
+// by the caller's intent when Phase1MaxIters is explicit.
+func corePhaseIters(opts Options) int {
+	if opts.Phase1MaxIters > 0 {
+		return opts.Phase1MaxIters
+	}
+	return 100
+}
+
+// WarmStartFit is a diagnostic hook for tests and the experiment CLI: it
+// runs Phase 0 alone over a dense tensor with the given options and
+// returns the expanded warm-start model (nil when Phase 0 fell back).
+func WarmStartFit(x *Dense, opts Options) (*KTensor, bool, error) {
+	if err := validateAccelOptions(opts); err != nil {
+		return nil, false, err
+	}
+	if opts.Accelerator != AccelTucker {
+		return nil, false, fmt.Errorf("twopcp: WarmStartFit requires AccelTucker, got %s", opts.Accelerator)
+	}
+	p, err := patternFor(x.Dims, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	src, err := phase1.NewDenseSource(x, p)
+	if err != nil {
+		return nil, false, err
+	}
+	solver, err := opts.Constraint.solver(opts.Lambda)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := sketch.TuckerWarmStart(src, sketchOptions(opts, solver))
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Fallback {
+		return nil, false, nil
+	}
+	return cpals.NewKTensor(res.Init), true, nil
+}

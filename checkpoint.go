@@ -37,6 +37,12 @@ func openRunState(opts Options, p *Pattern, inputKind string) (*runstate.Run, er
 		Seed:           opts.Seed,
 		Constraint:     cpals.FingerprintName(solver),
 		Lambda:         opts.Lambda,
+		// Accelerator knobs are recorded as passed (zero = default): Phase 0
+		// is recomputed from them on resume, so any drift would silently
+		// change the warm start — mismatches must be rejected.
+		Accelerator:      opts.Accelerator.fingerprint(),
+		Phase0Rank:       opts.Phase0Rank,
+		SketchOversample: opts.SketchOversample,
 	}
 	return runstate.Open(opts.Checkpoint, meta, p.NumBlocks(), opts.Resume)
 }
@@ -65,6 +71,8 @@ func finishRun(rs *runstate.Run, res *Result) (*Result, error) {
 	}
 	st := &runstate.ResultState{
 		Fit:          res.Fit,
+		Phase0NS:     int64(res.Phase0Time),
+		Accelerated:  res.Accelerated,
 		Phase1NS:     int64(res.Phase1Time),
 		Phase2NS:     int64(res.Phase2Time),
 		VirtualIters: res.VirtualIters,
@@ -88,6 +96,8 @@ func resultFromState(st *runstate.ResultState) *Result {
 	return &Result{
 		Model:        cpals.NewKTensor(st.Factors),
 		Fit:          st.Fit,
+		Phase0Time:   time.Duration(st.Phase0NS),
+		Accelerated:  st.Accelerated,
 		Phase1Time:   time.Duration(st.Phase1NS),
 		Phase2Time:   time.Duration(st.Phase2NS),
 		VirtualIters: st.VirtualIters,

@@ -17,13 +17,16 @@ BenchmarkPhase1Tiled/InMemory-2        	       5	 44944373 ns/op	        19.69 M
 BenchmarkPhase1Tiled/Tiled-2           	       5	 45664951 ns/op	        19.38 MB/s	         3.710 peakHeap-MB
 BenchmarkALSSweep/fresh-2              	       3	  9771654 ns/op	   53150 B/op	      41 allocs/op
 BenchmarkALSSweep/workspace-2          	       3	  9655172 ns/op	   26938 B/op	      20 allocs/op
+BenchmarkPhase0Sketch/lowmlrank-2      	       1	721677487 ns/op	         0.0004354 fit-delta	        21.59 speedup-x
+BenchmarkPhase0Sketch/fallback-brute-2 	       1	  9748907 ns/op
+BenchmarkPhase0Sketch/fallback-accel-2 	       1	  9556311 ns/op
 PASS
 `
 
 func TestParseBenchOutput(t *testing.T) {
 	meas := parseBenchOutput(sampleLog)
-	if len(meas) != 7 {
-		t.Fatalf("parsed %d benchmarks, want 7", len(meas))
+	if len(meas) != 10 {
+		t.Fatalf("parsed %d benchmarks, want 10", len(meas))
 	}
 	sync := meas["BenchmarkPhase2Prefetch/sync"]
 	if sync == nil || sync.NsPerOp != 181770968 {
@@ -81,6 +84,12 @@ func writeBaselines(t *testing.T, dir string) {
 				},
 			},
 		},
+		"BENCH_phase0_sketch.json": map[string]any{
+			"speedup":           21.59,
+			"fit_delta":         0.00044,
+			"fallback_overhead": 0.0,
+			"gate_tolerances":   map[string]any{"phase0-sketch-speedup": 0.5},
+		},
 	}
 	for name, content := range files {
 		data, err := json.Marshal(content)
@@ -120,10 +129,57 @@ func TestGatesPassOnBaselineNumbers(t *testing.T) {
 		"phase2-checkpoint-overhead",
 		"phase1-tiled-overhead", "als-workspace-allocs", "als-workspace-vs-fresh",
 		"phase2-prefetch-abs-ns/sync", "phase1-tiled-abs-ns/tiled", "als-workspace-abs-ns",
+		"phase0-sketch-speedup", "phase0-sketch-fit-delta", "phase0-fallback-overhead",
 	} {
 		if gateByName(gates, want) == nil {
 			t.Errorf("gate %s missing", want)
 		}
+	}
+}
+
+// TestPerGateTolerance: a baseline's gate_tolerances entry overrides the
+// CLI default for exactly that gate, in both directions.
+func TestPerGateTolerance(t *testing.T) {
+	dir := t.TempDir()
+	writeBaselines(t, dir)
+
+	// 13x against a 21.59x baseline: dead under the default 25% tolerance
+	// (limit 16.2x), alive under the baseline's 50% override (limit 10.8x).
+	log := `BenchmarkPhase0Sketch/lowmlrank-2   1  721677487 ns/op   0.0004 fit-delta   13.0 speedup-x`
+	gates, err := evaluate(parseBenchOutput(log), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gateByName(gates, "phase0-sketch-speedup")
+	if g == nil || !g.Pass {
+		t.Fatalf("override to 0.5 should pass 13x: %+v", g)
+	}
+	if g.Tolerance != 0.5 {
+		t.Fatalf("gate ran at tolerance %v, want the baseline's 0.5", g.Tolerance)
+	}
+
+	// Tighten the same gate below the measurement: now it must fail, and
+	// the other baselines' gates must be untouched by the override.
+	tight := map[string]any{
+		"speedup":         21.59,
+		"gate_tolerances": map[string]any{"phase0-sketch-speedup": 0.1},
+	}
+	data, err := json.Marshal(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_phase0_sketch.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gates, err = evaluate(parseBenchOutput(sampleLog+log), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "phase0-sketch-speedup"); g == nil || g.Pass {
+		t.Fatalf("tolerance 0.1 (limit 19.4x) should fail 13x: %+v", g)
+	}
+	if g := gateByName(gates, "phase2-prefetch-speedup"); g == nil || !g.Pass || g.Tolerance != 0.25 {
+		t.Fatalf("unrelated gate should keep the CLI default tolerance: %+v", g)
 	}
 }
 
@@ -190,6 +246,26 @@ BenchmarkALSSweep/workspace-2   3  9655172 ns/op  131 allocs/op
 	}
 	if g := gateByName(gates, "als-workspace-allocs"); g == nil || g.Pass {
 		t.Errorf("alloc regression not caught: %+v", g)
+	}
+
+	// Phase-0 speedup eroding below the 3x acceptance floor, the warm
+	// start bending the converged fit, and a fallback that got expensive.
+	accel := `BenchmarkPhase0Sketch/lowmlrank-2   1  721677487 ns/op   0.002 fit-delta   2.5 speedup-x
+BenchmarkPhase0Sketch/fallback-brute-2   1  9748907 ns/op
+BenchmarkPhase0Sketch/fallback-accel-2   1  11000000 ns/op
+`
+	gates, err = evaluate(parseBenchOutput(accel), dir, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gateByName(gates, "phase0-sketch-speedup"); g == nil || g.Pass {
+		t.Errorf("phase0 speedup collapse not caught: %+v", g)
+	}
+	if g := gateByName(gates, "phase0-sketch-fit-delta"); g == nil || g.Pass {
+		t.Errorf("phase0 fit drift not caught: %+v", g)
+	}
+	if g := gateByName(gates, "phase0-fallback-overhead"); g == nil || g.Pass {
+		t.Errorf("phase0 fallback overhead not caught: %+v", g)
 	}
 }
 

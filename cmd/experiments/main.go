@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [flags] table1|fig11|table2|table3|fig12|fig13|all
+//	experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|accel|all
 //
 // Default sizes are scaled down from the paper's billion-scale runs so a
 // full regeneration finishes in minutes on a laptop; -scale moves them
@@ -50,7 +50,7 @@ func main() {
 		Checkpoint: *ckptDir, Resume: *resume,
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|accel|all")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -121,6 +121,17 @@ func main() {
 
 	run("fig12", func() error {
 		res, err := experiments.RunFigure12(experiments.Figure12Config{Seed: *seed, IO: ioCfg})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+
+	run("accel", func() error {
+		res, err := experiments.RunAccel(experiments.AccelConfig{
+			Side: 24 * *scale, MLRank: 4, Rank: 8, Noise: 1e-5, Diag: true, Seed: *seed,
+		})
 		if err != nil {
 			return err
 		}

@@ -6,23 +6,27 @@
 //	tensorgen -kind dense -dims 100x100x100 -density 0.2 -out t.tpdn
 //	tensorgen -kind epinions -out epinions.tpsp
 //	tensorgen -kind lowrank -dims 2000x2000x2000 -tiles 8 -out big.tptl
+//	tensorgen -kind lowmlrank -dims 48x48x48 -mlrank 4 -diag -noise 1e-5 -out accel.tpdn
 //
 // Kinds: dense (uniform dense cube, -dims/-density), lowrank (-dims,
-// -rank, -noise), epinions, ciao, enron (paper-shaped sparse stand-ins),
-// face (-scale), ensemble (-dims).
+// -rank, -noise), lowmlrank (random Tucker core × orthonormal factors,
+// -dims, -mlrank, -noise, -diag, -collinearity — the Phase-0
+// accelerator's target inputs), epinions, ciao, enron (paper-shaped
+// sparse stand-ins), face (-scale), ensemble (-dims).
 //
 // When -out ends in .tptl the tensor is written in the tiled out-of-core
-// format. For the dense and lowrank kinds generation then streams tile
-// by tile — only one tile is ever resident — so test tensors larger
-// than RAM can be produced. -tiles sets the tiles per mode (a single
-// value broadcasts; default picks tiles of at most 32 MiB) and -gzip
-// compresses the tiles.
+// format. For the dense, lowrank and lowmlrank kinds generation then
+// streams tile by tile — only one tile is ever resident — so test
+// tensors larger than RAM can be produced. -tiles sets the tiles per
+// mode (a single value broadcasts; default picks tiles of at most
+// 32 MiB) and -gzip compresses the tiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -41,11 +45,14 @@ func main() {
 	log.SetPrefix("tensorgen: ")
 
 	var (
-		kind     = flag.String("kind", "dense", "dense|lowrank|epinions|ciao|enron|face|ensemble")
+		kind     = flag.String("kind", "dense", "dense|lowrank|lowmlrank|epinions|ciao|enron|face|ensemble")
 		dimsStr  = flag.String("dims", "64x64x64", "mode sizes, e.g. 100x100x100")
 		density  = flag.Float64("density", 0.2, "nonzero density (dense kind)")
 		rank     = flag.Int("rank", 5, "true rank (lowrank kind)")
-		noise    = flag.Float64("noise", 0.01, "additive noise level (lowrank kind)")
+		noise    = flag.Float64("noise", 0.01, "noise level: additive (lowrank) or relative (lowmlrank)")
+		mlrank   = flag.Int("mlrank", 4, "multilinear rank per mode (lowmlrank kind)")
+		diag     = flag.Bool("diag", false, "superdiagonal Tucker core: CP rank exactly -mlrank (lowmlrank kind)")
+		collin   = flag.Float64("collinearity", 0, "pairwise factor-column inner product in [0,1) (lowmlrank kind)")
 		scale    = flag.Int("scale", 10, "downscale factor (face kind)")
 		tilesStr = flag.String("tiles", "", "tiles per mode for .tptl output, e.g. 4x4x4 or 4 (default: auto)")
 		gz       = flag.Bool("gzip", false, "gzip-compress .tptl tiles")
@@ -86,6 +93,14 @@ func main() {
 			}
 		}
 		save(*out, x, nil, *tilesStr, *gz)
+	case "lowmlrank":
+		dims := parseDims(*dimsStr)
+		spec := datasets.LowMLRankSpec{R: *mlrank, Noise: *noise, Diag: *diag, Collinearity: *collin}
+		if tiled {
+			streamLowMLRank(*out, dims, tileCounts(*tilesStr, dims), spec, *seed, rng, *gz)
+			return
+		}
+		save(*out, spec.Generate(rng, dims...), nil, *tilesStr, *gz)
 	case "epinions":
 		save(*out, nil, datasets.Epinions(rng), *tilesStr, *gz)
 	case "ciao":
@@ -150,6 +165,44 @@ func streamLowrank(path string, dims, tiles []int, rank int, noise float64, seed
 			trng := rand.New(rand.NewSource(tileSeed(seed, id)))
 			for i := range t.Data {
 				t.Data[i] += noise * trng.NormFloat64()
+			}
+		}
+		nnz += int64(t.NNZ())
+		writeTile(w, vec, t)
+	}
+	closeTiled(w, path, dims, p, nnz)
+}
+
+// streamLowMLRank writes a LowMLRankSpec tensor tile by tile: only the
+// Tucker core and factor panels are held in memory, and each tile is
+// the core multiplied by the factors restricted to the tile's row
+// ranges. The relative-noise scale needs the model's global norm,
+// which datasets.ModelNorm computes exactly from core-sized Gram
+// products, so a single pass suffices.
+func streamLowMLRank(path string, dims, tiles []int, spec datasets.LowMLRankSpec, seed int64, rng *rand.Rand, gz bool) {
+	core, factors := spec.Components(rng, dims...)
+	var noiseScale float64
+	if spec.Noise > 0 {
+		numel := 1.0
+		for _, d := range dims {
+			numel *= float64(d)
+		}
+		noiseScale = spec.Noise * datasets.ModelNorm(core, factors) / math.Sqrt(numel)
+	}
+	w := createTiled(path, dims, tiles, gz)
+	p := w.Pattern()
+	var nnz int64
+	for id, vec := range p.Positions() {
+		from, size := p.Block(vec)
+		sub := make([]*mat.Matrix, len(factors))
+		for m, f := range factors {
+			sub[m] = f.SliceRows(from[m], from[m]+size[m])
+		}
+		t := tensor.TTMChain(core, sub)
+		if noiseScale > 0 {
+			trng := rand.New(rand.NewSource(tileSeed(seed, id)))
+			for i := range t.Data {
+				t.Data[i] += noiseScale * trng.NormFloat64()
 			}
 		}
 		nnz += int64(t.NNZ())

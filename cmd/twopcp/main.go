@@ -44,27 +44,30 @@ func main() {
 	log.SetPrefix("twopcp: ")
 
 	var (
-		in        = flag.String("in", "", "input tensor file (.tpdn dense or .tpsp sparse; required)")
-		rank      = flag.Int("rank", 10, "decomposition rank F")
-		parts     = flag.Int("parts", 2, "partitions per mode (the paper's K)")
-		schedName = flag.String("schedule", "HO", "update schedule: MC, FO, ZO or HO")
-		polName   = flag.String("replacement", "FOR", "buffer replacement: LRU, MRU or FOR")
-		frac      = flag.Float64("buffer", 1.0, "buffer size as a fraction of the total space requirement")
-		maxIters  = flag.Int("iters", 100, "max Phase-2 virtual iterations")
-		tol       = flag.Float64("tol", 1e-2, "fit-improvement stopping threshold")
-		workers   = flag.Int("workers", 0, "Phase-1 parallelism (0 = GOMAXPROCS)")
-		kworkers  = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
-		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous)")
-		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
-		storeDir  = flag.String("store", "", "directory for out-of-core data units (empty = in-memory)")
-		constr    = flag.String("constraint", "none", "row-update solver: none (least squares), ridge (Tikhonov-damped, needs -lambda) or nonneg (element-wise nonnegative factors)")
-		lambda    = flag.Float64("lambda", 0, "ridge damping weight (required > 0 with -constraint ridge)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		outPrefix = flag.String("out-prefix", "", "write factor matrices to <prefix>-mode<i>.csv")
-		ckptDir   = flag.String("checkpoint", "", "directory for durable run checkpoints: a killed run can be restarted with -resume and picks up where the last checkpoint left off")
-		resumeDir = flag.String("resume", "", "resume the run checkpointed in this directory (implies -checkpoint <dir>; the options must match the original run)")
-		ckptSteps = flag.Int("checkpoint-steps", 0, "Phase-2 checkpoint cadence in schedule steps (0 = once per scheduling cycle)")
-		jsonOut   = flag.String("json", "", "also write the result (fit, trace, swaps, timings) as JSON to this file")
+		in         = flag.String("in", "", "input tensor file (.tpdn dense or .tpsp sparse; required)")
+		rank       = flag.Int("rank", 10, "decomposition rank F")
+		parts      = flag.Int("parts", 2, "partitions per mode (the paper's K)")
+		schedName  = flag.String("schedule", "HO", "update schedule: MC, FO, ZO or HO")
+		polName    = flag.String("replacement", "FOR", "buffer replacement: LRU, MRU or FOR")
+		frac       = flag.Float64("buffer", 1.0, "buffer size as a fraction of the total space requirement")
+		maxIters   = flag.Int("iters", 100, "max Phase-2 virtual iterations")
+		tol        = flag.Float64("tol", 1e-2, "fit-improvement stopping threshold")
+		workers    = flag.Int("workers", 0, "Phase-1 parallelism (0 = GOMAXPROCS)")
+		kworkers   = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
+		prefetch   = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous)")
+		ioWorkers  = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
+		storeDir   = flag.String("store", "", "directory for out-of-core data units (empty = in-memory)")
+		constr     = flag.String("constraint", "none", "row-update solver: none (least squares), ridge (Tikhonov-damped, needs -lambda) or nonneg (element-wise nonnegative factors)")
+		lambda     = flag.Float64("lambda", 0, "ridge damping weight (required > 0 with -constraint ridge)")
+		accel      = flag.String("accelerator", "none", "Phase-0 acceleration: none, tucker (compress-then-refine warm start) or sketched (leverage-sampled row updates)")
+		p0rank     = flag.Int("phase0-rank", 0, "per-mode Tucker basis rank for -accelerator tucker (0 = rank)")
+		oversample = flag.Int("sketch-oversample", 0, "extra Gaussian probe columns for the tucker range finder (0 = default 5)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		outPrefix  = flag.String("out-prefix", "", "write factor matrices to <prefix>-mode<i>.csv")
+		ckptDir    = flag.String("checkpoint", "", "directory for durable run checkpoints: a killed run can be restarted with -resume and picks up where the last checkpoint left off")
+		resumeDir  = flag.String("resume", "", "resume the run checkpointed in this directory (implies -checkpoint <dir>; the options must match the original run)")
+		ckptSteps  = flag.Int("checkpoint-steps", 0, "Phase-2 checkpoint cadence in schedule steps (0 = once per scheduling cycle)")
+		jsonOut    = flag.String("json", "", "also write the result (fit, trace, swaps, timings) as JSON to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -90,6 +93,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	accelerator, err := twopcp.ParseAccelerator(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := twopcp.Options{
 		Rank:                 *rank,
 		Partitions:           []int{*parts},
@@ -105,6 +112,9 @@ func main() {
 		StoreDir:             *storeDir,
 		Constraint:           constraint,
 		Lambda:               *lambda,
+		Accelerator:          accelerator,
+		Phase0Rank:           *p0rank,
+		SketchOversample:     *oversample,
 		Seed:                 *seed,
 		Checkpoint:           checkpoint,
 		Resume:               resume,
@@ -126,7 +136,17 @@ func main() {
 			fmt.Printf("constraint : %s\n", constraint)
 		}
 	}
+	if accelerator != twopcp.AccelNone {
+		state := "fell back to brute force"
+		if res.Accelerated {
+			state = "active"
+		}
+		fmt.Printf("accelerator: %s (%s)\n", accelerator, state)
+	}
 	fmt.Printf("fit        : %.6f\n", res.Fit)
+	if res.Phase0Time > 0 {
+		fmt.Printf("phase 0    : %v\n", res.Phase0Time)
+	}
 	fmt.Printf("phase 1    : %v\n", res.Phase1Time)
 	fmt.Printf("phase 2    : %v  (%d virtual iterations, converged=%v)\n",
 		res.Phase2Time, res.VirtualIters, res.Converged)
@@ -164,8 +184,11 @@ func writeResultJSON(path string, dims []int, res *twopcp.Result) error {
 		SwapsPerIter float64   `json:"swaps_per_iter"`
 		Phase1NS     int64     `json:"phase1_ns"`
 		Phase2NS     int64     `json:"phase2_ns"`
+		Phase0NS     int64     `json:"phase0_ns,omitempty"`
+		Accelerated  bool      `json:"accelerated,omitempty"`
 	}{dims, res.Fit, res.VirtualIters, res.Converged, res.FitTrace,
-		res.Swaps, res.SwapsPerIter, int64(res.Phase1Time), int64(res.Phase2Time)}
+		res.Swaps, res.SwapsPerIter, int64(res.Phase1Time), int64(res.Phase2Time),
+		int64(res.Phase0Time), res.Accelerated}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

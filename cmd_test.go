@@ -175,6 +175,27 @@ func TestCLISparseAndErrors(t *testing.T) {
 // result JSON are bit-for-bit identical to an uninterrupted run (the CI
 // crash-recovery job runs the same scenario via scripts/crash_recovery.sh).
 func TestCLICrashRecovery(t *testing.T) {
+	crashRecoveryScenario(t,
+		[]string{"-kind", "lowrank", "-dims", "30x30x30", "-rank", "3",
+			"-noise", "0.3", "-tiles", "3x3x3", "-seed", "11"},
+		[]string{"-rank", "3", "-parts", "3", "-buffer", "0.5",
+			"-iters", "500", "-tol=-1", "-seed", "11"})
+}
+
+// TestCLICrashRecoveryAccelerated runs the same kill-and-resume scenario
+// with the Tucker accelerator on a low-multilinear-rank input: Phase 0 is
+// recomputed deterministically on a Phase-1 resume and skipped on a
+// Phase-2 resume, so the resumed run must still match bit for bit.
+func TestCLICrashRecoveryAccelerated(t *testing.T) {
+	crashRecoveryScenario(t,
+		[]string{"-kind", "lowmlrank", "-dims", "30x30x30", "-mlrank", "4", "-diag",
+			"-noise", "1e-5", "-tiles", "3x3x3", "-seed", "11"},
+		[]string{"-rank", "6", "-parts", "3", "-buffer", "0.5", "-accelerator", "tucker",
+			"-iters", "500", "-tol=-1", "-seed", "11"})
+}
+
+func crashRecoveryScenario(t *testing.T, genArgs, decompArgs []string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("builds binaries")
 	}
@@ -183,11 +204,9 @@ func TestCLICrashRecovery(t *testing.T) {
 	twopcpBin := buildCmd(t, dir, "twopcp")
 
 	tpath := filepath.Join(dir, "x.tptl")
-	runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "30x30x30", "-rank", "3",
-		"-noise", "0.3", "-tiles", "3x3x3", "-seed", "11", "-out", tpath)
+	runCmd(t, tensorgen, append(genArgs, "-out", tpath)...)
 
-	args := []string{"-in", tpath, "-rank", "3", "-parts", "3", "-buffer", "0.5",
-		"-iters", "500", "-tol=-1", "-seed", "11"}
+	args := append([]string{"-in", tpath}, decompArgs...)
 
 	refJSON := filepath.Join(dir, "ref.json")
 	runCmd(t, twopcpBin, append(args, "-out-prefix", filepath.Join(dir, "ref"), "-json", refJSON)...)
@@ -253,7 +272,7 @@ func TestCLICrashRecovery(t *testing.T) {
 	if err := json.Unmarshal(resData, &res); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"phase1_ns", "phase2_ns"} { // wall clock legitimately differs
+	for _, k := range []string{"phase0_ns", "phase1_ns", "phase2_ns"} { // wall clock legitimately differs
 		delete(ref, k)
 		delete(res, k)
 	}

@@ -138,6 +138,61 @@
 //     and resuming with a different constraint or Lambda is refused.
 //     Manifests written before solvers existed resume as ConstraintNone.
 //
+// # Phase-0 acceleration
+//
+// Options.Accelerator optionally runs a "Phase 0" ahead of Phase 1 to
+// cut the cost of the cold per-block ALS — the stage that dominates a
+// brute-force run on structured data:
+//
+//   - AccelTucker (compress-then-refine): a randomized range finder
+//     streams the tensor's blocks once per mode and builds per-mode
+//     orthonormal bases Q_n via a Gaussian sketch + Householder QR
+//     (rank Options.Phase0Rank, default Rank, plus SketchOversample
+//     extra probe columns, default 5). The tensor is projected onto the
+//     small Tucker core G = X ×₁ Q₁ᵀ ×₂ Q₂ᵀ …, CP-ALS runs to
+//     convergence in that compressed space (multistart pilot + polish —
+//     the core is tiny, so restarts are nearly free), and the core
+//     factors are expanded back as A_n = Q_n·Â_n to warm-start Phase 1.
+//     Warm-started blocks then need only a short local polish: when
+//     Phase1MaxIters is left at its default, the per-block sweep budget
+//     drops to 3 (an explicit Phase1MaxIters overrides it). Phase 2
+//     refines globally as usual.
+//   - AccelSketched: Phase-1 row updates go through a leverage-score
+//     sampled least-squares solver (CP-ARLS-LEV style): each mode
+//     update solves a row-sampled Khatri-Rao system instead of the full
+//     one. Sampling only engages when the Khatri-Rao system is tall
+//     enough to be worth it (more rows than the sample budget, 128·F);
+//     below that the wrapped exact solver runs unchanged, bit for bit.
+//     The last mode of every sweep is always exact, so the reported fit
+//     trace is an exact trace. The wrapper composes with the
+//     constrained solvers — sampled nonneg/ridge updates solve the
+//     sampled system under the same constraint.
+//
+// When Phase 0 cannot help it says so rather than slowing the run down:
+// if the compressed core would hold at least half the tensor's cells
+// (no usable low-multilinear-rank structure, or the tensor is simply
+// small), AccelTucker falls back to brute force before reading a single
+// block. Result.Accelerated reports what actually happened; the CLI
+// prints "accelerator: tucker (active|fell back to brute force)". CI
+// gates the contract from both sides with cmd/benchgate and
+// BENCH_phase0_sketch.json: on the benchmark's low-multilinear-rank
+// input the accelerated (Phase 0 + Phase 1) wall clock must stay ≥ 3×
+// faster than brute-force Phase 1 with the converged fits within 1e-3,
+// and a structural fallback must cost ≤ 5% over never asking.
+//
+// Acceleration changes where the iterations are spent, never the
+// pipeline's contracts. Phase 0 is deterministic from Options.Seed
+// (seeded sketches, serial block streaming, fixed multistart order), so
+// accelerated runs stay bit-identical across Workers, KernelWorkers,
+// IOWorkers and PrefetchDepth, and dense/tiled front-ends produce the
+// same bits. The accelerator name and both knobs join the checkpoint
+// manifest fingerprint — resuming with different accelerator options is
+// refused — while the Phase-0 *outcome* (Accelerated, wall clock) is
+// recorded in the manifest as data: a resume that lands mid-Phase-2
+// skips Phase 0 entirely and still reports the original outcome. The
+// nonneg constraint survives the warm start (expansion clamps, HALS
+// keeps it); golden fixtures pin the accelerated numerics bit-exactly.
+//
 // # Durability and crash recovery
 //
 // Long decompositions survive crashes when Options.Checkpoint names a

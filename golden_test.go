@@ -146,3 +146,63 @@ func TestGoldenFactors(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenAcceleratedFactors pins the accelerated pipelines the same
+// way: one hex-bit dump per accelerator, produced from the shared
+// fixture tensor through both the in-memory and the tiled front-end.
+// Phase 0 is deterministic (seeded sketches, serial block streaming), so
+// these fixtures pin the range finder, core ALS, expansion and the short
+// warm Phase-1 pass all at once.
+func TestGoldenAcceleratedFactors(t *testing.T) {
+	x := goldenTensor()
+	tiledPath := filepath.Join("testdata", "golden.tptl")
+	accels := []struct {
+		name       string
+		accel      twopcp.Accelerator
+		oversample int
+	}{
+		// Oversample 2 keeps the 12×10×8 fixture's Tucker core under the
+		// structural-fallback threshold (min(d,3+2)³ = 125 cells < 480),
+		// so the fixture pins the accelerated path, not the fallback.
+		{"accel-tucker", twopcp.AccelTucker, 2},
+		{"accel-sketched", twopcp.AccelSketched, 0},
+	}
+	for _, tc := range accels {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := goldenOpts(twopcp.ConstraintNone, 0)
+			opts.Accelerator = tc.accel
+			opts.SketchOversample = tc.oversample
+			dense, err := twopcp.Decompose(x, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dense.Accelerated {
+				t.Fatalf("%s golden run fell back — the fixture would pin the unaccelerated pipeline", tc.name)
+			}
+			dump := goldenDump(dense)
+
+			path := goldenPath(tc.name)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update-golden to regenerate)", err)
+			}
+			if dump != string(want) {
+				t.Fatalf("dense %s run drifted from golden %s:\ngot:\n%s\nwant:\n%s",
+					tc.name, path, dump, want)
+			}
+
+			tiled, err := twopcp.DecomposeTiledFile(tiledPath, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tdump := goldenDump(tiled); tdump != string(want) {
+				t.Fatalf("tiled %s run drifted from golden %s", tc.name, path)
+			}
+		})
+	}
+}

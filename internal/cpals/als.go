@@ -88,14 +88,16 @@ func (o *Options) normalize(dims []int) (Options, error) {
 func Decompose(x *tensor.Dense, opts Options) (*KTensor, Info, error) {
 	return alsCore(x.Dims, x.Norm(), func(dst *mat.Matrix, factors []*mat.Matrix, n int) {
 		tensor.MTTKRPInto(dst, x, factors, n)
-	}, opts)
+	}, x, opts)
 }
 
-// DecomposeSparse runs CP-ALS on a sparse tensor.
+// DecomposeSparse runs CP-ALS on a sparse tensor. A Sketched solver's
+// sampled path needs random fiber access and does not apply here: it
+// degrades to its inner solver (see Sketched).
 func DecomposeSparse(x *tensor.COO, opts Options) (*KTensor, Info, error) {
 	return alsCore(x.Dims, x.Norm(), func(dst *mat.Matrix, factors []*mat.Matrix, n int) {
 		tensor.MTTKRPSparseInto(dst, x, factors, n)
-	}, opts)
+	}, nil, opts)
 }
 
 // alsCore is the shared ALS loop, parameterized only by the MTTKRP kernel
@@ -103,7 +105,11 @@ func DecomposeSparse(x *tensor.COO, opts Options) (*KTensor, Info, error) {
 // the MTTKRP accumulators, V, the Gram cache and the solve/normalize
 // buffers — comes from the workspace, and the factor matrices are updated
 // in place, so steady-state sweeps perform no allocation.
-func alsCore(dims []int, normX float64, mttkrp func(*mat.Matrix, []*mat.Matrix, int), opts Options) (*KTensor, Info, error) {
+//
+// x carries the dense tensor when there is one: a Sketched solver's
+// leverage-sampled mode updates need random fiber access, which only a
+// dense tensor provides (sparse runs pass nil and stay exact).
+func alsCore(dims []int, normX float64, mttkrp func(*mat.Matrix, []*mat.Matrix, int), x *tensor.Dense, opts Options) (*KTensor, Info, error) {
 	o, err := opts.normalize(dims)
 	if err != nil {
 		return nil, Info{}, err
@@ -137,18 +143,27 @@ func alsCore(dims []int, normX float64, mttkrp func(*mat.Matrix, []*mat.Matrix, 
 	}
 	v := ws.v
 
+	// A Sketched solver takes over dense mode updates with a sampled
+	// system; the last mode of every sweep stays exact because the
+	// sweep-end fit is read off its MTTKRP.
+	sketch, sketching := o.Solver.(Sketched)
+
 	info := Info{}
 	prevFit := 0.0
 	for iter := 1; iter <= o.MaxIters; iter++ {
 		var lastM *mat.Matrix
 		for mode := 0; mode < n; mode++ {
 			m := ws.mttkrpBuf(dims[mode])
-			mttkrp(m, factors, mode)
-			// V = ⊛_{k≠mode} A(k)ᵀA(k)
-			v.Fill(1)
-			for k := 0; k < n; k++ {
-				if k != mode {
-					v.HadamardInPlace(grams[k])
+			if sketching && x != nil && mode != n-1 && sketch.sampledApplicable(dims, mode, f) {
+				sketch.sampleSystem(m, v, x, factors, grams, mode, iter)
+			} else {
+				mttkrp(m, factors, mode)
+				// V = ⊛_{k≠mode} A(k)ᵀA(k)
+				v.Fill(1)
+				for k := 0; k < n; k++ {
+					if k != mode {
+						v.HadamardInPlace(grams[k])
+					}
 				}
 			}
 			a := factors[mode]

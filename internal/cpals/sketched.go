@@ -1,0 +1,212 @@
+package cpals
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+// Sketched wraps an inner row solver with CP-ARLS-LEV-style leverage-score
+// sampling of the Khatri-Rao least-squares system (Larsen & Kolda): inside
+// dense ALS sweeps the mode update is solved from a sampled system
+//
+//	Ṽ = Z_sᵀW²Z_s,  M̃ = X_sᵀW²Z_s
+//
+// where Z_s holds c rows of the Khatri-Rao matrix drawn from the product
+// of the per-mode leverage-score distributions (computed from the cached
+// Gram matrices — no extra factor passes) and W carries the importance
+// weights w_j² = 1/(c·p_j), so E[Ṽ] = V and E[M̃] = M. The inner solver
+// then runs on (M̃, Ṽ) exactly as it would on the exact system, which is
+// why ridge and nonneg compose with sampling for free.
+//
+// The last mode of every sweep is always solved exactly: its MTTKRP is
+// what the sweep-end fit is computed from, so the FitTrace stays an exact
+// trace (of a stochastically-updated iterate). Outside dense ALS sweeps —
+// sparse inputs, Phase 2's partition updates — Solve delegates to the
+// inner solver verbatim, so a Sketched solver is safe anywhere a Solver
+// is accepted and only accelerates where the fiber sampling applies.
+//
+// Determinism: rows are drawn serially from a generator seeded by
+// Seed ^ mix(iter, mode), so runs are bit-identical for a given Seed at
+// every worker count; resampling happens every mode update (fresh
+// randomness per sweep, as CP-ARLS-LEV prescribes).
+type Sketched struct {
+	// Inner is the solver run on the sampled system (nil = least squares).
+	Inner Solver
+	// Samples is the number of Khatri-Rao rows drawn per mode update
+	// (default 128·rank, capped by the exact row count; modes whose
+	// exact system is no bigger than that run exactly).
+	Samples int
+	// Seed drives the row sampling.
+	Seed int64
+}
+
+const sketchedSeedMix = 0x1E3779B97F4A7C15
+
+// Name implements Solver: "sketched+ls", "sketched+ridge", ...
+func (s Sketched) Name() string {
+	inner := "ls"
+	if s.Inner != nil {
+		inner = s.Inner.Name()
+	}
+	return "sketched+" + inner
+}
+
+// WarmStart implements Solver by delegation.
+func (s Sketched) WarmStart() bool {
+	if s.Inner == nil {
+		return LeastSquares{}.WarmStart()
+	}
+	return s.Inner.WarmStart()
+}
+
+// Solve implements Solver: outside the sampled dense-ALS path it is the
+// inner solver, bit for bit.
+func (s Sketched) Solve(a, m, v *mat.Matrix, sc *SolverScratch) {
+	if s.Inner == nil {
+		LeastSquares{}.Solve(a, m, v, sc)
+		return
+	}
+	s.Inner.Solve(a, m, v, sc)
+}
+
+func (s Sketched) validate() error {
+	if s.Samples < 0 {
+		return fmt.Errorf("%w: sketched samples %d", ErrBadOptions, s.Samples)
+	}
+	if _, ok := s.Inner.(Sketched); ok {
+		return fmt.Errorf("%w: sketched solver cannot nest", ErrBadOptions)
+	}
+	return ValidateSolver(s.Inner)
+}
+
+// samples returns the per-update row budget for rank f.
+func (s Sketched) samples(f int) int {
+	if s.Samples > 0 {
+		return s.Samples
+	}
+	return 128 * f
+}
+
+// sampledApplicable reports whether the mode-`mode` update of a dense
+// tensor with the given dims should be sampled: only when the exact
+// Khatri-Rao system has more rows than the sample budget (otherwise the
+// exact update is cheaper than sampling it).
+func (s Sketched) sampledApplicable(dims []int, mode, f int) bool {
+	rows := 1.0
+	for k, d := range dims {
+		if k != mode {
+			rows *= float64(d)
+		}
+	}
+	return rows > float64(s.samples(f))
+}
+
+// sampleSystem fills m (dims[mode]×F) and v (F×F) with the sampled
+// normal-equation system for the mode update. factors/grams are the
+// current normalized factors and their cached Grams; iter individualizes
+// the sampling stream per sweep.
+func (s Sketched) sampleSystem(m, v *mat.Matrix, x *tensor.Dense, factors, grams []*mat.Matrix, mode, iter int) {
+	n := len(factors)
+	f := m.Cols
+	c := s.samples(f)
+	rng := rand.New(rand.NewSource(s.Seed ^ (int64(iter)*int64(n)+int64(mode)+1)*sketchedSeedMix))
+
+	// Per-mode leverage-score distributions from the cached Grams:
+	// ℓ_k[i] = A_k[i,:]·G_k⁺·A_k[i,:]ᵀ, normalized to a cumulative table.
+	cums := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		if k == mode {
+			continue
+		}
+		inv := mat.PseudoInverseSym(grams[k], 0)
+		a := factors[k]
+		cum := make([]float64, a.Rows)
+		total := 0.0
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			l := mat.QuadForm(inv, row, row)
+			if l < 0 {
+				l = 0 // numerical noise on a PSD form
+			}
+			total += l
+			cum[i] = total
+		}
+		if total == 0 {
+			// Degenerate factor (all-zero): sample uniformly.
+			for i := range cum {
+				cum[i] = float64(i+1) / float64(a.Rows)
+			}
+			total = 1
+		}
+		for i := range cum {
+			cum[i] /= total
+		}
+		cums[k] = cum
+	}
+
+	m.Zero()
+	v.Zero()
+	strides := x.Strides()
+	strideN := strides[mode]
+	z := make([]float64, f)
+	for j := 0; j < c; j++ {
+		// Draw one Khatri-Rao row: an index per mode k ≠ mode, each from
+		// its leverage distribution; the row is the Hadamard product of
+		// the chosen factor rows and the tuple probability is the product
+		// of the per-mode probabilities.
+		for i := range z {
+			z[i] = 1
+		}
+		base := 0
+		p := 1.0
+		for k := 0; k < n; k++ {
+			if k == mode {
+				continue
+			}
+			cum := cums[k]
+			idx := searchCum(cum, rng.Float64())
+			pk := cum[idx]
+			if idx > 0 {
+				pk -= cum[idx-1]
+			}
+			p *= pk
+			base += idx * strides[k]
+			mat.HadamardVec(z, z, factors[k].Row(idx))
+		}
+		if p <= 0 {
+			continue // unreachable by construction; guard the division
+		}
+		w2 := 1 / (float64(c) * p)
+		// Ṽ += w²·zzᵀ (symmetric outer product).
+		for r := 0; r < f; r++ {
+			vr := v.Row(r)
+			zr := w2 * z[r]
+			for cc := 0; cc < f; cc++ {
+				vr[cc] += zr * z[cc]
+			}
+		}
+		// M̃ += w²·x_fiber⊗z: the mode-`mode` fiber at the sampled tuple.
+		for i := 0; i < x.Dims[mode]; i++ {
+			if val := x.Data[base+i*strideN]; val != 0 {
+				mat.Axpy(m.Row(i), z, w2*val)
+			}
+		}
+	}
+}
+
+// searchCum returns the smallest index whose cumulative value exceeds u.
+func searchCum(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,158 @@
+package cpals
+
+import (
+	"math/rand"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/tensor"
+)
+
+// lowRankDense builds an exactly rank-r dense tensor from random factors.
+func lowRankDense(dims []int, r int, seed int64) *tensor.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	fs := make([]*mat.Matrix, len(dims))
+	for k, d := range dims {
+		fs[k] = mat.Random(d, r, rng)
+	}
+	return NewKTensor(fs).Full()
+}
+
+// With a healthy sample budget the sketched solver must land near the
+// exact ALS fit on a low-rank input.
+func TestSketchedApproximatesExact(t *testing.T) {
+	x := lowRankDense([]int{30, 28, 26}, 3, 5)
+	exact, _, err := Decompose(x, Options{Rank: 3, MaxIters: 40, Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, info, err := Decompose(x, Options{
+		Rank: 3, MaxIters: 40, Rng: rand.New(rand.NewSource(9)),
+		Solver: Sketched{Samples: 500, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactFit := exact.Fit(x)
+	if d := abs(kt.Fit(x) - exactFit); d > 0.05 {
+		t.Fatalf("sketched fit %g vs exact %g (Δ=%g)", kt.Fit(x), exactFit, d)
+	}
+	if info.Fit < 0 || info.Fit > 1 {
+		t.Fatalf("fit %g outside [0,1]", info.Fit)
+	}
+}
+
+// Same options, same seeds → bit-identical factors; the sampling is part
+// of the deterministic contract.
+func TestSketchedDeterministic(t *testing.T) {
+	x := lowRankDense([]int{24, 20, 18}, 2, 7)
+	opts := func() Options {
+		return Options{Rank: 2, MaxIters: 10, Rng: rand.New(rand.NewSource(1)),
+			Solver: Sketched{Samples: 200, Seed: 11}}
+	}
+	a, _, err := Decompose(x, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Decompose(x, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Factors {
+		if !a.Factors[k].Equal(b.Factors[k]) {
+			t.Fatalf("mode-%d factors not bit-identical", k)
+		}
+	}
+}
+
+// Sparse inputs have no fiber sampling: a Sketched wrapper must reproduce
+// its inner solver bit for bit.
+func TestSketchedSparseFallsBackToInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandomCOO(rng, 0.2, 15, 12, 10)
+	x.Canonicalize()
+	plain, _, err := DecomposeSparse(x, Options{Rank: 2, MaxIters: 8, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, _, err := DecomposeSparse(x, Options{Rank: 2, MaxIters: 8, Rng: rand.New(rand.NewSource(2)),
+		Solver: Sketched{Samples: 50, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plain.Factors {
+		if !plain.Factors[k].Equal(wrapped.Factors[k]) {
+			t.Fatalf("mode-%d: sketched-over-sparse differs from the inner solver", k)
+		}
+	}
+}
+
+// The sampled system composes with the constrained inner solvers.
+func TestSketchedComposesWithConstraints(t *testing.T) {
+	x := lowRankDense([]int{22, 20, 18}, 2, 3)
+	for _, inner := range []Solver{Ridge{Lambda: 0.1}, Nonnegative{}} {
+		kt, info, err := Decompose(x, Options{
+			Rank: 2, MaxIters: 15, Rng: rand.New(rand.NewSource(6)),
+			Solver: Sketched{Inner: inner, Samples: 400, Seed: 8},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", inner.Name(), err)
+		}
+		if info.Fit < 0 || info.Fit > 1 {
+			t.Fatalf("%s: fit %g outside [0,1]", inner.Name(), info.Fit)
+		}
+		if _, ok := inner.(Nonnegative); ok {
+			for k, f := range kt.Factors {
+				for _, v := range f.Data {
+					if v < 0 {
+						t.Fatalf("nonneg mode %d went negative: %g", k, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Small modes whose exact system is under the sample budget run exactly:
+// a Sketched run over a tiny tensor equals the plain run bit for bit.
+func TestSketchedSkipsSmallModes(t *testing.T) {
+	x := lowRankDense([]int{6, 5, 4}, 2, 2)
+	plain, _, err := Decompose(x, Options{Rank: 2, MaxIters: 6, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, _, err := Decompose(x, Options{Rank: 2, MaxIters: 6, Rng: rand.New(rand.NewSource(3)),
+		Solver: Sketched{Samples: 1000, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plain.Factors {
+		if !plain.Factors[k].Equal(wrapped.Factors[k]) {
+			t.Fatalf("mode-%d: small-mode sketched run diverged from exact", k)
+		}
+	}
+}
+
+func TestSketchedValidation(t *testing.T) {
+	if err := ValidateSolver(Sketched{Samples: -1}); err == nil {
+		t.Fatal("negative sample budget accepted")
+	}
+	if err := ValidateSolver(Sketched{Inner: Sketched{}}); err == nil {
+		t.Fatal("nested sketched solver accepted")
+	}
+	if err := ValidateSolver(Sketched{Inner: Ridge{Lambda: -1}}); err == nil {
+		t.Fatal("invalid inner solver accepted")
+	}
+	if err := ValidateSolver(Sketched{Inner: Ridge{Lambda: 0.5}, Samples: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if got := (Sketched{}).Name(); got != "sketched+ls" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if got := (Sketched{Inner: Nonnegative{}}).Name(); got != "sketched+nonneg" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if got := FingerprintName(Sketched{Inner: Ridge{Lambda: 1}}); got != "sketched+ridge" {
+		t.Fatalf("FingerprintName = %q", got)
+	}
+}

@@ -189,6 +189,8 @@ func ValidateSolver(s Solver) error {
 		return nil
 	case Ridge:
 		return sv.validate()
+	case Sketched:
+		return sv.validate()
 	default:
 		return nil // user-supplied solvers manage their own invariants
 	}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 
+	"twopcp/internal/mat"
 	"twopcp/internal/tensor"
 )
 
@@ -207,5 +208,125 @@ func EnsembleSimulation(rng *rand.Rand, configs, params, steps int) *tensor.Dens
 			0.1*math.Sin(2*math.Pi*(float64(t)/float64(steps)+phase)) +
 			0.01*rng.Float64()
 	})
+	return out
+}
+
+// DenseLowMLRank generates a dense tensor of multilinear rank r per mode
+// plus optional relative Gaussian noise: a random r×r×...×r Tucker core
+// multiplied by per-mode orthonormal factors. These are the honest
+// low-multilinear-rank inputs the Phase-0 compress-then-refine
+// accelerator targets — the compressed core captures (1−noise)-ish of
+// the energy, so CP on the core matches CP on the tensor.
+func DenseLowMLRank(rng *rand.Rand, r int, noise float64, dims ...int) *tensor.Dense {
+	return LowMLRankSpec{R: r, Noise: noise}.Generate(rng, dims...)
+}
+
+// LowMLRankSpec configures the lowmlrank synthetic generator beyond the
+// DenseLowMLRank defaults. The zero value of the optional knobs
+// reproduces DenseLowMLRank exactly.
+type LowMLRankSpec struct {
+	// R is the multilinear rank per mode (capped at the mode size).
+	R int
+	// Noise is the relative Gaussian noise level (0 disables).
+	Noise float64
+	// Diag selects a superdiagonal core (weights 1+|N(0,1)|) instead of a
+	// dense random one, making the CP rank exactly R — the input then has
+	// a clean rank-R CP ground truth instead of just low multilinear rank.
+	Diag bool
+	// Collinearity c in [0,1) draws unit-norm factor columns with pairwise
+	// inner product c instead of orthonormal panels. Collinear factors are
+	// the classic ALS "swamp" inputs: the CP optimum is still (generically)
+	// unique, but cold-started ALS needs many sweeps to crawl there, which
+	// is exactly the regime where compress-then-refine pays off.
+	Collinearity float64
+}
+
+// Generate materializes the spec as a dense tensor.
+func (s LowMLRankSpec) Generate(rng *rand.Rand, dims ...int) *tensor.Dense {
+	core, ms := s.Components(rng, dims...)
+	out := tensor.TTMChain(core, ms)
+	if s.Noise > 0 {
+		scale := s.Noise * out.Norm() / math.Sqrt(float64(len(out.Data)))
+		for i := range out.Data {
+			out.Data[i] += scale * rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// Components draws the Tucker core and per-mode factor panels of the
+// spec without materializing the tensor, so callers (tensorgen's tiled
+// writer) can stream arbitrarily large instances one tile at a time:
+// a tile is just TTMChain(core, factors restricted to the tile's rows).
+func (s LowMLRankSpec) Components(rng *rand.Rand, dims ...int) (*tensor.Dense, []*mat.Matrix) {
+	coreDims := make([]int, len(dims))
+	for k, d := range dims {
+		coreDims[k] = s.R
+		if d < s.R {
+			coreDims[k] = d
+		}
+	}
+	core := tensor.NewDense(coreDims...)
+	if s.Diag {
+		side := coreDims[0]
+		for _, d := range coreDims {
+			if d < side {
+				side = d
+			}
+		}
+		idx := make([]int, len(coreDims))
+		for i := 0; i < side; i++ {
+			for k := range idx {
+				idx[k] = i
+			}
+			core.Set(1+math.Abs(rng.NormFloat64()), idx...)
+		}
+	} else {
+		for i := range core.Data {
+			core.Data[i] = rng.NormFloat64()
+		}
+	}
+	ms := make([]*mat.Matrix, len(dims))
+	for k, d := range dims {
+		ms[k] = factorPanel(rng, d, coreDims[k], s.Collinearity)
+	}
+	return core, ms
+}
+
+// ModelNorm returns the exact Frobenius norm of TTMChain(core, ms)
+// without materializing it: ‖X‖² = ⟨core ×₁ G₁ ×₂ G₂ ⋯, core⟩ with
+// Gₖ = FₖᵀFₖ, which stays core-sized. Streaming generation needs this
+// up front to scale relative noise before the first tile is written.
+func ModelNorm(core *tensor.Dense, ms []*mat.Matrix) float64 {
+	gs := make([]*mat.Matrix, len(ms))
+	for k, f := range ms {
+		gs[k] = mat.Gram(f)
+	}
+	y := tensor.TTMChain(core, gs)
+	var norm2 float64
+	for i, v := range y.Data {
+		norm2 += v * core.Data[i]
+	}
+	if norm2 < 0 {
+		norm2 = 0
+	}
+	return math.Sqrt(norm2)
+}
+
+// factorPanel draws a d×r factor panel: orthonormal for c = 0, else
+// unit-norm columns a_q = √c·u + √(1−c)·v_q over an orthonormal set
+// {u, v_1..v_r}, so every pair of columns has inner product exactly c.
+func factorPanel(rng *rand.Rand, d, r int, c float64) *mat.Matrix {
+	if c <= 0 || r >= d {
+		return mat.QRThin(mat.RandomNormal(d, r, rng))
+	}
+	basis := mat.QRThin(mat.RandomNormal(d, r+1, rng))
+	out := mat.New(d, r)
+	su, sv := math.Sqrt(c), math.Sqrt(1-c)
+	for q := 0; q < r; q++ {
+		for i := 0; i < d; i++ {
+			out.Set(i, q, su*basis.At(i, 0)+sv*basis.At(i, q+1))
+		}
+	}
 	return out
 }

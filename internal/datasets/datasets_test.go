@@ -7,6 +7,7 @@ import (
 
 	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
+	"twopcp/internal/mat"
 	"twopcp/internal/tensor"
 )
 
@@ -164,5 +165,84 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		if a.Vals[p] != b.Vals[p] || a.Indices[0][p] != b.Indices[0][p] {
 			t.Fatal("same seed produced different entries")
 		}
+	}
+}
+
+func TestLowMLRankSpecDiagHasExactCPRank(t *testing.T) {
+	// A noiseless superdiagonal core × factor chain is a rank-R Kruskal
+	// tensor: the components themselves, with the core weights folded
+	// into one factor, must reconstruct it with fit 1. (Cold ALS is NOT
+	// used here — odeco tensors trap it in local optima.)
+	rng := rand.New(rand.NewSource(11))
+	spec := LowMLRankSpec{R: 3, Diag: true}
+	core, ms := spec.Components(rng, 14, 12, 10)
+	x := tensor.TTMChain(core, ms)
+	factors := make([]*mat.Matrix, len(ms))
+	for k, f := range ms {
+		factors[k] = f.Clone()
+	}
+	for r := 0; r < 3; r++ {
+		w := core.Data[r+r*3+r*3*3] // superdiagonal (r,r,r) in Fortran layout
+		if w < 1 {
+			t.Fatalf("superdiagonal weight %d = %g, want ≥ 1", r, w)
+		}
+		for i := 0; i < factors[0].Rows; i++ {
+			factors[0].Set(i, r, factors[0].At(i, r)*w)
+		}
+	}
+	if fit := cpals.NewKTensor(factors).Fit(x); fit < 1-1e-12 {
+		t.Fatalf("rank-3 Kruskal reconstruction fit = %g, want 1", fit)
+	}
+}
+
+func TestLowMLRankSpecCollinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const c = 0.9
+	_, ms := LowMLRankSpec{R: 4, Collinearity: c}.Components(rng, 20, 20, 20)
+	for mode, f := range ms {
+		for p := 0; p < f.Cols; p++ {
+			for q := 0; q < f.Cols; q++ {
+				var dot float64
+				for i := 0; i < f.Rows; i++ {
+					dot += f.At(i, p) * f.At(i, q)
+				}
+				want := c
+				if p == q {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-10 {
+					t.Fatalf("mode %d: ⟨a_%d,a_%d⟩ = %g, want %g", mode, p, q, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func TestModelNormMatchesMaterialized(t *testing.T) {
+	for _, c := range []float64{0, 0.7} {
+		rng := rand.New(rand.NewSource(13))
+		spec := LowMLRankSpec{R: 4, Collinearity: c}
+		core, ms := spec.Components(rng, 15, 11, 9)
+		got := ModelNorm(core, ms)
+		want := tensor.TTMChain(core, ms).Norm()
+		if math.Abs(got-want) > 1e-10*want {
+			t.Fatalf("collinearity %g: ModelNorm = %.15g, materialized = %.15g", c, got, want)
+		}
+	}
+}
+
+func TestLowMLRankRelativeNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	spec := LowMLRankSpec{R: 4, Noise: 1e-3}
+	clean := LowMLRankSpec{R: 4}.Generate(rand.New(rand.NewSource(14)), 20, 20, 20)
+	noisy := spec.Generate(rng, 20, 20, 20)
+	diff := 0.0
+	for i := range clean.Data {
+		d := noisy.Data[i] - clean.Data[i]
+		diff += d * d
+	}
+	rel := math.Sqrt(diff) / clean.Norm()
+	if rel < 1e-4 || rel > 1e-2 {
+		t.Fatalf("relative noise = %g, want ≈1e-3", rel)
 	}
 }

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"twopcp"
+	"twopcp/internal/datasets"
+)
+
+// AccelConfig drives the Phase-0 acceleration comparison: the same
+// low-multilinear-rank tensor decomposed brute-force and with the
+// Tucker compress-then-refine warm start, reporting Phase-1 wall clock
+// and final fit for both arms. This is the experiment behind the
+// BENCH_phase0_sketch.json benchgate baseline.
+type AccelConfig struct {
+	// Side of the dense cube (default 48).
+	Side int
+	// Parts per mode (default 2).
+	Parts int
+	// Rank is the CP rank (default 8); MLRank the generated multilinear
+	// rank (default Rank).
+	Rank   int
+	MLRank int
+	// Noise is the generator's relative noise level (default 0.01).
+	Noise float64
+	// Oversample is the range-finder oversampling (default 5).
+	Oversample int
+	// Diag and Collinearity configure the generator (see
+	// datasets.LowMLRankSpec): a superdiagonal core gives an exact rank-R
+	// CP ground truth, and collinear factor panels put cold ALS in its
+	// swamp regime — the combination where compress-then-refine shines.
+	Diag         bool
+	Collinearity float64
+	// Phase1MaxIters and Phase1Tol control per-block ALS convergence for
+	// BOTH arms (defaults 500, 1e-6): running every block to its optimum
+	// keeps the two phase-1 models comparable, while the accelerated
+	// arm's warm-started blocks hit the tolerance after a couple of
+	// sweeps instead of paying the full cold-start cost.
+	Phase1MaxIters int
+	Phase1Tol      float64
+	// Phase2MaxIters and Phase2Tol (defaults 2000, 1e-10) run Phase 2 to
+	// effective convergence in both arms, so the reported fits compare
+	// converged models rather than init-dependent early stops.
+	Phase2MaxIters int
+	Phase2Tol      float64
+	Seed           int64
+}
+
+func (c *AccelConfig) setDefaults() {
+	if c.Side == 0 {
+		c.Side = 48
+	}
+	if c.Parts == 0 {
+		c.Parts = 2
+	}
+	if c.Rank == 0 {
+		c.Rank = 8
+	}
+	if c.MLRank == 0 {
+		c.MLRank = c.Rank
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.01
+	}
+	if c.Phase1MaxIters == 0 {
+		c.Phase1MaxIters = 500
+	}
+	if c.Phase1Tol == 0 {
+		c.Phase1Tol = 1e-6
+	}
+	if c.Phase2MaxIters == 0 {
+		c.Phase2MaxIters = 2000
+	}
+	if c.Phase2Tol == 0 {
+		c.Phase2Tol = 1e-10
+	}
+}
+
+// AccelResult reports both arms of the comparison.
+type AccelResult struct {
+	Config AccelConfig
+	// BrutePhase1 and AccelPhase1 are the Phase-1 wall clocks (the stage
+	// the accelerator targets); Phase0 is the warm-start overhead.
+	BrutePhase1, AccelPhase1, Phase0 time.Duration
+	BruteFit, AccelFit               float64
+	Accelerated                      bool
+	Phase1Speedup                    float64
+}
+
+// RunAccel executes the comparison through the full public pipeline so
+// both arms pay identical Phase-2 and fit-evaluation costs and differ
+// only in Options.Accelerator.
+func RunAccel(cfg AccelConfig) (*AccelResult, error) {
+	cfg.setDefaults()
+	rng := newRand(cfg.Seed)
+	spec := datasets.LowMLRankSpec{R: cfg.MLRank, Noise: cfg.Noise, Diag: cfg.Diag, Collinearity: cfg.Collinearity}
+	x := spec.Generate(rng, cfg.Side, cfg.Side, cfg.Side)
+	base := twopcp.Options{
+		Rank:           cfg.Rank,
+		Partitions:     []int{cfg.Parts},
+		Seed:           cfg.Seed,
+		Phase1MaxIters: cfg.Phase1MaxIters,
+		Phase1Tol:      cfg.Phase1Tol,
+		MaxIters:       cfg.Phase2MaxIters,
+		Tol:            cfg.Phase2Tol,
+	}
+	res := &AccelResult{Config: cfg}
+
+	brute, err := twopcp.Decompose(x, base)
+	if err != nil {
+		return nil, err
+	}
+	res.BrutePhase1 = brute.Phase1Time
+	res.BruteFit = brute.Fit
+
+	accelOpts := base
+	accelOpts.Accelerator = twopcp.AccelTucker
+	accelOpts.SketchOversample = cfg.Oversample
+	accel, err := twopcp.Decompose(x, accelOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.AccelPhase1 = accel.Phase1Time
+	res.Phase0 = accel.Phase0Time
+	res.AccelFit = accel.Fit
+	res.Accelerated = accel.Accelerated
+	if total := accel.Phase0Time + accel.Phase1Time; total > 0 {
+		res.Phase1Speedup = float64(brute.Phase1Time) / float64(total)
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *AccelResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Phase-0 acceleration (side %d, mlrank %d, rank %d, noise %g)\n",
+		r.Config.Side, r.Config.MLRank, r.Config.Rank, r.Config.Noise)
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s\n", "", "phase1", "phase0", "fit")
+	fmt.Fprintf(&b, "%-12s %12v %12s %10.6f\n", "brute", r.BrutePhase1.Round(time.Microsecond), "-", r.BruteFit)
+	fmt.Fprintf(&b, "%-12s %12v %12v %10.6f\n", "tucker", r.AccelPhase1.Round(time.Microsecond),
+		r.Phase0.Round(time.Microsecond), r.AccelFit)
+	fmt.Fprintf(&b, "phase-1 speedup (incl. phase 0): %.2f×   fit delta: %+.2g   accelerated: %v\n",
+		r.Phase1Speedup, r.AccelFit-r.BruteFit, r.Accelerated)
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRThin computes the thin QR factorization of an m×n matrix a with m ≥ n
+// via Householder reflections and returns Q (m×n, orthonormal columns).
+// a is not modified.
+//
+// The columns of Q are an orthonormal basis whose leading span contains the
+// column space of a; when a is rank-deficient the trailing columns are
+// still orthonormal (the reflector for a numerically zero column is the
+// identity, deterministically), so Q is always a valid basis to project
+// against. Everything is serial and in fixed order — the same input bytes
+// produce the same output bytes, which the sketch range-finder's
+// determinism contract relies on.
+func QRThin(a *Matrix) *Matrix {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("mat: QRThin of wide %d×%d (want rows >= cols)", m, n))
+	}
+	// r starts as a copy of a and is triangularized in place; vs stores the
+	// Householder vectors (normalized so v[k] = 1 implicitly).
+	r := a.Clone()
+	vs := New(m, n) // column j holds reflector j (rows j..m-1)
+	betas := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Build the reflector annihilating r[j+1:, j].
+		var norm2 float64
+		for i := j; i < m; i++ {
+			v := r.At(i, j)
+			norm2 += v * v
+		}
+		norm := math.Sqrt(norm2)
+		if norm == 0 {
+			betas[j] = 0 // zero column: identity reflector
+			continue
+		}
+		alpha := r.At(j, j)
+		// Choose the sign that avoids cancellation.
+		if alpha > 0 {
+			norm = -norm
+		}
+		v0 := alpha - norm
+		// v = x - norm·e1; beta = 2/(vᵀv).
+		vnorm2 := norm2 - alpha*alpha + v0*v0
+		if vnorm2 == 0 {
+			betas[j] = 0
+			continue
+		}
+		betas[j] = 2 / vnorm2
+		vs.Set(j, j, v0)
+		for i := j + 1; i < m; i++ {
+			vs.Set(i, j, r.At(i, j))
+		}
+		// Apply H = I - beta·v·vᵀ to the remaining columns of r.
+		for c := j; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += vs.At(i, j) * r.At(i, c)
+			}
+			dot *= betas[j]
+			for i := j; i < m; i++ {
+				r.Set(i, c, r.At(i, c)-dot*vs.At(i, j))
+			}
+		}
+	}
+	// Q = H_0·H_1·...·H_{n-1}·[I_n; 0], accumulated by applying the
+	// reflectors in reverse to the first n columns of the identity.
+	q := New(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for j := n - 1; j >= 0; j-- {
+		if betas[j] == 0 {
+			continue
+		}
+		for c := 0; c < n; c++ {
+			var dot float64
+			for i := j; i < m; i++ {
+				dot += vs.At(i, j) * q.At(i, c)
+			}
+			dot *= betas[j]
+			for i := j; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-dot*vs.At(i, j))
+			}
+		}
+	}
+	return q
+}

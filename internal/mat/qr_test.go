@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// orthonormalityErr returns max |QᵀQ - I| over all entries.
+func orthonormalityErr(q *Matrix) float64 {
+	g := Gram(q)
+	var worst float64
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := math.Abs(g.At(i, j) - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestQRThinOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{5, 5}, {20, 4}, {100, 12}, {3, 1}, {7, 7}} {
+		a := RandomNormal(dims[0], dims[1], rng)
+		q := QRThin(a)
+		if q.Rows != dims[0] || q.Cols != dims[1] {
+			t.Fatalf("Q is %d×%d, want %d×%d", q.Rows, q.Cols, dims[0], dims[1])
+		}
+		if err := orthonormalityErr(q); err > 1e-12 {
+			t.Fatalf("%dx%d: QᵀQ deviates from I by %g", dims[0], dims[1], err)
+		}
+		// Q must span the columns of a: projecting a onto Q recovers a.
+		proj := Mul(q, TMul(q, a)) // Q·(Qᵀ·a)
+		for i, v := range a.Data {
+			if math.Abs(v-proj.Data[i]) > 1e-10 {
+				t.Fatalf("%dx%d: projection drops column content at %d: %g vs %g",
+					dims[0], dims[1], i, v, proj.Data[i])
+			}
+		}
+	}
+}
+
+// Rank-deficient input: Q columns stay orthonormal and the span of a is
+// still inside the span of Q.
+func TestQRThinRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomNormal(30, 3, rng)
+	// Duplicate a column and append a zero column: numerical rank 3 of 5.
+	wide := New(30, 5)
+	for i := 0; i < 30; i++ {
+		copy(wide.Row(i)[:3], a.Row(i))
+		wide.Set(i, 3, a.At(i, 0)) // duplicate
+		// column 4 stays zero
+	}
+	q := QRThin(wide)
+	if err := orthonormalityErr(q); err > 1e-12 {
+		t.Fatalf("rank-deficient QᵀQ deviates from I by %g", err)
+	}
+	proj := Mul(q, TMul(q, wide))
+	for i, v := range wide.Data {
+		if math.Abs(v-proj.Data[i]) > 1e-10 {
+			t.Fatalf("projection drops content at %d", i)
+		}
+	}
+}
+
+func TestQRThinDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomNormal(40, 6, rng)
+	q1, q2 := QRThin(a), QRThin(a)
+	if !q1.Equal(q2) {
+		t.Fatal("QRThin is not bit-deterministic")
+	}
+}
+
+func TestQRThinPanicsOnWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wide input")
+		}
+	}()
+	QRThin(New(2, 5))
+}

@@ -153,6 +153,15 @@ type Options struct {
 	// because the solver runs inside the (deterministic, serial) ALS
 	// sweep of each block.
 	Solver cpals.Solver
+	// Init optionally supplies global warm-start factors (Dims[k]×Rank):
+	// each block's ALS starts from the row slices covering its extents
+	// instead of the seeded random init — the Phase-0 accelerator's
+	// handoff. The grid model restricted to a block's rows is exactly the
+	// block's share of the global model, so a good global warm start
+	// converges per-block in a few sweeps. Worker-count invariance is
+	// unchanged: the slices are value copies and the per-block ALS stays
+	// deterministic.
+	Init []*mat.Matrix
 }
 
 // Result carries the Phase-1 sub-factors.
@@ -293,9 +302,23 @@ func DecomposeBlock(block any, blockID int, p *grid.Pattern, opts Options) ([]*m
 // (Run's workers each hold one). Results are identical with or without it.
 func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *cpals.Workspace) ([]*mat.Matrix, float64, error) {
 	vec := p.Unlinear(blockID, nil)
-	_, size := p.Block(vec)
+	from, size := p.Block(vec)
 	rng := rand.New(rand.NewSource(opts.Seed ^ int64(blockID)*0x9E3779B9))
 	alsOpts := cpals.Options{Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Rng: rng, Workspace: ws, Solver: opts.Solver}
+	if opts.Init != nil {
+		init := make([]*mat.Matrix, len(size))
+		usable := true
+		for m := range init {
+			init[m] = opts.Init[m].SliceRows(from[m], from[m]+size[m])
+			// An all-zero mode slice would collapse the whole block model
+			// (every MTTKRP against it is zero); such blocks keep the
+			// seeded random init instead — deterministic either way.
+			usable = usable && init[m].Norm() > 0
+		}
+		if usable {
+			alsOpts.Init = init
+		}
+	}
 
 	var (
 		kt   *cpals.KTensor

@@ -28,6 +28,11 @@ type ResultState struct {
 	SwapsPerIter float64   `json:"swaps_per_iter"`
 	BytesRead    int64     `json:"bytes_read"`
 	BytesWritten int64     `json:"bytes_written"`
+	// Phase0NS and Accelerated record the Phase-0 accelerator (zero /
+	// false for brute-force runs; omitempty keeps pre-accelerator result
+	// files byte-compatible).
+	Phase0NS    int64 `json:"phase0_ns,omitempty"`
+	Accelerated bool  `json:"accelerated,omitempty"`
 	// Factors are the full per-mode factor matrices A(i).
 	Factors []*mat.Matrix `json:"-"`
 }

@@ -119,6 +119,16 @@ type Meta struct {
 	// releases, so their checkpoints remain resumable.
 	Constraint string  `json:"constraint,omitempty"`
 	Lambda     float64 `json:"lambda,omitempty"`
+	// Accelerator identifies the Phase-0 strategy ("" = none, "tucker",
+	// "sketched") with its tuning knobs. Phase 0 re-derives the warm
+	// start deterministically from these options plus Seed on resume, so
+	// they change every factor an accelerated run produces and a resume
+	// with different values must be rejected. omitempty keeps
+	// brute-force manifests byte-compatible with pre-accelerator
+	// releases.
+	Accelerator      string `json:"accelerator,omitempty"`
+	Phase0Rank       int    `json:"phase0_rank,omitempty"`
+	SketchOversample int    `json:"sketch_oversample,omitempty"`
 }
 
 // manifestBody is the CRC-protected content of manifest.json.
@@ -128,6 +138,14 @@ type manifestBody struct {
 	NumBlocks int   `json:"num_blocks"`
 	// Phase1Done lists the linear ids of completed Phase-1 blocks, sorted.
 	Phase1Done []int `json:"phase1_done,omitempty"`
+	// Phase0Accelerated and Phase0NS record the Phase-0 outcome of the
+	// original run (warm start installed? wall clock). A resume that has
+	// advanced past Phase 1 skips recomputing Phase 0, so the final
+	// Result restores these instead of misreporting an unaccelerated
+	// run. Outcome, not fingerprint: deliberately NOT part of Meta, which
+	// is compared field-for-field on resume.
+	Phase0Accelerated bool  `json:"phase0_accelerated,omitempty"`
+	Phase0NS          int64 `json:"phase0_ns,omitempty"`
 }
 
 // envelope frames the manifest body with a version and a CRC32 (IEEE) of
@@ -219,6 +237,25 @@ func (r *Run) Meta() Meta {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.body.Meta
+}
+
+// RecordPhase0 durably records the Phase-0 outcome (see manifestBody).
+// Called right after Phase 0 runs — including deterministic recomputation
+// on a Phase-1 resume, which rewrites the same values.
+func (r *Run) RecordPhase0(accelerated bool, ns int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.body.Phase0Accelerated = accelerated
+	r.body.Phase0NS = ns
+	return r.saveManifestLocked()
+}
+
+// Phase0 returns the recorded Phase-0 outcome (zero values for
+// brute-force runs and pre-accelerator manifests).
+func (r *Run) Phase0() (accelerated bool, ns int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.body.Phase0Accelerated, r.body.Phase0NS
 }
 
 // Phase1Completed returns how many Phase-1 blocks the manifest records as

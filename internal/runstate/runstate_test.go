@@ -391,3 +391,26 @@ func TestCheckpointDirNotWritable(t *testing.T) {
 		t.Fatal("Open of a read-only directory succeeded")
 	}
 }
+
+func TestRecordPhase0SurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{InputKind: "dense", Dims: []int{4, 4}, Partitions: []int{2, 2}, Rank: 2, Accelerator: "tucker"}
+	rs, err := Open(dir, meta, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc, ns := rs.Phase0(); acc || ns != 0 {
+		t.Fatalf("fresh run has Phase-0 outcome %v/%d", acc, ns)
+	}
+	if err := rs.RecordPhase0(true, 12345); err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := Open(dir, meta, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, ns := rs2.Phase0()
+	if !acc || ns != 12345 {
+		t.Fatalf("reopened Phase-0 outcome = %v/%d, want true/12345", acc, ns)
+	}
+}

@@ -42,26 +42,67 @@ func TTM(x *Dense, m *mat.Matrix, mode int) *Dense {
 	outDims := append([]int(nil), x.Dims...)
 	outDims[mode] = m.Rows
 	out := NewDense(outDims...)
+	if len(x.Data) == 0 || len(out.Data) == 0 {
+		return out
+	}
 
-	// Walk the input in Fortran order, scattering each element into the
-	// output fiber it contributes to.
+	// In the Fortran layout an element (l, i, r) — l indexing the modes
+	// below `mode`, r the modes above — lives at l + i·L + r·L·D, so each
+	// fixed r gives a contiguous D×L row-major slab and the product is a
+	// batch of GEMMs against the optimized (and worker-deterministic)
+	// mat kernels instead of an element-by-element scatter.
+	L := 1
+	for k := 0; k < mode; k++ {
+		L *= x.Dims[k]
+	}
+	D, J := x.Dims[mode], m.Rows
+	if L == 1 {
+		// Mode 0: one big GEMM on the transposed system. X viewed as
+		// (rest × D) row-major, Out = X·Mᵀ lands in the output layout.
+		rest := len(x.Data) / D
+		mat.MulInto(mat.FromSlice(rest, J, out.Data), mat.FromSlice(rest, D, x.Data), m.T())
+		return out
+	}
+	R := len(x.Data) / (L * D)
+	for r := 0; r < R; r++ {
+		slab := mat.FromSlice(D, L, x.Data[r*L*D:(r+1)*L*D])
+		dst := mat.FromSlice(J, L, out.Data[r*L*J:(r+1)*L*J])
+		mat.MulInto(dst, m, slab)
+	}
+	return out
+}
+
+// TTMSparse computes Y = X ×_n M for a sparse COO tensor X, returning a
+// dense result (the product of a sparse tensor with a dense matrix is dense
+// along mode n, and downstream consumers — Tucker-core accumulation — want
+// the dense chain anyway). The output has X's dims except dims[mode] = M.Rows.
+// Nonzeros are visited in stored order, so canonicalized tensors give
+// deterministic output.
+func TTMSparse(x *COO, m *mat.Matrix, mode int) *Dense {
+	if mode < 0 || mode >= len(x.Dims) {
+		panic(fmt.Sprintf("tensor: TTMSparse mode %d of %d-mode tensor", mode, len(x.Dims)))
+	}
+	if m.Cols != x.Dims[mode] {
+		panic(fmt.Sprintf("tensor: TTMSparse: matrix %d×%d against mode size %d", m.Rows, m.Cols, x.Dims[mode]))
+	}
+	outDims := append([]int(nil), x.Dims...)
+	outDims[mode] = m.Rows
+	out := NewDense(outDims...)
 	outStrides := out.Strides()
-	idx := make([]int, len(x.Dims))
-	for _, v := range x.Data {
-		if v != 0 {
-			// Base output offset with idx[mode] = 0.
-			base := 0
-			for k, i := range idx {
-				if k != mode {
-					base += i * outStrides[k]
-				}
-			}
-			in := idx[mode]
-			for j := 0; j < m.Rows; j++ {
-				out.Data[base+j*outStrides[mode]] += m.At(j, in) * v
+	for p, v := range x.Vals {
+		if v == 0 {
+			continue
+		}
+		base := 0
+		for k := range x.Dims {
+			if k != mode {
+				base += x.Indices[k][p] * outStrides[k]
 			}
 		}
-		incIndex(idx, x.Dims)
+		in := x.Indices[mode][p]
+		for j := 0; j < m.Rows; j++ {
+			out.Data[base+j*outStrides[mode]] += m.At(j, in) * v
+		}
 	}
 	return out
 }
@@ -78,6 +119,32 @@ func TTMChain(x *Dense, ms []*mat.Matrix) *Dense {
 			continue
 		}
 		out = TTM(out, m, mode)
+	}
+	return out
+}
+
+// TTMChainSparse applies the TTMChain to a sparse COO tensor: the first
+// non-nil mode goes through TTMSparse (sparse×dense → dense), the rest
+// through the dense chain. With all entries nil the tensor is densified.
+func TTMChainSparse(x *COO, ms []*mat.Matrix) *Dense {
+	if len(ms) != len(x.Dims) {
+		panic(fmt.Sprintf("tensor: TTMChainSparse: %d matrices for %d modes", len(ms), len(x.Dims)))
+	}
+	first := -1
+	for mode, m := range ms {
+		if m != nil {
+			first = mode
+			break
+		}
+	}
+	if first < 0 {
+		return x.Dense()
+	}
+	out := TTMSparse(x, ms[first], first)
+	for mode := first + 1; mode < len(ms); mode++ {
+		if ms[mode] != nil {
+			out = TTM(out, ms[mode], mode)
+		}
 	}
 	return out
 }

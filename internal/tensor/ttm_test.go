@@ -116,3 +116,50 @@ func TestTTMPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TTMSparse must agree with dense TTM on the densified tensor, mode by mode.
+func TestTTMSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	coo := RandomCOO(rng, 0.3, 4, 5, 3)
+	coo.Canonicalize()
+	dense := coo.Dense()
+	for mode := 0; mode < 3; mode++ {
+		m := mat.RandomNormal(2, dense.Dims[mode], rng)
+		want := TTM(dense, m, mode)
+		got := TTMSparse(coo, m, mode)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("mode %d: dims %v vs %v", mode, got.Dims, want.Dims)
+		}
+		for i := range want.Data {
+			if d := got.Data[i] - want.Data[i]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("mode %d: entry %d: %g vs %g", mode, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestTTMChainSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	coo := RandomCOO(rng, 0.4, 5, 4, 3)
+	coo.Canonicalize()
+	dense := coo.Dense()
+	ms := []*mat.Matrix{
+		mat.RandomNormal(2, 5, rng),
+		nil,
+		mat.RandomNormal(2, 3, rng),
+	}
+	want := TTMChain(dense, ms)
+	got := TTMChainSparse(coo, ms)
+	for i := range want.Data {
+		if d := got.Data[i] - want.Data[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("entry %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	// All-nil chain densifies.
+	allNil := TTMChainSparse(coo, []*mat.Matrix{nil, nil, nil})
+	for i := range dense.Data {
+		if allNil.Data[i] != dense.Data[i] {
+			t.Fatal("all-nil TTMChainSparse should densify")
+		}
+	}
+}

@@ -63,6 +63,23 @@ type Options struct {
 	Lambda float64
 	// Seed makes the whole run reproducible.
 	Seed int64
+	// Accelerator selects the Phase-0 acceleration strategy (default
+	// AccelNone, bit-for-bit the historical pipeline). AccelTucker
+	// Tucker-compresses the input via seeded randomized range finding,
+	// solves CP on the core and warm-starts Phase 1 from the expanded
+	// factors; AccelSketched solves Phase 1's large dense row updates
+	// from leverage-sampled Khatri-Rao systems. Both are bit-deterministic
+	// across Workers/KernelWorkers/PrefetchDepth, checkpoint/resume
+	// bit-exactly, and are part of the checkpoint fingerprint (a resume
+	// with different accelerator options is rejected). See the
+	// "Acceleration" section of the package documentation.
+	Accelerator Accelerator
+	// Phase0Rank is AccelTucker's per-mode Tucker basis rank (default:
+	// Rank). Only meaningful with an accelerator.
+	Phase0Rank int
+	// SketchOversample adds extra Gaussian probe columns to AccelTucker's
+	// range finder (default 5). Only meaningful with an accelerator.
+	SketchOversample int
 	// KernelWorkers caps the intra-kernel parallelism of the dense compute
 	// kernels (MTTKRP, Gram and GEMM row panels) for the duration of the
 	// call: 0 keeps the process default (GOMAXPROCS), 1 forces serial
@@ -119,9 +136,14 @@ type Result struct {
 	Model *KTensor
 	// Fit is 1 − ‖X−X̂‖/‖X‖ against the input tensor.
 	Fit float64
-	// Phase1Time and Phase2Time split the wall clock.
+	// Phase0Time, Phase1Time and Phase2Time split the wall clock
+	// (Phase0Time is zero without an accelerator).
+	Phase0Time time.Duration
 	Phase1Time time.Duration
 	Phase2Time time.Duration
+	// Accelerated reports whether Phase 0 actually produced a warm start
+	// (false without an accelerator or when it fell back to brute force).
+	Accelerated bool
 	// VirtualIters counts Phase-2 virtual iterations; Converged reports
 	// whether Tol fired before MaxIters.
 	VirtualIters int
@@ -249,6 +271,9 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	if err := validateCheckpointOptions(opts); err != nil {
 		return nil, nil, false, err
 	}
+	if err := validateAccelOptions(opts); err != nil {
+		return nil, nil, false, err
+	}
 	solver, err := opts.Constraint.solver(opts.Lambda)
 	if err != nil {
 		return nil, nil, false, err
@@ -268,7 +293,6 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	}
 	out = &Result{}
 
-	start := time.Now()
 	p1opts := phase1.Options{
 		Rank:     opts.Rank,
 		MaxIters: opts.Phase1MaxIters,
@@ -277,6 +301,34 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		Workers:  opts.Workers,
 		Solver:   solver,
 	}
+	// Phase 0: the accelerator's warm start (or sampled solver) only
+	// influences Phase-1 block decompositions. Once a resumed manifest has
+	// advanced to Phase 2 every block is checkpointed, so recomputing the
+	// warm start would be pure waste — skip it. Runs still inside Phase 1
+	// recompute it deterministically, which reproduces the interrupted
+	// run's blocks bit-for-bit without any Phase-0 checkpoint state.
+	if opts.Accelerator != AccelNone && (rs == nil || rs.Stage() == runstate.StagePhase1) {
+		start := time.Now()
+		out.Accelerated, err = runPhase0(src, opts, solver, &p1opts)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		out.Phase0Time = time.Since(start)
+		if rs != nil {
+			if err := rs.RecordPhase0(out.Accelerated, int64(out.Phase0Time)); err != nil {
+				return nil, nil, false, err
+			}
+		}
+	} else if opts.Accelerator != AccelNone && rs != nil {
+		// Resumed past Phase 1: Phase 0 can no longer influence anything,
+		// so it is skipped — report the original run's recorded outcome
+		// instead of pretending the run was never accelerated.
+		accelerated, ns := rs.Phase0()
+		out.Accelerated = accelerated
+		out.Phase0Time = time.Duration(ns)
+	}
+
+	start := time.Now()
 	if rs != nil {
 		p1opts.Checkpoint = rs
 	}

@@ -86,6 +86,64 @@ func ParseConstraint(s string) (Constraint, error) {
 	return 0, fmt.Errorf("twopcp: unknown constraint %q (want none, ridge or nonneg)", s)
 }
 
+// Accelerator selects the Phase-0 acceleration strategy applied before
+// the standard Phase-1/Phase-2 passes (Options.Accelerator). The zero
+// value runs the pipeline brute-force, bit-for-bit the historical
+// behavior.
+type Accelerator int
+
+const (
+	// AccelNone disables Phase 0.
+	AccelNone Accelerator = iota
+	// AccelTucker compresses the tensor to a Tucker core via randomized
+	// range finding, runs CP-ALS on the core, and expands the factors as
+	// a warm start for Phase 1 (compress-then-CP). Falls back to brute
+	// force when the core would not be meaningfully smaller than the
+	// tensor.
+	AccelTucker
+	// AccelSketched wraps the Phase-1 row solver with leverage-score
+	// sampling of the Khatri-Rao least-squares systems (CP-ARLS-LEV) for
+	// dense blocks whose mode updates are large enough to sample.
+	AccelSketched
+)
+
+// String returns the accelerator's CLI name: none, tucker or sketched.
+func (a Accelerator) String() string {
+	switch a {
+	case AccelNone:
+		return "none"
+	case AccelTucker:
+		return "tucker"
+	case AccelSketched:
+		return "sketched"
+	}
+	return fmt.Sprintf("Accelerator(%d)", int(a))
+}
+
+// ParseAccelerator maps a CLI name ("none"/"", "tucker", "sketched") to
+// its Accelerator.
+func ParseAccelerator(s string) (Accelerator, error) {
+	switch s {
+	case "", "none":
+		return AccelNone, nil
+	case "tucker":
+		return AccelTucker, nil
+	case "sketched":
+		return AccelSketched, nil
+	}
+	return 0, fmt.Errorf("twopcp: unknown accelerator %q (want none, tucker or sketched)", s)
+}
+
+// fingerprint returns the accelerator name recorded in checkpoint
+// manifests: "" for none (keeping pre-accelerator manifests resumable),
+// otherwise the CLI name.
+func (a Accelerator) fingerprint() string {
+	if a == AccelNone {
+		return ""
+	}
+	return a.String()
+}
+
 // solver maps the constraint (plus the ridge weight) to its cpals solver,
 // validating the combination. An out-of-range Constraint value fails
 // NewSolver's name check. The manifest fingerprint name is derived from
