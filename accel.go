@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"twopcp/internal/cpals"
+	"twopcp/internal/obs"
 	"twopcp/internal/phase1"
 	"twopcp/internal/sketch"
 )
@@ -60,12 +61,16 @@ func phase0Rank(opts Options) int {
 // starts — no Phase-0 state is checkpointed. Callers skip it entirely
 // once the manifest has advanced past Phase 1 (the warm start can no
 // longer influence anything).
-func runPhase0(src phase1.Source, opts Options, solver cpals.Solver, p1opts *phase1.Options) (accelerated bool, err error) {
+func runPhase0(src phase1.Source, opts Options, solver cpals.Solver, p1opts *phase1.Options, ob *obs.Observer) (accelerated bool, err error) {
 	switch opts.Accelerator {
 	case AccelNone:
 		return false, nil
 	case AccelSketched:
 		p1opts.Solver = cpals.Sketched{Inner: solver, Seed: opts.Seed}
+		if ob.Tracing() {
+			ob.Emit("phase0.sketch",
+				obs.Str("accelerator", "sketched"), obs.Bool("active", true))
+		}
 		return true, nil
 	case AccelTucker:
 		res, err := sketch.TuckerWarmStart(src, sketchOptions(opts, solver))
@@ -73,7 +78,19 @@ func runPhase0(src phase1.Source, opts Options, solver cpals.Solver, p1opts *pha
 			return false, err
 		}
 		if res.Fallback {
+			if ob.Tracing() {
+				ob.Emit("phase0.sketch",
+					obs.Str("accelerator", "tucker"), obs.Bool("active", false),
+					obs.Str("reason", res.Reason))
+			}
 			return false, nil
+		}
+		if ob.Tracing() {
+			ob.Emit("phase0.sketch",
+				obs.Str("accelerator", "tucker"), obs.Bool("active", true),
+				obs.Str("core_dims", dimsLabel(res.CoreDims)),
+				obs.F64("core_fit", res.CoreFit),
+				obs.Int("core_iters", res.CoreIters))
 		}
 		p1opts.Init = res.Init
 		// The compress-then-refine contract: the core solve already did

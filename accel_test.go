@@ -139,7 +139,7 @@ func TestAcceleratedFitNearBruteOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Accelerated {
+	if !got.RunStats.Accelerated {
 		t.Fatal("Phase 0 fell back on a low-multilinear-rank input")
 	}
 	if got.Fit < 0.99 || brute.Fit < 0.99 {
@@ -162,7 +162,7 @@ func TestAcceleratorDeterminismAcrossParallelism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if tc.accel == twopcp.AccelTucker && !ref.Accelerated {
+			if tc.accel == twopcp.AccelTucker && !ref.RunStats.Accelerated {
 				t.Fatal("Phase 0 fell back on a low-multilinear-rank input")
 			}
 			variants := []struct {

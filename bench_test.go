@@ -313,7 +313,7 @@ func BenchmarkPhase0Sketch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if res.Accelerated {
+			if res.RunStats.Accelerated {
 				b.Fatal("expected a structural fallback on the unstructured cube")
 			}
 		}

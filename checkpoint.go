@@ -65,24 +65,31 @@ func finiteTol(tol float64) float64 {
 // checkpointing) and returns res. Called by the Decompose front-ends after
 // the final fit is in; once SaveResult succeeds, resuming the directory is
 // a no-op that returns this Result.
-func finishRun(rs *runstate.Run, res *Result) (*Result, error) {
+func finishRun(rs *runstate.Run, ob *Observer, res *Result) (*Result, error) {
+	defer emitRunDone(ob, res)
 	if rs == nil {
 		return res, nil
 	}
 	st := &runstate.ResultState{
-		Fit:          res.Fit,
-		Phase0NS:     int64(res.Phase0Time),
-		Accelerated:  res.Accelerated,
-		Phase1NS:     int64(res.Phase1Time),
-		Phase2NS:     int64(res.Phase2Time),
-		VirtualIters: res.VirtualIters,
-		Converged:    res.Converged,
-		FitTrace:     res.FitTrace,
-		Swaps:        res.Swaps,
-		SwapsPerIter: res.SwapsPerIter,
-		BytesRead:    res.BytesRead,
-		BytesWritten: res.BytesWritten,
-		Factors:      res.Model.Factors,
+		Fit:           res.Fit,
+		Phase0NS:      int64(res.RunStats.Phase0Time),
+		Accelerated:   res.RunStats.Accelerated,
+		Phase1NS:      int64(res.RunStats.Phase1Time),
+		Phase2NS:      int64(res.RunStats.Phase2Time),
+		VirtualIters:  res.VirtualIters,
+		Converged:     res.Converged,
+		FitTrace:      res.FitTrace,
+		Blocks:        res.RunStats.Blocks,
+		Phase1Sweeps:  res.RunStats.Phase1Sweeps,
+		Swaps:         res.RunStats.Swaps,
+		SwapsPerIter:  res.RunStats.SwapsPerIter,
+		BufferHits:    res.RunStats.BufferHits,
+		BufferHitRate: res.RunStats.BufferHitRate,
+		Evictions:     res.RunStats.Evictions,
+		WriteBacks:    res.RunStats.WriteBacks,
+		BytesRead:     res.RunStats.BytesRead,
+		BytesWritten:  res.RunStats.BytesWritten,
+		Factors:       res.Model.Factors,
 	}
 	if err := rs.SaveResult(st); err != nil {
 		return nil, err
@@ -96,17 +103,25 @@ func resultFromState(st *runstate.ResultState) *Result {
 	return &Result{
 		Model:        cpals.NewKTensor(st.Factors),
 		Fit:          st.Fit,
-		Phase0Time:   time.Duration(st.Phase0NS),
-		Accelerated:  st.Accelerated,
-		Phase1Time:   time.Duration(st.Phase1NS),
-		Phase2Time:   time.Duration(st.Phase2NS),
 		VirtualIters: st.VirtualIters,
 		Converged:    st.Converged,
 		FitTrace:     st.FitTrace,
-		Swaps:        st.Swaps,
-		SwapsPerIter: st.SwapsPerIter,
-		BytesRead:    st.BytesRead,
-		BytesWritten: st.BytesWritten,
+		RunStats: RunStats{
+			Phase0Time:    time.Duration(st.Phase0NS),
+			Accelerated:   st.Accelerated,
+			Phase1Time:    time.Duration(st.Phase1NS),
+			Phase2Time:    time.Duration(st.Phase2NS),
+			Blocks:        st.Blocks,
+			Phase1Sweeps:  st.Phase1Sweeps,
+			Swaps:         st.Swaps,
+			SwapsPerIter:  st.SwapsPerIter,
+			BufferHits:    st.BufferHits,
+			BufferHitRate: st.BufferHitRate,
+			Evictions:     st.Evictions,
+			WriteBacks:    st.WriteBacks,
+			BytesRead:     st.BytesRead,
+			BytesWritten:  st.BytesWritten,
+		},
 	}
 }
 

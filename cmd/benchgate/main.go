@@ -356,6 +356,67 @@ func evaluate(meas map[string]*measurement, baselineDir string, tol float64, abs
 		missing("als-workspace", "BENCH_kernels.json")
 	}
 
+	// --- Telemetry overhead (BENCH_obs.json) ---
+	if of, err := loadJSON(baselineDir, "BENCH_obs.json"); err == nil {
+		off, okO := meas["BenchmarkObsOverhead/off"]
+		ctr, okC := meas["BenchmarkObsOverhead/counters"]
+		if okO && okC {
+			overhead := ctr.NsPerOp/off.NsPerOp - 1
+			baseOverhead, _ := digFloat(of, "counters_overhead")
+			// 2% is the acceptance criterion for a live metrics registry on
+			// the in-memory engine; the margin (default 10%, overridable via
+			// gate_tolerances) absorbs shared-runner jitter on a ratio of
+			// two ~2 ms wall-clock timings (run with -count >= 3 — the
+			// parser keeps the min of each side).
+			margin := gateTol(of, "obs-counters-overhead", 0.10)
+			limit := 0.02 + margin
+			add(gate{
+				Name: "obs-counters-overhead", Measured: overhead, Baseline: baseOverhead,
+				Limit: limit, Tolerance: margin, Pass: overhead <= limit,
+				Detail: fmt.Sprintf("off %.0f ns/op vs counters %.0f ns/op; live metrics must cost <= 2%% (+%.0f%% measurement margin)", off.NsPerOp, ctr.NsPerOp, margin*100),
+			})
+			if baseAllocs, ok := digFloat(of, "results", "off", "allocs_per_op"); ok && off.hasAllocs {
+				// Allocation counts are deterministic, so the disabled
+				// observer's allocs/op gate runs tight: any allocation added
+				// to the nil-observer path shows up here exactly.
+				gtol := gateTol(of, "obs-off-allocs", tol)
+				limit := math.Ceil(baseAllocs * (1 + gtol))
+				add(gate{
+					Name: "obs-off-allocs", Measured: off.AllocsPerOp, Baseline: baseAllocs,
+					Limit: limit, Tolerance: gtol, Pass: off.AllocsPerOp <= limit,
+					Detail: "a nil observer must not allocate; a rise means telemetry leaked into the disabled path",
+				})
+			}
+			if tr, okT := meas["BenchmarkObsOverhead/trace"]; okT {
+				overhead := tr.NsPerOp/off.NsPerOp - 1
+				baseOverhead, _ := digFloat(of, "trace_overhead")
+				// Tracing is opt-in, so its bound is the recorded baseline
+				// plus tolerance rather than a fixed acceptance — the gate
+				// catches an encoder regression, not a policy limit.
+				gtol := gateTol(of, "obs-trace-overhead", tol)
+				limit := baseOverhead + gtol
+				add(gate{
+					Name: "obs-trace-overhead", Measured: overhead, Baseline: baseOverhead,
+					Limit: limit, Tolerance: gtol, Pass: overhead <= limit,
+					Detail: fmt.Sprintf("off %.0f ns/op vs trace %.0f ns/op; full event tracing must stay within %.0f%% of the recorded overhead", off.NsPerOp, tr.NsPerOp, gtol*100),
+				})
+			}
+			if s1, ok1 := off.Metrics["swaps"]; ok1 {
+				if s2, ok2 := ctr.Metrics["swaps"]; ok2 {
+					add(gate{
+						Name: "obs-swap-invariance", Measured: s2, Baseline: s1,
+						Limit: s1, Pass: s1 == s2,
+						Detail: "telemetry must not change the swap count",
+					})
+				}
+			}
+		} else {
+			missing("obs-counters-overhead", "BenchmarkObsOverhead off/counters measurements")
+		}
+	} else {
+		missing("obs-counters-overhead", "BENCH_obs.json")
+	}
+
 	// --- Phase-0 sketch acceleration (BENCH_phase0_sketch.json) ---
 	if sf, err := loadJSON(baselineDir, "BENCH_phase0_sketch.json"); err == nil {
 		if lm, ok := meas["BenchmarkPhase0Sketch/lowmlrank"]; ok {

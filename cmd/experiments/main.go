@@ -15,9 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
+	"twopcp"
 	"twopcp/internal/experiments"
 	"twopcp/internal/par"
 )
@@ -27,16 +30,19 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		scale     = flag.Int("scale", 1, "size multiplier toward paper scale")
-		seed      = flag.Int64("seed", 1, "random seed")
-		runs      = flag.Int("runs", 3, "repetitions for Figure 13 medians")
-		prefetch  = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous; counts are depth-invariant)")
-		ioWorkers = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
-		kworkers  = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
-		ckptDir   = flag.String("checkpoint", "", "directory for durable run checkpoints (one subdirectory per experiment run; honored by the convergence experiment)")
-		resume    = flag.Bool("resume", false, "resume runs previously checkpointed under -checkpoint")
-		constr    = flag.String("constraint", "none", "row-update solver for the convergence experiment: none, ridge (needs -lambda) or nonneg")
-		lambda    = flag.Float64("lambda", 0, "ridge damping weight (with -constraint ridge)")
+		scale      = flag.Int("scale", 1, "size multiplier toward paper scale")
+		seed       = flag.Int64("seed", 1, "random seed")
+		runs       = flag.Int("runs", 3, "repetitions for Figure 13 medians")
+		prefetch   = flag.Int("prefetch", 0, "Phase-2 prefetch depth in schedule steps (0 = synchronous; counts are depth-invariant)")
+		ioWorkers  = flag.Int("io-workers", 0, "Phase-2 async I/O workers (0 = auto when -prefetch > 0)")
+		kworkers   = flag.Int("kernel-workers", 0, "intra-kernel parallelism for MTTKRP/Gram/GEMM (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
+		ckptDir    = flag.String("checkpoint", "", "directory for durable run checkpoints (one subdirectory per experiment run; honored by the convergence experiment)")
+		resume     = flag.Bool("resume", false, "resume runs previously checkpointed under -checkpoint")
+		constr     = flag.String("constraint", "none", "row-update solver for the convergence experiment: none, ridge (needs -lambda) or nonneg")
+		lambda     = flag.Float64("lambda", 0, "ridge damping weight (with -constraint ridge)")
+		traceOut   = flag.String("trace", "", "append the structured run trace (JSONL events) of every engine run to this file")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics-registry snapshot to this file after the experiments finish")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while the experiments run")
 	)
 	flag.Parse()
 	if *kworkers > 0 {
@@ -48,6 +54,49 @@ func main() {
 	ioCfg := experiments.IO{
 		PrefetchDepth: *prefetch, IOWorkers: *ioWorkers,
 		Checkpoint: *ckptDir, Resume: *resume,
+	}
+	var rec *twopcp.Recorder
+	var reg *twopcp.Registry
+	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
+		ob := &twopcp.Observer{}
+		if *traceOut != "" {
+			var err error
+			rec, err = twopcp.OpenTrace(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ob.Trace = rec
+			defer func() {
+				if err := rec.Close(); err != nil {
+					log.Printf("trace: %v", err)
+				}
+			}()
+		}
+		if *metricsOut != "" || *pprofAddr != "" {
+			reg = twopcp.NewRegistry()
+			ob.Metrics = reg
+			par.SetDispatchCounter(reg.Counter("par.dispatches"))
+			defer par.SetDispatchCounter(nil)
+			if *metricsOut != "" {
+				defer func() {
+					if err := reg.WriteSnapshot(*metricsOut); err != nil {
+						log.Printf("metrics: %v", err)
+					}
+				}()
+			}
+		}
+		ioCfg.Observer = ob
+	}
+	if *pprofAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write(reg.PrometheusText())
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|fig11|table2|table3|fig12|fig13|convergence|accel|all")
@@ -62,7 +111,9 @@ func main() {
 		if err := f(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Progress/timing chatter goes to stderr; stdout carries only the
+		// tables and figures themselves, so they can be piped or diffed.
+		fmt.Fprintf(os.Stderr, "(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	var table1 *experiments.Table1Result

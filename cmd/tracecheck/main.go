@@ -1,0 +1,110 @@
+// Command tracecheck validates a twopcp run trace (the JSONL file written
+// by twopcp -trace) against the event schema: every line must be a known
+// event carrying exactly its declared fields with the declared types.
+//
+// Usage:
+//
+//	tracecheck trace.jsonl [more.jsonl ...]
+//	twopcp -in x.tptl -rank 8 -trace /dev/stdout | tracecheck -
+//
+// It prints a per-file event census to stderr and exits non-zero on the
+// first schema violation, so CI can gate on it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"twopcp/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.jsonl>... (or - for stdin)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		if err := checkTrace(path, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// checkTrace validates every line of one trace stream and reports the
+// event census.
+func checkTrace(name string, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	counts := map[string]int{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := obs.ValidateLine(line); err != nil {
+			return fmt.Errorf("%s:%d: %v", name, lineNo, err)
+		}
+		counts[eventName(line)]++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("%s: empty trace", name)
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "%s: %d events OK\n", name, lineNo)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-18s %d\n", n, counts[n])
+	}
+	return nil
+}
+
+// eventName extracts the event name from a line ValidateLine accepted.
+// The recorder always writes "ev" first, so the fast path is a prefix
+// slice; anything else falls back to a JSON decode.
+func eventName(line []byte) string {
+	const prefix = `{"ev":"`
+	if bytes.HasPrefix(line, []byte(prefix)) {
+		rest := line[len(prefix):]
+		if i := bytes.IndexByte(rest, '"'); i >= 0 {
+			return string(rest[:i])
+		}
+	}
+	var m struct {
+		Ev string `json:"ev"`
+	}
+	json.Unmarshal(line, &m)
+	return m.Ev
+}

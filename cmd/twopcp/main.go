@@ -31,10 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"twopcp"
 	"twopcp/internal/buffer"
+	"twopcp/internal/par"
 	"twopcp/internal/schedule"
 	"twopcp/internal/tfile"
 )
@@ -67,7 +71,11 @@ func main() {
 		ckptDir    = flag.String("checkpoint", "", "directory for durable run checkpoints: a killed run can be restarted with -resume and picks up where the last checkpoint left off")
 		resumeDir  = flag.String("resume", "", "resume the run checkpointed in this directory (implies -checkpoint <dir>; the options must match the original run)")
 		ckptSteps  = flag.Int("checkpoint-steps", 0, "Phase-2 checkpoint cadence in schedule steps (0 = once per scheduling cycle)")
-		jsonOut    = flag.String("json", "", "also write the result (fit, trace, swaps, timings) as JSON to this file")
+		jsonOut    = flag.String("json", "", "also write the result (fit, trace, swaps, timings) as JSON to this file (- for stdout)")
+		traceOut   = flag.String("trace", "", "append the structured run trace (JSONL events) to this file")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics-registry snapshot to this file after the run")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while the run executes (e.g. localhost:6060)")
+		progress   = flag.Duration("progress", 0, "print a progress line (fit, sweeps, blocks, I/O, buffer hit rate) to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -121,37 +129,99 @@ func main() {
 		CheckpointEverySteps: *ckptSteps,
 	}
 
+	// Telemetry: any of -trace/-metrics/-pprof/-progress switches the
+	// observer on; without them opts.Observer stays nil and the run pays
+	// essentially nothing. Telemetry never influences the computation —
+	// results are bit-identical either way.
+	var rec *twopcp.Recorder
+	var reg *twopcp.Registry
+	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" || *progress > 0 {
+		ob := &twopcp.Observer{}
+		if *traceOut != "" {
+			var err error
+			rec, err = twopcp.OpenTrace(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ob.Trace = rec
+		}
+		if *metricsOut != "" || *pprofAddr != "" || *progress > 0 {
+			reg = twopcp.NewRegistry()
+			ob.Metrics = reg
+			par.SetDispatchCounter(reg.Counter("par.dispatches"))
+			defer par.SetDispatchCounter(nil)
+		}
+		opts.Observer = ob
+	}
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux; add the Prometheus exposition beside them.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write(reg.PrometheusText())
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	stopProgress := func() {}
+	if *progress > 0 {
+		stopProgress = startProgress(reg, *progress)
+	}
+
 	res, dims, err := decomposeFile(*in, opts)
+	stopProgress()
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil {
+			log.Printf("trace: %v", cerr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *metricsOut != "" {
+		if err := reg.WriteSnapshot(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	fmt.Printf("tensor     : %v\n", dims)
-	fmt.Printf("rank       : %d   partitions: %d per mode\n", *rank, *parts)
-	fmt.Printf("schedule   : %s   replacement: %s   buffer: %.2g×total\n", kind, pol, *frac)
+	// The whole human-readable summary goes to stderr: stdout is reserved
+	// for machine-parseable output (of which the CLI currently produces
+	// none — results travel via -json/-out-prefix files). A regression
+	// test pins stdout empty, so tools piping from twopcp stay safe.
+	summary := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+	}
+	st := res.RunStats
+	summary("tensor     : %v\n", dims)
+	summary("rank       : %d   partitions: %d per mode\n", *rank, *parts)
+	summary("schedule   : %s   replacement: %s   buffer: %.2g×total\n", kind, pol, *frac)
 	if constraint != twopcp.ConstraintNone {
 		if constraint == twopcp.ConstraintRidge {
-			fmt.Printf("constraint : %s (lambda %g)\n", constraint, *lambda)
+			summary("constraint : %s (lambda %g)\n", constraint, *lambda)
 		} else {
-			fmt.Printf("constraint : %s\n", constraint)
+			summary("constraint : %s\n", constraint)
 		}
 	}
 	if accelerator != twopcp.AccelNone {
 		state := "fell back to brute force"
-		if res.Accelerated {
+		if st.Accelerated {
 			state = "active"
 		}
-		fmt.Printf("accelerator: %s (%s)\n", accelerator, state)
+		summary("accelerator: %s (%s)\n", accelerator, state)
 	}
-	fmt.Printf("fit        : %.6f\n", res.Fit)
-	if res.Phase0Time > 0 {
-		fmt.Printf("phase 0    : %v\n", res.Phase0Time)
+	summary("fit        : %.6f\n", res.Fit)
+	if st.Phase0Time > 0 {
+		summary("phase 0    : %v\n", st.Phase0Time)
 	}
-	fmt.Printf("phase 1    : %v\n", res.Phase1Time)
-	fmt.Printf("phase 2    : %v  (%d virtual iterations, converged=%v)\n",
-		res.Phase2Time, res.VirtualIters, res.Converged)
-	fmt.Printf("data swaps : %d total, %.3f per virtual iteration\n", res.Swaps, res.SwapsPerIter)
-	fmt.Printf("store I/O  : %d bytes read, %d bytes written\n", res.BytesRead, res.BytesWritten)
+	summary("phase 1    : %v  (%d blocks, %d ALS sweeps)\n", st.Phase1Time, st.Blocks, st.Phase1Sweeps)
+	summary("phase 2    : %v  (%d virtual iterations, converged=%v)\n",
+		st.Phase2Time, res.VirtualIters, res.Converged)
+	summary("data swaps : %d total, %.3f per virtual iteration (buffer hit rate %.1f%%)\n",
+		st.Swaps, st.SwapsPerIter, 100*st.BufferHitRate)
+	summary("store I/O  : %d bytes read, %d bytes written\n", st.BytesRead, st.BytesWritten)
 
 	if *outPrefix != "" {
 		for m, f := range res.Model.Factors {
@@ -159,14 +229,66 @@ func main() {
 			if err := writeCSV(path, f); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("wrote %s (%d×%d)\n", path, f.Rows, f.Cols)
+			summary("wrote %s (%d×%d)\n", path, f.Rows, f.Cols)
 		}
 	}
 	if *jsonOut != "" {
 		if err := writeResultJSON(*jsonOut, dims, res); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+		if *jsonOut != "-" {
+			summary("wrote %s\n", *jsonOut)
+		}
+	}
+}
+
+// startProgress launches the periodic progress reporter: one stderr line
+// per tick with the run's live position (Phase-1 blocks and sweeps, then
+// Phase-2 fit and iterations) and I/O counters. Returns its stop func.
+func startProgress(reg *twopcp.Registry, every time.Duration) func() {
+	const mb = 1.0 / (1 << 20)
+	blocks := reg.Counter("phase1.blocks_done")
+	sweeps := reg.Counter("phase1.sweeps")
+	iters := reg.Gauge("phase2.virtual_iters")
+	fit := reg.Gauge("phase2.fit")
+	fetches := reg.Counter("buffer.fetches")
+	hits := reg.Counter("buffer.hits")
+	bytesRead := reg.Counter("blockstore.bytes_read")
+	bytesWritten := reg.Counter("blockstore.bytes_written")
+	start := time.Now()
+	report := func() {
+		hitRate := 0.0
+		if tot := hits.Load() + fetches.Load(); tot > 0 {
+			hitRate = float64(hits.Load()) / float64(tot)
+		}
+		fmt.Fprintf(os.Stderr,
+			"progress %8s  blocks=%d sweeps=%d  iters=%g fit=%.6f  read=%.1fMB written=%.1fMB hit=%.1f%%\n",
+			time.Since(start).Round(time.Second),
+			blocks.Load(), sweeps.Load(), iters.Load(), fit.Load(),
+			float64(bytesRead.Load())*mb, float64(bytesWritten.Load())*mb,
+			100*hitRate)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				report()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		// One final line so even runs shorter than the tick interval leave
+		// a progress record.
+		report()
 	}
 }
 
@@ -175,22 +297,21 @@ func main() {
 // interrupted-and-resumed run and an uninterrupted one.
 func writeResultJSON(path string, dims []int, res *twopcp.Result) error {
 	out := struct {
-		Dims         []int     `json:"dims"`
-		Fit          float64   `json:"fit"`
-		VirtualIters int       `json:"virtual_iters"`
-		Converged    bool      `json:"converged"`
-		FitTrace     []float64 `json:"fit_trace"`
-		Swaps        int64     `json:"swaps"`
-		SwapsPerIter float64   `json:"swaps_per_iter"`
-		Phase1NS     int64     `json:"phase1_ns"`
-		Phase2NS     int64     `json:"phase2_ns"`
-		Phase0NS     int64     `json:"phase0_ns,omitempty"`
-		Accelerated  bool      `json:"accelerated,omitempty"`
-	}{dims, res.Fit, res.VirtualIters, res.Converged, res.FitTrace,
-		res.Swaps, res.SwapsPerIter, int64(res.Phase1Time), int64(res.Phase2Time),
-		int64(res.Phase0Time), res.Accelerated}
+		Dims         []int           `json:"dims"`
+		Fit          float64         `json:"fit"`
+		VirtualIters int             `json:"virtual_iters"`
+		Converged    bool            `json:"converged"`
+		FitTrace     []float64       `json:"fit_trace"`
+		RunStats     twopcp.RunStats `json:"run_stats"`
+	}{dims, res.Fit, res.VirtualIters, res.Converged, res.FitTrace, res.RunStats}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
+		return err
+	}
+	if path == "-" {
+		// The one thing that legitimately goes to stdout: the JSON object
+		// itself, with nothing around it.
+		_, err := os.Stdout.Write(append(data, '\n'))
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)

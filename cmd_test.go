@@ -272,12 +272,125 @@ func crashRecoveryScenario(t *testing.T, genArgs, decompArgs []string) {
 	if err := json.Unmarshal(resData, &res); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"phase0_ns", "phase1_ns", "phase2_ns"} { // wall clock legitimately differs
-		delete(ref, k)
-		delete(res, k)
+	// Wall clock legitimately differs between the runs, and a resumed run
+	// reports fewer Phase-1 sweeps (checkpoint-restored blocks recompute
+	// nothing). Everything else in run_stats — swaps, hit rate, store
+	// traffic — must match bit for bit.
+	for _, m := range []map[string]any{ref, res} {
+		rs, ok := m["run_stats"].(map[string]any)
+		if !ok {
+			t.Fatalf("result JSON has no run_stats object: %v", m)
+		}
+		for _, k := range []string{"phase0_ns", "phase1_ns", "phase2_ns", "phase1_sweeps"} {
+			delete(rs, k)
+		}
 	}
 	if !reflect.DeepEqual(ref, res) {
 		t.Fatalf("result JSON differs:\nreference: %v\nresumed:   %v", ref, res)
+	}
+}
+
+// TestCLIStdoutContract pins the CLI's stream discipline: stdout is
+// reserved for machine-parseable output. Without -json the binary writes
+// NOTHING to stdout (the human summary goes to stderr); with -json stdout
+// is exactly one JSON object. The telemetry flags must not leak onto
+// stdout either, and the trace they produce must pass tracecheck.
+func TestCLIStdoutContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tensorgen := buildCmd(t, dir, "tensorgen")
+	twopcpBin := buildCmd(t, dir, "twopcp")
+	tracecheck := buildCmd(t, dir, "tracecheck")
+
+	tpath := filepath.Join(dir, "x.tptl")
+	runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "16x14x12", "-rank", "2",
+		"-noise", "0", "-tiles", "2", "-seed", "7", "-out", tpath)
+
+	tracePath := filepath.Join(dir, "run.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	run := func(extra ...string) (stdout, stderr string) {
+		t.Helper()
+		var outBuf, errBuf bytes.Buffer
+		cmd := exec.Command(twopcpBin, append([]string{"-in", tpath, "-rank", "2",
+			"-parts", "2", "-buffer", "0.5", "-seed", "7",
+			"-trace", tracePath, "-metrics", metricsPath,
+			"-progress", "1ms"}, extra...)...)
+		cmd.Stdout = &outBuf
+		cmd.Stderr = &errBuf
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("twopcp %v: %v\n%s", extra, err, errBuf.String())
+		}
+		return outBuf.String(), errBuf.String()
+	}
+
+	stdout, stderr := run()
+	if stdout != "" {
+		t.Errorf("stdout not empty without -json:\n%q", stdout)
+	}
+	if !strings.Contains(stderr, "fit") || !strings.Contains(stderr, "data swaps") {
+		t.Errorf("human summary missing from stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "progress") {
+		t.Errorf("-progress 1ms produced no progress lines on stderr:\n%s", stderr)
+	}
+
+	jsonPath := filepath.Join(dir, "out.json")
+	stdout, _ = run("-json", jsonPath)
+	if stdout != "" {
+		t.Errorf("stdout not empty with -json FILE:\n%q", stdout)
+	}
+	var parsed struct {
+		Fit      float64        `json:"fit"`
+		RunStats map[string]any `json:"run_stats"`
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("-json output is not a JSON object: %v\n%s", err, data)
+	}
+	if parsed.Fit < 0.9 || parsed.RunStats == nil {
+		t.Errorf("-json output incomplete: fit=%v run_stats=%v", parsed.Fit, parsed.RunStats)
+	}
+	if _, ok := parsed.RunStats["swaps"]; !ok {
+		t.Errorf("run_stats has no swaps field: %v", parsed.RunStats)
+	}
+
+	// The -json FILE value "-" streams the object to stdout — then stdout
+	// must be exactly that object and nothing else.
+	stdout, _ = run("-json", "-")
+	var onStdout map[string]any
+	if err := json.Unmarshal([]byte(stdout), &onStdout); err != nil {
+		t.Errorf("-json - stdout is not exactly one JSON object: %v\n%q", err, stdout)
+	}
+
+	// The trace (appended across all three runs) validates cleanly, and
+	// the metrics snapshot parses.
+	var tcOut, tcErr bytes.Buffer
+	tc := exec.Command(tracecheck, tracePath)
+	tc.Stdout = &tcOut
+	tc.Stderr = &tcErr
+	if err := tc.Run(); err != nil {
+		t.Fatalf("tracecheck: %v\n%s", err, tcErr.String())
+	}
+	if !strings.Contains(tcErr.String(), "events OK") {
+		t.Errorf("tracecheck census missing:\n%s", tcErr.String())
+	}
+	var snap map[string]any
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v", err)
+	}
+	for _, k := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("metrics snapshot missing %q section", k)
+		}
 	}
 }
 

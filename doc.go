@@ -26,7 +26,7 @@
 //		Replacement: twopcp.Forward,
 //	})
 //	if err != nil { ... }
-//	fmt.Printf("fit=%.4f swaps/iter=%.2f\n", res.Fit, res.SwapsPerIter)
+//	fmt.Printf("fit=%.4f swaps/iter=%.2f\n", res.Fit, res.RunStats.SwapsPerIter)
 //
 // The resulting factors are in res.Model (a Kruskal tensor); res carries
 // timing, convergence and I/O statistics matching the paper's evaluation
@@ -96,7 +96,10 @@
 // Options.Seed alone regardless of Workers, KernelWorkers, IOWorkers or
 // PrefetchDepth. This contract is also what makes crash recovery exact:
 // replaying the schedule from a checkpoint reproduces the uninterrupted
-// run bit for bit (next section).
+// run bit for bit (next section), and what makes run traces comparable
+// across configurations: the telemetry layer only observes points this
+// contract fixes, so traces are deterministic too (see the Telemetry
+// contract below).
 //
 // # Solvers and constraints
 //
@@ -172,7 +175,7 @@
 // if the compressed core would hold at least half the tensor's cells
 // (no usable low-multilinear-rank structure, or the tensor is simply
 // small), AccelTucker falls back to brute force before reading a single
-// block. Result.Accelerated reports what actually happened; the CLI
+// block. Result.RunStats.Accelerated reports what actually happened; the CLI
 // prints "accelerator: tucker (active|fell back to brute force)". CI
 // gates the contract from both sides with cmd/benchgate and
 // BENCH_phase0_sketch.json: on the benchmark's low-multilinear-rank
@@ -230,7 +233,51 @@
 // resuming a completed run returns the recorded Result without
 // recomputation, and parallelism/prefetch knobs may differ between the
 // original and resumed processes because results never depend on them
-// (see the two sections above).
+// (see the two sections above). Durability composes with telemetry: a
+// resumed run pointed at the same trace file appends to the pre-crash
+// event stream, metric counters are persisted in the Phase-2 checkpoint
+// and restored on resume, and a checkpoint.resume event marks the seam
+// (see the Telemetry contract below).
+//
+// # Telemetry contract
+//
+// Options.Observer attaches run telemetry: a structured JSONL event
+// trace (Observer.Trace, a Recorder from NewRecorder or OpenTrace), a
+// metrics registry of counters/gauges/histograms (Observer.Metrics,
+// from NewRegistry), and/or a synchronous callback (Observer.OnEvent).
+// The CLIs expose the same sinks as -trace, -metrics, -pprof and
+// -progress; scalar run statistics come back in Result.RunStats either
+// way. Three guarantees define the contract (internal/obs documents
+// the mechanics):
+//
+//   - Telemetry never influences the run. No code path reads an
+//     observer to make a decision, so factors, FitTrace and every
+//     RunStats field are bit-identical with telemetry on, off, or
+//     partially attached. This is the same determinism contract the
+//     parallel kernels follow (see above), extended to observation.
+//   - The trace itself is deterministic. Events are emitted only at
+//     points whose occurrence is fixed by the schedule — buffer
+//     replacement decisions under the manager mutex, per-block Phase-1
+//     completions, schedule steps — so the multiset of events minus
+//     the wall-clock ts/dur fields is identical across Workers,
+//     KernelWorkers, IOWorkers and PrefetchDepth. Operations whose
+//     count legitimately varies with concurrency (prefetch-issued
+//     store reads, batched manifest rewrites) are metrics-only;
+//     checkpoint.write byte counts carry real file sizes and are
+//     exempt. The event catalog is a closed schema
+//     (internal/obs.Schema); ValidateTraceLine and cmd/tracecheck
+//     enforce it.
+//   - Disabled telemetry is ~free. A nil Observer costs a nil check on
+//     hot paths (subsystems bind counter handles once at setup), gated
+//     in CI by BenchmarkObsOverhead and BENCH_obs.json: live counters
+//     must cost ≤ 2% on the in-memory Phase-2 engine and the disabled
+//     path's allocation count is pinned.
+//
+// Telemetry survives crashes with the run: OpenTrace appends, so a
+// resumed run extends the original event stream (checkpoint.resume
+// marks the boundary), and the registry's counters are snapshotted
+// into every Phase-2 checkpoint and restored on resume, so cumulative
+// metrics are exact across the interruption (see Durability above).
 //
 // # Architecture
 //

@@ -39,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fit %.4f with %d data swaps (%.2f per virtual iteration)\n",
-		res.Fit, res.Swaps, res.SwapsPerIter)
+		res.Fit, res.RunStats.Swaps, res.RunStats.SwapsPerIter)
 
 	// Component energies: column norms of the configuration factor tell
 	// which latent regimes dominate the ensemble.

@@ -58,7 +58,7 @@ func main() {
 	}
 	fmt.Printf("nonnegative  : fit %.4f, most negative factor entry %.4g\n",
 		nn.Fit, minEntry(nn))
-	fmt.Printf("               %d virtual iterations, %d swaps\n", nn.VirtualIters, nn.Swaps)
+	fmt.Printf("               %d virtual iterations, %d swaps\n", nn.VirtualIters, nn.RunStats.Swaps)
 
 	if min := minEntry(nn); min < 0 {
 		log.Fatalf("constraint violated: factor entry %g < 0", min)

@@ -54,7 +54,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.4f\t%v\n",
-				sched, pol, res.SwapsPerIter, res.Fit, res.Phase2Time.Round(1e6))
+				sched, pol, res.RunStats.SwapsPerIter, res.Fit, res.RunStats.Phase2Time.Round(1e6))
 		}
 	}
 	w.Flush()
@@ -96,7 +96,7 @@ func main() {
 			identical = false
 		}
 	}
-	fmt.Printf("in-memory : fit=%.6f swaps=%d\n", inMem.Fit, inMem.Swaps)
-	fmt.Printf("tiled file: fit=%.6f swaps=%d\n", tiled.Fit, tiled.Swaps)
+	fmt.Printf("in-memory : fit=%.6f swaps=%d\n", inMem.Fit, inMem.RunStats.Swaps)
+	fmt.Printf("tiled file: fit=%.6f swaps=%d\n", tiled.Fit, tiled.RunStats.Swaps)
 	fmt.Printf("factors bit-for-bit identical: %v\n", identical)
 }

@@ -43,10 +43,10 @@ func main() {
 	}
 
 	fmt.Printf("fit          : %.4f (1.0 = exact)\n", res.Fit)
-	fmt.Printf("phase 1      : %v (parallel per-block ALS)\n", res.Phase1Time)
+	fmt.Printf("phase 1      : %v (parallel per-block ALS)\n", res.RunStats.Phase1Time)
 	fmt.Printf("phase 2      : %v (%d virtual iterations, converged=%v)\n",
-		res.Phase2Time, res.VirtualIters, res.Converged)
-	fmt.Printf("data swaps   : %d (%.2f per virtual iteration)\n", res.Swaps, res.SwapsPerIter)
+		res.RunStats.Phase2Time, res.VirtualIters, res.Converged)
+	fmt.Printf("data swaps   : %d (%.2f per virtual iteration)\n", res.RunStats.Swaps, res.RunStats.SwapsPerIter)
 
 	// The model gives factor matrices per mode; inspect the first factor.
 	a := res.Model.Factors[0]

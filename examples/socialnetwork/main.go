@@ -32,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fit %.4f after %v + %v (phase 1 + phase 2)\n\n",
-		res.Fit, res.Phase1Time, res.Phase2Time)
+		res.Fit, res.RunStats.Phase1Time, res.RunStats.Phase2Time)
 
 	users, items, cats := res.Model.Factors[0], res.Model.Factors[1], res.Model.Factors[2]
 	for f := 0; f < rank; f++ {

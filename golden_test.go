@@ -53,7 +53,7 @@ func goldenOpts(c twopcp.Constraint, lambda float64) twopcp.Options {
 // bit-identical across front-ends.
 func goldenDump(res *twopcp.Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "iters %d converged %v swaps %d\n", res.VirtualIters, res.Converged, res.Swaps)
+	fmt.Fprintf(&b, "iters %d converged %v swaps %d\n", res.VirtualIters, res.Converged, res.RunStats.Swaps)
 	b.WriteString("trace")
 	for _, f := range res.FitTrace {
 		fmt.Fprintf(&b, " %016x", math.Float64bits(f))
@@ -176,7 +176,7 @@ func TestGoldenAcceleratedFactors(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !dense.Accelerated {
+			if !dense.RunStats.Accelerated {
 				t.Fatalf("%s golden run fell back — the fixture would pin the unaccelerated pipeline", tc.name)
 			}
 			dump := goldenDump(dense)

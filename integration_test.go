@@ -221,7 +221,7 @@ func TestIntegrationSwapInvariantAcrossData(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Swaps, res.SwapsPerIter
+		return res.RunStats.Swaps, res.RunStats.SwapsPerIter
 	}
 	s1, r1 := swapsFor(100)
 	s2, r2 := swapsFor(200)

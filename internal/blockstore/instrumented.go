@@ -1,0 +1,98 @@
+package blockstore
+
+import "twopcp/internal/obs"
+
+// InstrumentedStore wraps a Store with telemetry: every operation feeds
+// the observer's metrics registry (monotonic raw counters and byte-size
+// histograms, unaffected by ResetStats on the inner store) and emits
+// blockstore.get/put trace events with byte counts.
+//
+// Trace determinism: raw Get counts vary with prefetch depth (the
+// asynchronous pipeline issues extra reads), so buffer-mediated reads
+// must go through the Quiet view — it updates metrics but suppresses the
+// get events, and the buffer's own deterministic buffer.fetch events
+// carry the read information instead. Puts are traced on both views:
+// every Put is the consequence of a deterministic decision (unit
+// seeding, buffer eviction, final flush), so their multiset is invariant
+// across concurrency settings.
+type InstrumentedStore struct {
+	inner     Store
+	obs       *obs.Observer
+	quietGets bool
+
+	reads, writes, bytesRead, bytesWritten *obs.Counter
+	getBytes, putBytes                     *obs.Histogram
+}
+
+// Instrument wraps inner with the observer. A nil or fully disabled
+// observer is valid; the wrapper then delegates with one nil check per
+// counter.
+func Instrument(inner Store, ob *obs.Observer) *InstrumentedStore {
+	return &InstrumentedStore{
+		inner:        inner,
+		obs:          ob,
+		reads:        ob.Counter("blockstore.reads"),
+		writes:       ob.Counter("blockstore.writes"),
+		bytesRead:    ob.Counter("blockstore.bytes_read"),
+		bytesWritten: ob.Counter("blockstore.bytes_written"),
+		getBytes:     ob.Histogram("blockstore.get_bytes"),
+		putBytes:     ob.Histogram("blockstore.put_bytes"),
+	}
+}
+
+// Quiet returns a view of the same store (same inner store, same metric
+// handles) whose Gets update metrics but emit no trace events. The
+// buffer manager reads through this view.
+func (s *InstrumentedStore) Quiet() *InstrumentedStore {
+	q := *s
+	q.quietGets = true
+	return &q
+}
+
+// Put implements Store.
+func (s *InstrumentedStore) Put(u *Unit) error {
+	if err := s.inner.Put(u); err != nil {
+		return err
+	}
+	n := u.Bytes()
+	if s.writes != nil {
+		s.writes.Inc()
+		s.bytesWritten.Add(n)
+		s.putBytes.Observe(float64(n))
+	}
+	if s.obs.Tracing() {
+		s.obs.Emit("blockstore.put",
+			obs.Int("mode", u.Mode), obs.Int("part", u.Part), obs.I64("bytes", n))
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *InstrumentedStore) Get(mode, part int) (*Unit, error) {
+	u, err := s.inner.Get(mode, part)
+	if err != nil {
+		return nil, err
+	}
+	n := u.Bytes()
+	if s.reads != nil {
+		s.reads.Inc()
+		s.bytesRead.Add(n)
+		s.getBytes.Observe(float64(n))
+	}
+	if !s.quietGets && s.obs.Tracing() {
+		s.obs.Emit("blockstore.get",
+			obs.Int("mode", mode), obs.Int("part", part), obs.I64("bytes", n))
+	}
+	return u, nil
+}
+
+// Stats implements Store.
+func (s *InstrumentedStore) Stats() Stats { return s.inner.Stats() }
+
+// ResetStats implements Store. It resets only the inner store's
+// resettable counters (the Result-accounting mechanism); the registry's
+// raw counters stay monotonic.
+func (s *InstrumentedStore) ResetStats() { s.inner.ResetStats() }
+
+// Close implements Store.
+func (s *InstrumentedStore) Close() error { return s.inner.Close() }

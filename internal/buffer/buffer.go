@@ -32,6 +32,7 @@ import (
 
 	"twopcp/internal/blockstore"
 	"twopcp/internal/grid"
+	"twopcp/internal/obs"
 	"twopcp/internal/schedule"
 )
 
@@ -140,6 +141,21 @@ type Manager struct {
 	workerWG sync.WaitGroup // pool goroutines
 	ioWG     sync.WaitGroup // outstanding async jobs
 
+	// Telemetry. The counters mirror the Stats fields into the observer's
+	// registry (monotonic — unlike stats they survive ResetStats); trace
+	// events are emitted at the synchronous decision points under mu, so
+	// the package's prefetch-transparency contract makes them
+	// deterministic. Prefetches and Overflows are metrics-only: their
+	// counts legitimately vary with concurrency settings.
+	tele        *obs.Observer
+	cFetches    *obs.Counter
+	cHits       *obs.Counter
+	cEvictions  *obs.Counter
+	cWriteBacks *obs.Counter
+	cOverflows  *obs.Counter
+	cPrefetches *obs.Counter
+	gUsed       *obs.Gauge
+
 	// Forward-policy state: the cyclic unit-access string (as unit ids),
 	// per-unit sorted occurrence positions, and the current cursor.
 	cycle  []int
@@ -170,6 +186,9 @@ type Config struct {
 	// Rank is the decomposition rank, used to estimate unit sizes for
 	// prefetch capacity reservations. Required when Workers > 0.
 	Rank int
+	// Obs receives telemetry (buffer.fetch/evict/writeback trace events
+	// and mirrored counters). Nil disables it at ~zero cost.
+	Obs *obs.Observer
 }
 
 // NewManager validates cfg and builds the manager.
@@ -196,6 +215,15 @@ func NewManager(cfg Config) (*Manager, error) {
 		resident:  make(map[int]*entry),
 		infl:      make(map[int]*inflight),
 		wbPending: make(map[int]chan struct{}),
+
+		tele:        cfg.Obs,
+		cFetches:    cfg.Obs.Counter("buffer.fetches"),
+		cHits:       cfg.Obs.Counter("buffer.hits"),
+		cEvictions:  cfg.Obs.Counter("buffer.evictions"),
+		cWriteBacks: cfg.Obs.Counter("buffer.write_backs"),
+		cOverflows:  cfg.Obs.Counter("buffer.overflows"),
+		cPrefetches: cfg.Obs.Counter("buffer.prefetches"),
+		gUsed:       cfg.Obs.Gauge("buffer.used_bytes"),
 	}
 	if cfg.Policy == Forward {
 		if cfg.Schedule == nil {
@@ -279,6 +307,9 @@ func (m *Manager) Prefetch(mode, part int) {
 		m.infl[id] = inf
 		m.reserved += est
 		m.stats.Prefetches++
+		if m.cPrefetches != nil {
+			m.cPrefetches.Inc()
+		}
 	default:
 		// Pool saturated: drop the hint rather than stall the caller's
 		// compute thread behind store I/O.
@@ -317,6 +348,9 @@ func (m *Manager) Acquire(mode, part int) (*blockstore.Unit, error) {
 			}
 			e.pins++
 			m.stats.Hits++
+			if m.cHits != nil {
+				m.cHits.Inc()
+			}
 			m.mu.Unlock()
 			return e.unit, nil
 		}
@@ -363,6 +397,14 @@ func (m *Manager) Acquire(mode, part int) (*blockstore.Unit, error) {
 		}
 		e.pins++
 		m.stats.Fetches++
+		if m.cFetches != nil {
+			m.cFetches.Inc()
+			m.gUsed.Set(float64(m.used))
+		}
+		if m.tele.Tracing() {
+			m.tele.Emit("buffer.fetch",
+				obs.Int("mode", mode), obs.Int("part", part), obs.I64("bytes", e.bytes))
+		}
 		wbs, err := m.shrink(pos)
 		m.mu.Unlock()
 		for _, job := range wbs {
@@ -402,6 +444,9 @@ func (m *Manager) shrink(pos int) ([]func(), error) {
 		victim := m.pickVictim(pos)
 		if victim == -1 {
 			m.stats.Overflows++
+			if m.cOverflows != nil {
+				m.cOverflows.Inc()
+			}
 			return jobs, nil
 		}
 		job, err := m.evict(victim)
@@ -467,6 +512,13 @@ func (m *Manager) evict(id int) (func(), error) {
 	var job func()
 	if e.dirty {
 		m.stats.WriteBacks++
+		if m.cWriteBacks != nil {
+			m.cWriteBacks.Inc()
+		}
+		if m.tele.Tracing() {
+			m.tele.Emit("buffer.writeback",
+				obs.Int("mode", e.unit.Mode), obs.Int("part", e.unit.Part), obs.I64("bytes", e.bytes))
+		}
 		if m.workers == 0 {
 			if err := m.store.Put(e.unit); err != nil {
 				return nil, err
@@ -501,6 +553,14 @@ func (m *Manager) evict(id int) (func(), error) {
 	delete(m.resident, id)
 	m.used -= e.bytes
 	m.stats.Evictions++
+	if m.cEvictions != nil {
+		m.cEvictions.Inc()
+		m.gUsed.Set(float64(m.used))
+	}
+	if m.tele.Tracing() {
+		m.tele.Emit("buffer.evict",
+			obs.Int("mode", e.unit.Mode), obs.Int("part", e.unit.Part))
+	}
 	return job, nil
 }
 
@@ -538,6 +598,13 @@ func (m *Manager) FlushAll() error {
 			continue
 		}
 		m.stats.WriteBacks++
+		if m.cWriteBacks != nil {
+			m.cWriteBacks.Inc()
+		}
+		if m.tele.Tracing() {
+			m.tele.Emit("buffer.writeback",
+				obs.Int("mode", e.unit.Mode), obs.Int("part", e.unit.Part), obs.I64("bytes", e.bytes))
+		}
 		e.dirty = false
 		dirty = append(dirty, e)
 	}

@@ -112,7 +112,7 @@ func RunAccel(cfg AccelConfig) (*AccelResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.BrutePhase1 = brute.Phase1Time
+	res.BrutePhase1 = brute.RunStats.Phase1Time
 	res.BruteFit = brute.Fit
 
 	accelOpts := base
@@ -122,12 +122,12 @@ func RunAccel(cfg AccelConfig) (*AccelResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.AccelPhase1 = accel.Phase1Time
-	res.Phase0 = accel.Phase0Time
+	res.AccelPhase1 = accel.RunStats.Phase1Time
+	res.Phase0 = accel.RunStats.Phase0Time
 	res.AccelFit = accel.Fit
-	res.Accelerated = accel.Accelerated
-	if total := accel.Phase0Time + accel.Phase1Time; total > 0 {
-		res.Phase1Speedup = float64(brute.Phase1Time) / float64(total)
+	res.Accelerated = accel.RunStats.Accelerated
+	if total := accel.RunStats.Phase0Time + accel.RunStats.Phase1Time; total > 0 {
+		res.Phase1Speedup = float64(brute.RunStats.Phase1Time) / float64(total)
 	}
 	return res, nil
 }

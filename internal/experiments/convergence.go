@@ -97,6 +97,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 			Tol:             math.Inf(-1),
 			PrefetchDepth:   cfg.IO.PrefetchDepth,
 			IOWorkers:       cfg.IO.IOWorkers,
+			Obs:             cfg.IO.Observer,
 			Solver:          solver,
 		}
 		if cfg.IO.Checkpoint != "" {

@@ -115,6 +115,7 @@ func RunFigure12(cfg Figure12Config) (*Figure12Result, error) {
 						Tol:                math.Inf(-1),
 						PrefetchDepth:      cfg.IO.PrefetchDepth,
 						IOWorkers:          cfg.IO.IOWorkers,
+						Obs:                cfg.IO.Observer,
 					})
 					if err != nil {
 						return nil, err

@@ -179,6 +179,7 @@ func RunFigure13(cfg Figure13Config) (*Figure13Result, error) {
 						Seed:            seed,
 						PrefetchDepth:   cfg.IO.PrefetchDepth,
 						IOWorkers:       cfg.IO.IOWorkers,
+						Obs:             cfg.IO.Observer,
 					})
 					if err != nil {
 						return 0, err

@@ -119,6 +119,7 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 			Schedule: schedule.ZOrder, Policy: buffer.Forward,
 			BufferFraction: 0.5, MaxVirtualIters: 20, Tol: 1e-3,
 			PrefetchDepth: cfg.IO.PrefetchDepth, IOWorkers: cfg.IO.IOWorkers,
+			Obs: cfg.IO.Observer,
 		})
 		if err != nil {
 			return nil, err

@@ -143,6 +143,7 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 				BufferFraction:  cfg.BufferFraction,
 				MaxVirtualIters: cfg.MaxVirtualIters, Tol: 1e-3,
 				PrefetchDepth: cfg.IO.PrefetchDepth, IOWorkers: cfg.IO.IOWorkers,
+				Obs: cfg.IO.Observer,
 			})
 			if err != nil {
 				return nil, err

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"sync/atomic"
+	"twopcp/internal/obs"
 )
 
 var tempSeq atomic.Int64
@@ -46,4 +47,8 @@ type IO struct {
 	Checkpoint string
 	// Resume continues runs previously checkpointed under Checkpoint.
 	Resume bool
+	// Observer receives telemetry from every engine run the experiment
+	// performs (nil disables it). Telemetry never changes results; see
+	// the obs package's determinism contract.
+	Observer *obs.Observer
 }

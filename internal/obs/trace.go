@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Recorder serializes events to a writer as JSONL, one object per line:
+//
+//	{"ev":"buffer.fetch","ts":1700000000123456789,"mode":1,"part":0,"bytes":4096}
+//
+// It is safe for concurrent use by the worker pools of both phases: each
+// Record marshals into a reusable scratch buffer and appends under one
+// mutex, so lines never interleave. Writes are buffered; Close (or Flush)
+// drains them. Write errors are sticky — the first one is kept, later
+// records are dropped, and Close returns it — so telemetry failures never
+// interrupt a run mid-flight but are not silently lost either.
+type Recorder struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	closer  io.Closer
+	scratch []byte
+	err     error
+}
+
+// NewRecorder returns a recorder writing JSONL to w. The caller owns w;
+// Close flushes but does not close it.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// OpenTrace opens (or creates) path in append mode and returns a recorder
+// writing to it. Append semantics are load-bearing for resume: a resumed
+// run pointed at the same -trace file extends the existing event stream
+// instead of truncating the pre-crash history.
+func OpenTrace(path string) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace: %w", err)
+	}
+	r := NewRecorder(f)
+	r.closer = f
+	return r, nil
+}
+
+// Record appends one event line.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.scratch = appendEventJSON(r.scratch[:0], e, true)
+	r.scratch = append(r.scratch, '\n')
+	// Flush on whole-line boundaries: bufio would otherwise split a line
+	// across two underlying writes when it fills mid-line, and a run
+	// killed between them (the crash-recovery scenario) would leave a
+	// torn final line in the trace. Flushing first keeps every write to
+	// the file a sequence of complete lines.
+	if r.w.Available() < len(r.scratch) {
+		if err := r.w.Flush(); err != nil {
+			r.err = err
+			return
+		}
+	}
+	if _, err := r.w.Write(r.scratch); err != nil {
+		r.err = err
+	}
+}
+
+// Flush drains buffered lines to the underlying writer.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = r.w.Flush()
+	}
+	return r.err
+}
+
+// Close flushes and, for file-backed recorders, closes the file. It
+// returns the first error the recorder encountered.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.w.Flush(); r.err == nil {
+		r.err = err
+	}
+	if r.closer != nil {
+		if err := r.closer.Close(); r.err == nil {
+			r.err = err
+		}
+		r.closer = nil
+	}
+	return r.err
+}
+
+// appendEventJSON appends the one-line JSON encoding of e. withClock
+// controls whether the wall-clock ts/dur fields are included; Canon
+// omits them to build the deterministic form.
+func appendEventJSON(b []byte, e Event, withClock bool) []byte {
+	b = append(b, `{"ev":`...)
+	b = strconv.AppendQuote(b, e.Name)
+	if withClock {
+		b = append(b, `,"ts":`...)
+		b = strconv.AppendInt(b, e.TS, 10)
+		if e.Dur != 0 {
+			b = append(b, `,"dur":`...)
+			b = strconv.AppendInt(b, e.Dur, 10)
+		}
+	}
+	for _, f := range e.Fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		switch f.kind {
+		case kindInt:
+			b = strconv.AppendInt(b, f.i, 10)
+		case kindF64:
+			// 'g' with -1 precision round-trips the exact float64, so a
+			// trace diff is a bit-level diff of the run.
+			b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
+		case kindStr:
+			b = strconv.AppendQuote(b, f.s)
+		case kindBool:
+			if f.i != 0 {
+				b = append(b, "true"...)
+			} else {
+				b = append(b, "false"...)
+			}
+		}
+	}
+	return append(b, '}')
+}
+
+// Canon returns the deterministic form of the event: its JSON encoding
+// minus the wall-clock ts/dur fields. Two runs of the same configuration
+// produce identical multisets of Canon strings regardless of worker
+// counts or prefetch depth (see the package determinism contract).
+func (e Event) Canon() string {
+	return string(appendEventJSON(nil, e, false))
+}
+
+// JSON returns the full one-line JSON encoding of the event.
+func (e Event) JSON() string {
+	return string(appendEventJSON(nil, e, true))
+}

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"twopcp/internal/obs"
 )
 
 // maxWorkers caps kernel parallelism; 0 means GOMAXPROCS.
@@ -130,6 +132,19 @@ var (
 	tasks    chan func()
 )
 
+// dispatchCounter optionally counts parallel kernel dispatches (DoWorkers
+// calls that actually fan out). It is process global like the worker cap:
+// the CLIs install it once at startup when a metrics registry is active;
+// library users with concurrent runs in one process should leave it unset
+// and rely on per-run observers instead. The disabled path costs one
+// atomic pointer load per parallel dispatch — serial fallbacks don't even
+// pay that.
+var dispatchCounter atomic.Pointer[obs.Counter]
+
+// SetDispatchCounter installs (or, with nil, removes) the process-global
+// dispatch counter, returning nothing; metric: par.dispatches.
+func SetDispatchCounter(c *obs.Counter) { dispatchCounter.Store(c) }
+
 func startPool() {
 	n := runtime.GOMAXPROCS(0)
 	tasks = make(chan func(), n)
@@ -167,6 +182,9 @@ func DoWorkers(workers, n int, fn func(i int)) {
 			fn(i)
 		}
 		return
+	}
+	if c := dispatchCounter.Load(); c != nil {
+		c.Inc()
 	}
 	poolOnce.Do(startPool)
 	var next atomic.Int64

@@ -22,6 +22,7 @@ import (
 	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
 	"twopcp/internal/mat"
+	"twopcp/internal/obs"
 	"twopcp/internal/tensor"
 )
 
@@ -162,6 +163,11 @@ type Options struct {
 	// unchanged: the slices are value copies and the per-block ALS stays
 	// deterministic.
 	Init []*mat.Matrix
+	// Obs receives telemetry: a phase1.block trace event per completed
+	// block (emitted by the worker that finished it, so the event
+	// multiset is worker-count invariant) and blocks/sweeps counters.
+	// Nil disables it at ~zero cost.
+	Obs *obs.Observer
 }
 
 // Result carries the Phase-1 sub-factors.
@@ -173,6 +179,18 @@ type Result struct {
 	Sub [][]*mat.Matrix
 	// Fits records the per-block ALS fit (1 for empty blocks).
 	Fits []float64
+	// Sweeps records the per-block ALS sweep count: 0 for blocks restored
+	// from a checkpoint (nothing was recomputed) and for empty blocks.
+	Sweeps []int
+}
+
+// TotalSweeps sums the per-block ALS sweep counts.
+func (r *Result) TotalSweeps() int {
+	total := 0
+	for _, s := range r.Sweeps {
+		total += s
+	}
+	return total
 }
 
 // SubFactor returns U(mode) of the block at linear id.
@@ -194,6 +212,20 @@ func Run(src Source, opts Options) (*Result, error) {
 		Rank:    opts.Rank,
 		Sub:     make([][]*mat.Matrix, nb),
 		Fits:    make([]float64, nb),
+		Sweeps:  make([]int, nb),
+	}
+	cBlocks := opts.Obs.Counter("phase1.blocks_done")
+	cSweeps := opts.Obs.Counter("phase1.sweeps")
+	blockDone := func(id int, fit float64, sweeps int, cached bool) {
+		if cBlocks != nil {
+			cBlocks.Inc()
+			cSweeps.Add(int64(sweeps))
+		}
+		if opts.Obs.Tracing() {
+			opts.Obs.Emit("phase1.block",
+				obs.Int("block", id), obs.F64("fit", fit),
+				obs.Int("sweeps", sweeps), obs.Bool("cached", cached))
+		}
 	}
 	type job struct {
 		id  int
@@ -235,6 +267,7 @@ func Run(src Source, opts Options) (*Result, error) {
 					if ok && blockShapeOK(factors, j.vec, p, opts.Rank) {
 						res.Sub[j.id] = factors
 						res.Fits[j.id] = fit
+						blockDone(j.id, fit, 0, true)
 						continue
 					}
 				}
@@ -242,12 +275,17 @@ func Run(src Source, opts Options) (*Result, error) {
 				if err == nil {
 					var factors []*mat.Matrix
 					var fit float64
-					factors, fit, err = decomposeBlock(block, j.id, p, opts, ws)
+					var sweeps int
+					factors, fit, sweeps, err = decomposeBlock(block, j.id, p, opts, ws)
 					if err == nil {
 						res.Sub[j.id] = factors
 						res.Fits[j.id] = fit
+						res.Sweeps[j.id] = sweeps
 						if opts.Checkpoint != nil {
 							err = opts.Checkpoint.SaveBlock(j.id, factors, fit)
+						}
+						if err == nil {
+							blockDone(j.id, fit, sweeps, false)
 						}
 					}
 				}
@@ -295,12 +333,14 @@ func blockShapeOK(factors []*mat.Matrix, vec []int, p *grid.Pattern, rank int) b
 // λ-folded sub-factors plus the achieved fit. Empty blocks return zero
 // matrices and fit 1. The blockID seeds the per-block generator.
 func DecomposeBlock(block any, blockID int, p *grid.Pattern, opts Options) ([]*mat.Matrix, float64, error) {
-	return decomposeBlock(block, blockID, p, opts, nil)
+	factors, fit, _, err := decomposeBlock(block, blockID, p, opts, nil)
+	return factors, fit, err
 }
 
 // decomposeBlock is DecomposeBlock with an optional reusable ALS workspace
-// (Run's workers each hold one). Results are identical with or without it.
-func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *cpals.Workspace) ([]*mat.Matrix, float64, error) {
+// (Run's workers each hold one) and the ALS sweep count as an extra
+// return. Results are identical with or without the workspace.
+func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *cpals.Workspace) ([]*mat.Matrix, float64, int, error) {
 	vec := p.Unlinear(blockID, nil)
 	from, size := p.Block(vec)
 	rng := rand.New(rand.NewSource(opts.Seed ^ int64(blockID)*0x9E3779B9))
@@ -338,10 +378,10 @@ func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *c
 			kt, info, err = cpals.DecomposeSparse(b, alsOpts)
 		}
 	default:
-		return nil, 0, fmt.Errorf("phase1: unsupported block type %T", block)
+		return nil, 0, 0, fmt.Errorf("phase1: unsupported block type %T", block)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if nnz == 0 {
 		// Paper footnote 3: empty sub-tensors get zero factors.
@@ -349,9 +389,9 @@ func decomposeBlock(block any, blockID int, p *grid.Pattern, opts Options, ws *c
 		for m, rows := range size {
 			factors[m] = mat.New(rows, opts.Rank)
 		}
-		return factors, 1, nil
+		return factors, 1, 0, nil
 	}
-	return FoldLambda(kt), info.Fit, nil
+	return FoldLambda(kt), info.Fit, info.Iters, nil
 }
 
 // FoldLambda converts a Kruskal tensor to the identity-core form of

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"io"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"twopcp/internal/blockstore"
 	"twopcp/internal/buffer"
 	"twopcp/internal/grid"
+	"twopcp/internal/obs"
 	"twopcp/internal/phase1"
 	"twopcp/internal/runstate"
 	"twopcp/internal/schedule"
@@ -97,4 +99,75 @@ func BenchmarkPhase2Prefetch(b *testing.B) {
 	// dirsync). Acceptance: ≤ 5% overhead vs the plain prefetch pipeline
 	// (gated by cmd/benchgate).
 	b.Run("prefetch+checkpoint", func(b *testing.B) { run(b, 2, 4, 32) })
+}
+
+// BenchmarkObsOverhead measures what telemetry costs the Phase-2 engine
+// on a pure in-memory run (no injected latency, so nothing hides the
+// overhead):
+//
+//   - off:      nil *obs.Observer — the disabled state everyone who never
+//     touches telemetry pays for. Acceptance: <= 2% over what the engine
+//     cost before the hooks existed, which CI approximates by gating
+//     counters against off (a nil check is strictly cheaper than a bound
+//     counter) and pinning off's allocation count.
+//   - counters: a live metrics registry, no trace — bound atomic counters
+//     on every fetch/evict/update. Acceptance: <= 2% over off (+ the
+//     measurement margin in BENCH_obs.json; gated by cmd/benchgate).
+//   - trace:    metrics plus a Recorder writing every event to io.Discard
+//     — the full event-serialization path minus the disk. Bounded against
+//     the recorded baseline, not a fixed acceptance: trace cost is real
+//     and opt-in.
+//
+// Recorded baselines live in BENCH_obs.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	p1 := benchPhase1(b)
+	run := func(b *testing.B, ob *obs.Observer) {
+		var swaps int64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := Config{
+				Phase1:   p1,
+				Store:    blockstore.NewMemStore(),
+				Schedule: schedule.ZOrder, Policy: buffer.LRU,
+				BufferFraction: 0.5,
+				// 8 full Z-order cycles: long enough (~15 ms/op) that the
+				// overhead ratio rises above scheduler jitter on shared
+				// runners.
+				MaxVirtualIters: 128,
+				Tol:             math.Inf(-1),
+				Seed:            5,
+				Obs:             ob,
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := eng.Run()
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if swaps == 0 {
+				swaps = res.BufferStats.Fetches
+			} else if swaps != res.BufferStats.Fetches {
+				b.Fatalf("swap count drifted: %d vs %d", swaps, res.BufferStats.Fetches)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(swaps), "swaps")
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		run(b, nil)
+	})
+	b.Run("counters", func(b *testing.B) {
+		run(b, &obs.Observer{Metrics: obs.NewRegistry()})
+	})
+	b.Run("trace", func(b *testing.B) {
+		run(b, &obs.Observer{
+			Metrics: obs.NewRegistry(),
+			Trace:   obs.NewRecorder(io.Discard),
+		})
+	})
 }

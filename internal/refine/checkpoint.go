@@ -89,6 +89,12 @@ func (e *Engine) saveCheckpoint(nextStep, pos, updates int, res *Result, prevFit
 		StoreStats:   storeStats,
 		A:            e.curA,
 	}
+	// Persist the metrics registry's counters so telemetry resumes
+	// exactly: a resumed run's counters continue from the checkpoint, not
+	// from zero (old checkpoints without the field restore nothing).
+	if e.cfg.Obs != nil && e.cfg.Obs.Metrics != nil {
+		st.Metrics = e.cfg.Obs.Metrics.CounterValues()
+	}
 	if err := e.cfg.Checkpoint.SavePhase2(st); err != nil {
 		return fmt.Errorf("refine: checkpoint: %w", err)
 	}
@@ -114,5 +120,11 @@ func (e *Engine) restoreFromState(st *runstate.Phase2State) error {
 	e.startPrevFit = st.PrevFit
 	e.startWarmupLeft = st.WarmupLeft
 	e.resumed = true
+	if e.cfg.Obs != nil && e.cfg.Obs.Metrics != nil && st.Metrics != nil {
+		// Overwrite this process's counters with the checkpointed values:
+		// increments made while reloading (e.g. cached Phase-1 blocks)
+		// are replaced by the original run's exact counts.
+		e.cfg.Obs.Metrics.RestoreCounters(st.Metrics)
+	}
 	return nil
 }

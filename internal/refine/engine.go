@@ -10,6 +10,7 @@ import (
 	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
 	"twopcp/internal/mat"
+	"twopcp/internal/obs"
 	"twopcp/internal/phase1"
 	"twopcp/internal/runstate"
 	"twopcp/internal/schedule"
@@ -105,6 +106,13 @@ type Config struct {
 	// CheckpointEverySteps is the checkpoint cadence in schedule steps
 	// (default: one full cycle; 1 checkpoints after every block position).
 	CheckpointEverySteps int
+	// Obs receives telemetry: phase2.step events per scheduled access,
+	// phase2.iter events per virtual iteration, live fit/progress gauges,
+	// and — through the buffer manager — the buffer's trace events and
+	// counters. When checkpointing, the registry's counters are persisted
+	// into the Phase-2 state and restored on resume. Nil disables it at
+	// ~zero cost.
+	Obs *obs.Observer
 }
 
 // Result reports a Phase-2 run.
@@ -149,10 +157,15 @@ type Engine struct {
 	// mutated, so holding references is safe. statsOffset carries the
 	// resumed run's pre-crash store traffic; the start* fields position
 	// Run at the restored step.
-	curA            [][]*mat.Matrix
-	ckptEvery       int
-	statsOffset     blockstore.Stats
-	resumed         bool
+	curA        [][]*mat.Matrix
+	ckptEvery   int
+	statsOffset blockstore.Stats
+	resumed     bool
+
+	// Telemetry handles (nil-checked on the hot path).
+	cUpdates        *obs.Counter
+	gFit            *obs.Gauge
+	gIters          *obs.Gauge
 	startStep       int
 	startPos        int
 	startUpdates    int
@@ -187,7 +200,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("refine: %w", err)
 	}
 	p := cfg.Phase1.Pattern
-	e := &Engine{cfg: cfg, pattern: p, solver: cfg.Solver}
+	e := &Engine{
+		cfg:      cfg,
+		pattern:  p,
+		solver:   cfg.Solver,
+		cUpdates: cfg.Obs.Counter("phase2.updates"),
+		gFit:     cfg.Obs.Gauge("phase2.fit"),
+		gIters:   cfg.Obs.Gauge("phase2.virtual_iters"),
+	}
 	if e.solver == nil {
 		e.solver = cpals.LeastSquares{}
 	}
@@ -239,6 +259,7 @@ func New(cfg Config) (*Engine, error) {
 		Schedule:      e.sched,
 		Workers:       cfg.IOWorkers,
 		Rank:          cfg.Phase1.Rank,
+		Obs:           cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -443,6 +464,10 @@ func (e *Engine) Run() (*Result, error) {
 					return nil, err
 				}
 				units[ai] = u
+				if e.cfg.Obs.Tracing() {
+					e.cfg.Obs.Emit("phase2.step",
+						obs.Int("step", si), obs.Int("mode", a.Mode), obs.Int("part", a.Part))
+				}
 			}
 			pos = (pos + len(step.Accesses)) % e.sched.UpdatesPerCycle()
 			// Stage the next steps' units while this step computes.
@@ -453,6 +478,9 @@ func (e *Engine) Run() (*Result, error) {
 				}
 				e.update(u)
 				updates++
+				if e.cUpdates != nil {
+					e.cUpdates.Inc()
+				}
 				if updates%virtLen == 0 {
 					if warmupLeft > 0 {
 						warmupLeft--
@@ -465,6 +493,14 @@ func (e *Engine) Run() (*Result, error) {
 					res.VirtualIters++
 					fit := e.comps.SurrogateFit()
 					res.FitTrace = append(res.FitTrace, fit)
+					if e.gFit != nil {
+						e.gFit.Set(fit)
+						e.gIters.Set(float64(res.VirtualIters))
+					}
+					if e.cfg.Obs.Tracing() {
+						e.cfg.Obs.Emit("phase2.iter",
+							obs.Int("iter", res.VirtualIters), obs.F64("fit", fit))
+					}
 					improvement := fit - prevFit
 					prevFit = fit
 					if improvement < e.cfg.Tol && res.VirtualIters > minIters {

@@ -40,9 +40,11 @@ func (r *Run) SaveBlock(id int, factors []*mat.Matrix, fit float64) error {
 		}
 	}
 	name := fmt.Sprintf("p1-block-%d.ckpt", id)
-	if err := writeFileAtomic(r.dir, name, frame(blockMagic, buf.Bytes())); err != nil {
+	data := frame(blockMagic, buf.Bytes())
+	if err := writeFileAtomic(r.dir, name, data); err != nil {
 		return err
 	}
+	r.noteCheckpointWrite(name, len(data))
 	return r.markBlockDone(id)
 }
 

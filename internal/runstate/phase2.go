@@ -53,6 +53,12 @@ type Phase2State struct {
 	Buffer BufferState `json:"buffer"`
 	// StoreStats is the cumulative store traffic at the checkpoint.
 	StoreStats blockstore.Stats `json:"store_stats"`
+	// Metrics is the telemetry registry's counter snapshot at the
+	// checkpoint, so a resumed run's counters continue exactly where the
+	// interrupted run's stopped. Absent (nil) in pre-telemetry
+	// checkpoints and in runs without a metrics registry — both restore
+	// nothing, keeping old checkpoint files loadable.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 	// A[mode][part] are the current factor partitions A(mode)_(part); they
 	// travel in the binary section of the checkpoint file, not the JSON
 	// header.
@@ -81,7 +87,12 @@ func (r *Run) SavePhase2(st *Phase2State) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(r.dir, "phase2.ckpt", frame(phase2Magic, payload))
+	data := frame(phase2Magic, payload)
+	if err := writeFileAtomic(r.dir, "phase2.ckpt", data); err != nil {
+		return err
+	}
+	r.noteCheckpointWrite("phase2.ckpt", len(data))
+	return nil
 }
 
 // LoadPhase2 returns the latest Phase-2 checkpoint, or ok=false when none

@@ -33,6 +33,14 @@ type ResultState struct {
 	// files byte-compatible).
 	Phase0NS    int64 `json:"phase0_ns,omitempty"`
 	Accelerated bool  `json:"accelerated,omitempty"`
+	// The remaining RunStats fields (omitempty keeps pre-telemetry result
+	// files byte-compatible; loading an old file reports them as zero).
+	Blocks        int     `json:"blocks,omitempty"`
+	Phase1Sweeps  int     `json:"phase1_sweeps,omitempty"`
+	BufferHits    int64   `json:"buffer_hits,omitempty"`
+	BufferHitRate float64 `json:"buffer_hit_rate,omitempty"`
+	Evictions     int64   `json:"evictions,omitempty"`
+	WriteBacks    int64   `json:"write_backs,omitempty"`
 	// Factors are the full per-mode factor matrices A(i).
 	Factors []*mat.Matrix `json:"-"`
 }
@@ -54,9 +62,11 @@ func (r *Run) SaveResult(st *ResultState) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(r.dir, "result.ckpt", frame(resultMagic, payload)); err != nil {
+	data := frame(resultMagic, payload)
+	if err := writeFileAtomic(r.dir, "result.ckpt", data); err != nil {
 		return err
 	}
+	r.noteCheckpointWrite("result.ckpt", len(data))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.body.Stage = StageDone

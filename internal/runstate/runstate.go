@@ -50,6 +50,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"twopcp/internal/obs"
 )
 
 // Version is the manifest schema version this package writes.
@@ -165,6 +167,36 @@ type Run struct {
 	mu   sync.Mutex
 	body manifestBody
 	done map[int]bool // mirror of body.Phase1Done
+
+	// Telemetry (see SetObserver). tele is read without mu — it is set
+	// once before the run's worker pools start.
+	tele        *obs.Observer
+	cCkptWrites *obs.Counter
+	cCkptBytes  *obs.Counter
+	cManifest   *obs.Counter
+}
+
+// SetObserver attaches telemetry to the run handle: a checkpoint.write
+// trace event plus write/byte counters per installed checkpoint file, and
+// a manifest-rewrite counter (metrics only — manifest rewrites are
+// batched, so their count varies with Phase-1 completion order). Call it
+// once, before any checkpoint activity.
+func (r *Run) SetObserver(ob *obs.Observer) {
+	r.tele = ob
+	r.cCkptWrites = ob.Counter("runstate.checkpoint_writes")
+	r.cCkptBytes = ob.Counter("runstate.checkpoint_bytes")
+	r.cManifest = ob.Counter("runstate.manifest_writes")
+}
+
+// noteCheckpointWrite reports one installed checkpoint file to telemetry.
+func (r *Run) noteCheckpointWrite(name string, bytes int) {
+	if r.cCkptWrites != nil {
+		r.cCkptWrites.Inc()
+		r.cCkptBytes.Add(int64(bytes))
+	}
+	if r.tele.Tracing() {
+		r.tele.Emit("checkpoint.write", obs.Str("file", name), obs.Int("bytes", bytes))
+	}
 }
 
 // Open creates (resume=false) or loads (resume=true) the run manifest in
@@ -290,6 +322,9 @@ func (r *Run) saveManifestLocked() error {
 	env, err := json.Marshal(envelope{Version: Version, CRC32: crc32.ChecksumIEEE(body), Body: body})
 	if err != nil {
 		return fmt.Errorf("runstate: marshal manifest envelope: %w", err)
+	}
+	if r.cManifest != nil {
+		r.cManifest.Inc()
 	}
 	return writeFileAtomic(r.dir, "manifest.json", append(env, '\n'))
 }

@@ -79,9 +79,9 @@ func assertNonnegModel(t *testing.T, name string, res *twopcp.Result) {
 
 func assertSameRun(t *testing.T, name string, got, want *twopcp.Result) {
 	t.Helper()
-	if got.Fit != want.Fit || got.VirtualIters != want.VirtualIters || got.Swaps != want.Swaps {
+	if got.Fit != want.Fit || got.VirtualIters != want.VirtualIters || got.RunStats.Swaps != want.RunStats.Swaps {
 		t.Fatalf("%s: fit/iters/swaps %v/%d/%d, want %v/%d/%d",
-			name, got.Fit, got.VirtualIters, got.Swaps, want.Fit, want.VirtualIters, want.Swaps)
+			name, got.Fit, got.VirtualIters, got.RunStats.Swaps, want.Fit, want.VirtualIters, want.RunStats.Swaps)
 	}
 	if len(got.FitTrace) != len(want.FitTrace) {
 		t.Fatalf("%s: trace length %d, want %d", name, len(got.FitTrace), len(want.FitTrace))

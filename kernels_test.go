@@ -43,8 +43,8 @@ func TestDecomposeKernelWorkersBitExact(t *testing.T) {
 				t.Fatalf("KernelWorkers=%d: FitTrace[%d] %v != %v", kw, i, res.FitTrace[i], f)
 			}
 		}
-		if res.Swaps != serial.Swaps {
-			t.Fatalf("KernelWorkers=%d: Swaps %d != %d", kw, res.Swaps, serial.Swaps)
+		if res.RunStats.Swaps != serial.RunStats.Swaps {
+			t.Fatalf("KernelWorkers=%d: Swaps %d != %d", kw, res.RunStats.Swaps, serial.RunStats.Swaps)
 		}
 		for m := range res.Model.Factors {
 			if !res.Model.Factors[m].Equal(serial.Model.Factors[m]) {

@@ -31,9 +31,9 @@ func sameResult(t *testing.T, name string, got, want *twopcp.Result) {
 	if got.Fit != want.Fit {
 		t.Fatalf("%s: fit %v, want %v", name, got.Fit, want.Fit)
 	}
-	if got.Swaps != want.Swaps || got.VirtualIters != want.VirtualIters || got.Converged != want.Converged {
+	if got.RunStats.Swaps != want.RunStats.Swaps || got.VirtualIters != want.VirtualIters || got.Converged != want.Converged {
 		t.Fatalf("%s: swaps/iters/converged = %d/%d/%v, want %d/%d/%v", name,
-			got.Swaps, got.VirtualIters, got.Converged, want.Swaps, want.VirtualIters, want.Converged)
+			got.RunStats.Swaps, got.VirtualIters, got.Converged, want.RunStats.Swaps, want.VirtualIters, want.Converged)
 	}
 	if len(got.FitTrace) != len(want.FitTrace) {
 		t.Fatalf("%s: trace length %d, want %d", name, len(got.FitTrace), len(want.FitTrace))

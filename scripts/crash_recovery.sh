@@ -19,11 +19,19 @@
 # still be bit-for-bit identical AND must report accelerated:true — a
 # resume that lands mid-Phase-2 skips Phase 0 and restores its recorded
 # outcome from the manifest. CI runs a tucker pass in the accel job.
+#
+# TWOPCP_TRACE=1 additionally runs the killed and resumed runs with
+# -trace into one shared file: because OpenTrace appends, the resumed
+# run must EXTEND the pre-crash event stream (two run.start events, a
+# checkpoint.resume marking the seam), and the combined trace must
+# validate against the event schema via cmd/tracecheck. CI runs a traced
+# pass in the obs job.
 set -euo pipefail
 
 constraint="${TWOPCP_CONSTRAINT:-none}"
 lambda="${TWOPCP_LAMBDA:-0}"
 accelerator="${TWOPCP_ACCELERATOR:-none}"
+trace="${TWOPCP_TRACE:-0}"
 
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
@@ -31,6 +39,9 @@ trap 'rm -rf "$work"' EXIT
 echo "== building binaries"
 go build -o "$work/tensorgen" ./cmd/tensorgen
 go build -o "$work/twopcp" ./cmd/twopcp
+if [ "$trace" = 1 ]; then
+  go build -o "$work/tracecheck" ./cmd/tracecheck
+fi
 
 echo "== generating tiled input"
 if [ "$accelerator" = none ]; then
@@ -55,7 +66,13 @@ echo "== reference (uninterrupted) run"
 
 echo "== checkpointed run, SIGKILLed mid-Phase-2"
 ckpt="$work/ckpt"
-"$work/twopcp" "${args[@]}" -checkpoint "$ckpt" -checkpoint-steps 1 >/dev/null &
+# The killed and resumed runs share one trace file: append semantics must
+# preserve the pre-crash event history across the crash.
+trace_args=()
+if [ "$trace" = 1 ]; then
+  trace_args=(-trace "$work/run.jsonl")
+fi
+"$work/twopcp" "${args[@]}" "${trace_args[@]}" -checkpoint "$ckpt" -checkpoint-steps 1 >/dev/null &
 pid=$!
 # Wait for Phase 2 to start checkpointing, let it make some progress, then
 # kill hard (no signal handler can run: this is the power-loss case).
@@ -82,7 +99,7 @@ grep -q '"stage":"phase2"' "$ckpt/manifest.json" || {
 echo "   killed pid $pid with $(ls "$ckpt" | grep -c p1-block) block checkpoints + phase2.ckpt present"
 
 echo "== resuming"
-"$work/twopcp" "${args[@]}" -resume "$ckpt" -out-prefix "$work/res" -json "$work/res.json" >/dev/null
+"$work/twopcp" "${args[@]}" "${trace_args[@]}" -resume "$ckpt" -out-prefix "$work/res" -json "$work/res.json" >/dev/null
 
 echo "== diffing factors and fit trace against the uninterrupted run"
 for m in 0 1 2; do
@@ -91,19 +108,44 @@ for m in 0 1 2; do
     exit 1
   }
 done
-# Wall-clock fields legitimately differ; every deterministic field (fit,
-# trace, swaps, iteration counts) must match exactly.
+# Wall-clock fields legitimately differ, and a resumed run reports fewer
+# Phase-1 sweeps (checkpoint-restored blocks recompute nothing); every
+# other field of run_stats (fit, trace, swaps, hit rate, store traffic,
+# iteration counts) must match exactly.
 if command -v jq >/dev/null 2>&1; then
-  diff <(jq -S 'del(.phase0_ns, .phase1_ns, .phase2_ns)' "$work/ref.json") \
-       <(jq -S 'del(.phase0_ns, .phase1_ns, .phase2_ns)' "$work/res.json") || {
+  strip='del(.run_stats.phase0_ns, .run_stats.phase1_ns, .run_stats.phase2_ns, .run_stats.phase1_sweeps)'
+  diff <(jq -S "$strip" "$work/ref.json") \
+       <(jq -S "$strip" "$work/res.json") || {
     echo "FAIL: result JSON differs between reference and resumed run" >&2
     exit 1
   }
 else
-  diff <(grep -v '_ns"' "$work/ref.json") <(grep -v '_ns"' "$work/res.json") || {
+  diff <(grep -v '_ns"\|phase1_sweeps' "$work/ref.json") \
+       <(grep -v '_ns"\|phase1_sweeps' "$work/res.json") || {
     echo "FAIL: result JSON differs between reference and resumed run" >&2
     exit 1
   }
+fi
+
+if [ "$trace" = 1 ]; then
+  echo "== validating the appended trace"
+  # The resumed run must have appended to the killed run's trace, not
+  # truncated it: two run.start events (pre-crash + resume), exactly one
+  # checkpoint.resume marking the seam, one run.done (only the resumed
+  # run finished), and every line schema-valid.
+  "$work/tracecheck" "$work/run.jsonl" || {
+    echo "FAIL: trace does not validate after the crash" >&2
+    exit 1
+  }
+  starts=$(grep -c '"ev":"run.start"' "$work/run.jsonl" || true)
+  resumes=$(grep -c '"ev":"checkpoint.resume"' "$work/run.jsonl" || true)
+  dones=$(grep -c '"ev":"run.done"' "$work/run.jsonl" || true)
+  if [ "$starts" -ne 2 ] || [ "$resumes" -ne 1 ] || [ "$dones" -ne 1 ]; then
+    echo "FAIL: trace lifecycle events wrong: run.start=$starts (want 2)," \
+         "checkpoint.resume=$resumes (want 1), run.done=$dones (want 1)" >&2
+    exit 1
+  fi
+  echo "   trace OK: $starts run.start, $resumes checkpoint.resume, $dones run.done"
 fi
 
 if [ "$accelerator" != none ] && [ "$accelerator" != sketched ]; then

@@ -47,7 +47,7 @@ func DecomposeTiledFile(path string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishRun(rs, res)
+	return finishRun(rs, opts.Observer, res)
 }
 
 // SaveTiled writes an in-memory dense tensor as a .tptl tiled file,

@@ -70,8 +70,8 @@ func TestDecomposeTiledFileParity(t *testing.T) {
 					t.Fatalf("FitTrace[%d] = %v, want %v", i, got.FitTrace[i], want.FitTrace[i])
 				}
 			}
-			if got.Swaps != want.Swaps {
-				t.Fatalf("Swaps = %d, want %d", got.Swaps, want.Swaps)
+			if got.RunStats.Swaps != want.RunStats.Swaps {
+				t.Fatalf("Swaps = %d, want %d", got.RunStats.Swaps, want.RunStats.Swaps)
 			}
 			if got.VirtualIters != want.VirtualIters || got.Converged != want.Converged {
 				t.Fatalf("iters/converged = %d/%v, want %d/%v",
@@ -111,8 +111,8 @@ func TestDecomposeTiledFileWithPrefetch(t *testing.T) {
 			t.Fatalf("mode-%d factor differs with prefetch over tiled input", m)
 		}
 	}
-	if got.Swaps != want.Swaps {
-		t.Fatalf("Swaps = %d, want %d", got.Swaps, want.Swaps)
+	if got.RunStats.Swaps != want.RunStats.Swaps {
+		t.Fatalf("Swaps = %d, want %d", got.RunStats.Swaps, want.RunStats.Swaps)
 	}
 }
 

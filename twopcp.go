@@ -7,6 +7,7 @@ import (
 	"twopcp/internal/blockstore"
 	"twopcp/internal/cpals"
 	"twopcp/internal/grid"
+	"twopcp/internal/obs"
 	"twopcp/internal/par"
 	"twopcp/internal/phase1"
 	"twopcp/internal/refine"
@@ -96,8 +97,8 @@ type Options struct {
 	// buffer prefetches this many schedule steps ahead of the step it is
 	// updating. 0 (the default) keeps Phase 2 fully synchronous. The
 	// update order — and therefore FitTrace, the factors and the swap
-	// counts (Result.Swaps) — is identical at every depth. Raw store
-	// traffic (Result.BytesRead) may include a few extra reads at depth
+	// counts (RunStats.Swaps) — is identical at every depth. Raw store
+	// traffic (RunStats.BytesRead) may include a few extra reads at depth
 	// > 0, from prefetches issued for steps that never ran (termination
 	// mid-lookahead) or whose unit was evicted before use.
 	PrefetchDepth int
@@ -127,36 +128,33 @@ type Options struct {
 	// block position). Smaller values lose less work to a crash and cost
 	// more checkpoint I/O.
 	CheckpointEverySteps int
+	// Observer receives the run's telemetry: structured trace events,
+	// metrics and/or a synchronous event callback — see the Telemetry
+	// contract in the package documentation. nil (the default) disables
+	// telemetry at ~zero cost. Telemetry never influences the run:
+	// results are bit-identical with any observer configuration.
+	Observer *Observer
 }
 
-// Result reports a two-phase decomposition.
+// Result reports a two-phase decomposition: the numerical outputs at the
+// top level, the operational statistics (timings, I/O, buffer behavior)
+// grouped under RunStats.
 type Result struct {
 	// Model is the assembled Kruskal tensor (unit weights; scale lives in
 	// the factors, matching the grid model's identity core).
 	Model *KTensor
 	// Fit is 1 − ‖X−X̂‖/‖X‖ against the input tensor.
 	Fit float64
-	// Phase0Time, Phase1Time and Phase2Time split the wall clock
-	// (Phase0Time is zero without an accelerator).
-	Phase0Time time.Duration
-	Phase1Time time.Duration
-	Phase2Time time.Duration
-	// Accelerated reports whether Phase 0 actually produced a warm start
-	// (false without an accelerator or when it fell back to brute force).
-	Accelerated bool
 	// VirtualIters counts Phase-2 virtual iterations; Converged reports
 	// whether Tol fired before MaxIters.
 	VirtualIters int
 	Converged    bool
 	// FitTrace is the Phase-2 surrogate-fit trajectory.
 	FitTrace []float64
-	// Swaps is the number of data units fetched into the buffer (the
-	// paper's I/O metric); SwapsPerIter normalizes by virtual iterations.
-	Swaps        int64
-	SwapsPerIter float64
-	// BytesRead and BytesWritten count store traffic during Phase 2.
-	BytesRead    int64
-	BytesWritten int64
+	// RunStats aggregates the run's operational statistics: per-phase
+	// wall time, Phase-1 sweeps, swap counts, buffer hit rate and store
+	// traffic.
+	RunStats RunStats
 }
 
 // applyKernelWorkers installs the KernelWorkers cap for the duration of a
@@ -191,7 +189,7 @@ func Decompose(x *Dense, opts Options) (*Result, error) {
 		return res, nil
 	}
 	res.Fit = res.Model.Fit(x)
-	return finishRun(rs, res)
+	return finishRun(rs, opts.Observer, res)
 }
 
 // DecomposeSparse runs the full 2PCP pipeline on a sparse tensor. (2PCP
@@ -215,7 +213,7 @@ func DecomposeSparse(x *COO, opts Options) (*Result, error) {
 		return res, nil
 	}
 	res.Fit = res.Model.FitSparse(x)
-	return finishRun(rs, res)
+	return finishRun(rs, opts.Observer, res)
 }
 
 // CPALS runs plain in-memory CP-ALS (the paper's "Naive CP" baseline and
@@ -278,20 +276,46 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	if err != nil {
 		return nil, nil, false, err
 	}
+	ob := opts.Observer
+	if ob.Tracing() {
+		// The concurrency knobs (Workers, KernelWorkers, PrefetchDepth,
+		// IOWorkers) are deliberately absent from run.start: the trace's
+		// event multiset is identical across those settings, and keeping
+		// them out of the events preserves that comparability. The gauges
+		// below carry them instead.
+		ob.Emit("run.start",
+			obs.Str("kind", inputKind),
+			obs.Str("dims", dimsLabel(p.Dims)),
+			obs.Int("rank", opts.Rank),
+			obs.Bool("resumed", opts.Resume))
+	}
+	if ob != nil && ob.Metrics != nil {
+		ob.Gauge("run.workers").Set(float64(opts.Workers))
+		ob.Gauge("run.kernel_workers").Set(float64(opts.KernelWorkers))
+		ob.Gauge("run.prefetch_depth").Set(float64(opts.PrefetchDepth))
+		ob.Gauge("run.io_workers").Set(float64(opts.IOWorkers))
+	}
 	if opts.Checkpoint != "" {
 		rs, err = openRunState(opts, p, inputKind)
 		if err != nil {
 			return nil, nil, false, err
+		}
+		rs.SetObserver(ob)
+		if opts.Resume && ob.Tracing() {
+			ob.Emit("checkpoint.resume", obs.Str("stage", string(rs.Stage())))
 		}
 		if rs.Stage() == runstate.StageDone {
 			st, err := rs.LoadResult()
 			if err != nil {
 				return nil, nil, false, err
 			}
-			return resultFromState(st), rs, true, nil
+			res := resultFromState(st)
+			emitRunDone(ob, res)
+			return res, rs, true, nil
 		}
 	}
 	out = &Result{}
+	out.RunStats.Blocks = p.NumBlocks()
 
 	p1opts := phase1.Options{
 		Rank:     opts.Rank,
@@ -300,6 +324,7 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		Seed:     opts.Seed,
 		Workers:  opts.Workers,
 		Solver:   solver,
+		Obs:      ob,
 	}
 	// Phase 0: the accelerator's warm start (or sampled solver) only
 	// influences Phase-1 block decompositions. Once a resumed manifest has
@@ -309,13 +334,13 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	// run's blocks bit-for-bit without any Phase-0 checkpoint state.
 	if opts.Accelerator != AccelNone && (rs == nil || rs.Stage() == runstate.StagePhase1) {
 		start := time.Now()
-		out.Accelerated, err = runPhase0(src, opts, solver, &p1opts)
+		out.RunStats.Accelerated, err = runPhase0(src, opts, solver, &p1opts, ob)
 		if err != nil {
 			return nil, nil, false, err
 		}
-		out.Phase0Time = time.Since(start)
+		out.RunStats.Phase0Time = time.Since(start)
 		if rs != nil {
-			if err := rs.RecordPhase0(out.Accelerated, int64(out.Phase0Time)); err != nil {
+			if err := rs.RecordPhase0(out.RunStats.Accelerated, int64(out.RunStats.Phase0Time)); err != nil {
 				return nil, nil, false, err
 			}
 		}
@@ -324,8 +349,8 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		// so it is skipped — report the original run's recorded outcome
 		// instead of pretending the run was never accelerated.
 		accelerated, ns := rs.Phase0()
-		out.Accelerated = accelerated
-		out.Phase0Time = time.Duration(ns)
+		out.RunStats.Accelerated = accelerated
+		out.RunStats.Phase0Time = time.Duration(ns)
 	}
 
 	start := time.Now()
@@ -336,7 +361,8 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	if err != nil {
 		return nil, nil, false, err
 	}
-	out.Phase1Time = time.Since(start)
+	out.RunStats.Phase1Time = time.Since(start)
+	out.RunStats.Phase1Sweeps = p1.TotalSweeps()
 	if rs != nil {
 		if err := rs.BeginPhase2(); err != nil {
 			return nil, nil, false, err
@@ -352,9 +378,14 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	} else {
 		store = blockstore.NewMemStore()
 	}
+	// The instrumented wrapper feeds the registry's raw blockstore
+	// counters and traces Puts; Phase 2 reads through the Quiet view so
+	// prefetch-issued Gets (whose count varies with PrefetchDepth) stay
+	// out of the trace — the buffer's own deterministic buffer.fetch
+	// events carry the read information instead.
 	cfg := refine.Config{
 		Phase1:          p1,
-		Store:           store,
+		Store:           blockstore.Instrument(store, ob).Quiet(),
 		Schedule:        opts.Schedule,
 		Policy:          opts.Replacement,
 		BufferFraction:  opts.BufferFraction,
@@ -365,6 +396,7 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		PrefetchDepth:   opts.PrefetchDepth,
 		IOWorkers:       opts.IOWorkers,
 		Solver:          solver,
+		Obs:             ob,
 	}
 	if rs != nil {
 		cfg.Checkpoint = rs
@@ -385,15 +417,58 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	if err := store.Close(); err != nil {
 		return nil, nil, false, err
 	}
-	out.Phase2Time = time.Since(start)
+	out.RunStats.Phase2Time = time.Since(start)
 
 	out.Model = cpals.NewKTensor(r.Factors)
 	out.VirtualIters = r.VirtualIters
 	out.Converged = r.Converged
 	out.FitTrace = r.FitTrace
-	out.Swaps = r.BufferStats.Fetches
-	out.SwapsPerIter = r.SwapsPerVirtualIter
-	out.BytesRead = r.StoreStats.BytesRead
-	out.BytesWritten = r.StoreStats.BytesWritten
+	out.RunStats.Swaps = r.BufferStats.Fetches
+	out.RunStats.SwapsPerIter = r.SwapsPerVirtualIter
+	out.RunStats.BufferHits = r.BufferStats.Hits
+	if tot := r.BufferStats.Hits + r.BufferStats.Fetches; tot > 0 {
+		out.RunStats.BufferHitRate = float64(r.BufferStats.Hits) / float64(tot)
+	}
+	out.RunStats.Evictions = r.BufferStats.Evictions
+	out.RunStats.WriteBacks = r.BufferStats.WriteBacks
+	out.RunStats.BytesRead = r.StoreStats.BytesRead
+	out.RunStats.BytesWritten = r.StoreStats.BytesWritten
+	if ob != nil && ob.Metrics != nil {
+		// Final authoritative gauges mirroring Result.RunStats: the raw
+		// blockstore counters are monotonic and include setup seeding
+		// (and, on resume, re-seeding), so these gauges are where the
+		// snapshot matches the Result's Phase-2-only accounting exactly.
+		ob.Gauge("run.swaps").Set(float64(out.RunStats.Swaps))
+		ob.Gauge("run.buffer_hit_rate").Set(out.RunStats.BufferHitRate)
+		ob.Gauge("run.bytes_read").Set(float64(out.RunStats.BytesRead))
+		ob.Gauge("run.bytes_written").Set(float64(out.RunStats.BytesWritten))
+	}
 	return out, rs, false, nil
+}
+
+// dimsLabel renders mode sizes as "I0xI1x...": a single stable string
+// field beats one event field per mode for schema purposes.
+func dimsLabel(dims []int) string {
+	s := ""
+	for i, d := range dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}
+
+// emitRunDone closes the run's trace span. It fires once per completed
+// run — including the no-op resume of an already finished checkpoint
+// directory, so a trace file spanning crash and resume ends with exactly
+// one run.done per attempt that reached a result.
+func emitRunDone(ob *obs.Observer, res *Result) {
+	if !ob.Tracing() {
+		return
+	}
+	ob.Emit("run.done",
+		obs.F64("fit", res.Fit),
+		obs.Int("virtual_iters", res.VirtualIters),
+		obs.Bool("converged", res.Converged))
 }

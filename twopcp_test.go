@@ -50,7 +50,7 @@ func TestDecomposeEndToEnd(t *testing.T) {
 	if res.VirtualIters == 0 || len(res.FitTrace) != res.VirtualIters {
 		t.Fatalf("iteration accounting: %d iters, %d trace", res.VirtualIters, len(res.FitTrace))
 	}
-	if res.Phase1Time <= 0 || res.Phase2Time <= 0 {
+	if res.RunStats.Phase1Time <= 0 || res.RunStats.Phase2Time <= 0 {
 		t.Fatal("phase timings missing")
 	}
 }
@@ -83,10 +83,10 @@ func TestDecomposeSwapAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tight.Swaps <= full.Swaps {
-		t.Fatalf("tight buffer should swap more: %d vs %d", tight.Swaps, full.Swaps)
+	if tight.RunStats.Swaps <= full.RunStats.Swaps {
+		t.Fatalf("tight buffer should swap more: %d vs %d", tight.RunStats.Swaps, full.RunStats.Swaps)
 	}
-	if tight.SwapsPerIter <= 0 || tight.BytesRead == 0 {
+	if tight.RunStats.SwapsPerIter <= 0 || tight.RunStats.BytesRead == 0 {
 		t.Fatalf("I/O accounting missing: %+v", tight)
 	}
 }
@@ -168,7 +168,7 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Fit != r2.Fit || r1.Swaps != r2.Swaps {
-		t.Fatalf("nondeterministic: fit %g/%g swaps %d/%d", r1.Fit, r2.Fit, r1.Swaps, r2.Swaps)
+	if r1.Fit != r2.Fit || r1.RunStats.Swaps != r2.RunStats.Swaps {
+		t.Fatalf("nondeterministic: fit %g/%g swaps %d/%d", r1.Fit, r2.Fit, r1.RunStats.Swaps, r2.RunStats.Swaps)
 	}
 }
