@@ -89,6 +89,7 @@ func finishRun(rs *runstate.Run, ob *Observer, res *Result) (*Result, error) {
 		WriteBacks:    res.RunStats.WriteBacks,
 		BytesRead:     res.RunStats.BytesRead,
 		BytesWritten:  res.RunStats.BytesWritten,
+		Retries:       res.RunStats.Retries,
 		Factors:       res.Model.Factors,
 	}
 	if err := rs.SaveResult(st); err != nil {
@@ -121,6 +122,7 @@ func resultFromState(st *runstate.ResultState) *Result {
 			WriteBacks:    st.WriteBacks,
 			BytesRead:     st.BytesRead,
 			BytesWritten:  st.BytesWritten,
+			Retries:       st.Retries,
 		},
 	}
 }

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"twopcp"
@@ -55,6 +58,20 @@ func main() {
 		PrefetchDepth: *prefetch, IOWorkers: *ioWorkers,
 		Checkpoint: *ckptDir, Resume: *resume,
 	}
+	// Graceful drain on SIGTERM/SIGINT: the in-flight engine run finishes
+	// its step and checkpoints (when -checkpoint is set); the process exits
+	// with code 3 so scripts can tell a drain from a failure. A second
+	// signal kills the process the usual way.
+	stop := make(chan struct{})
+	ioCfg.Stop = stop
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "experiments: received %v, draining\n", s)
+		signal.Stop(sigc)
+		close(stop)
+	}()
 	var rec *twopcp.Recorder
 	var reg *twopcp.Registry
 	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
@@ -109,6 +126,12 @@ func main() {
 		}
 		start := time.Now()
 		if err := f(); err != nil {
+			if errors.Is(err, experiments.ErrStopped) {
+				// Drained on SIGTERM/SIGINT: checkpoint (if any) is written;
+				// exit 3 distinguishes the resumable drain from a failure.
+				log.Printf("%s: %v", name, err)
+				os.Exit(3)
+			}
 			log.Fatalf("%s: %v", name, err)
 		}
 		// Progress/timing chatter goes to stderr; stdout carries only the

@@ -5,10 +5,18 @@
 // Usage:
 //
 //	tracecheck trace.jsonl [more.jsonl ...]
+//	tracecheck -run-stats result.json trace.jsonl
 //	twopcp -in x.tptl -rank 8 -trace /dev/stdout | tracecheck -
 //
 // It prints a per-file event census to stderr and exits non-zero on the
 // first schema violation, so CI can gate on it.
+//
+// With -run-stats pointing at a twopcp -json result file, it additionally
+// reconciles the resilience telemetry: the total number of store.retry
+// events across all given trace files must equal run_stats.retries. The
+// check assumes trace and result came from a single process run — a trace
+// file spanning a crash and resume accumulates retry events from every
+// attempt, while the result reports only the final logical run's counter.
 package main
 
 import (
@@ -28,8 +36,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
+	runStats := flag.String("run-stats", "", "twopcp -json result file; assert its run_stats.retries equals the store.retry event count across the given traces (single-process traces only)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.jsonl>... (or - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-run-stats result.json] <trace.jsonl>... (or - for stdin)")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,6 +46,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	totalRetries := 0
 	for _, path := range flag.Args() {
 		var r io.Reader
 		if path == "-" {
@@ -49,15 +59,47 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		if err := checkTrace(path, r); err != nil {
+		n, err := checkTrace(path, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalRetries += n
+	}
+	if *runStats != "" {
+		if err := reconcileRetries(*runStats, totalRetries); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
-// checkTrace validates every line of one trace stream and reports the
-// event census.
-func checkTrace(name string, r io.Reader) error {
+// reconcileRetries asserts the resilience invariant: every retry the run
+// counted appears as a store.retry trace event, and vice versa.
+func reconcileRetries(path string, traced int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res struct {
+		RunStats struct {
+			Retries int `json:"retries"`
+		} `json:"run_stats"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if res.RunStats.Retries != traced {
+		return fmt.Errorf("retry reconciliation failed: run_stats.retries=%d but traces carry %d store.retry events",
+			res.RunStats.Retries, traced)
+	}
+	fmt.Fprintf(os.Stderr, "retries reconcile: run_stats.retries=%d == %d store.retry events\n",
+		res.RunStats.Retries, traced)
+	return nil
+}
+
+// checkTrace validates every line of one trace stream, reports the event
+// census, and returns the file's store.retry event count for the
+// -run-stats reconciliation.
+func checkTrace(name string, r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	counts := map[string]int{}
@@ -69,15 +111,15 @@ func checkTrace(name string, r io.Reader) error {
 			continue
 		}
 		if err := obs.ValidateLine(line); err != nil {
-			return fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			return 0, fmt.Errorf("%s:%d: %v", name, lineNo, err)
 		}
 		counts[eventName(line)]++
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("%s: %v", name, err)
+		return 0, fmt.Errorf("%s: %v", name, err)
 	}
 	if lineNo == 0 {
-		return fmt.Errorf("%s: empty trace", name)
+		return 0, fmt.Errorf("%s: empty trace", name)
 	}
 	names := make([]string, 0, len(counts))
 	for n := range counts {
@@ -88,7 +130,7 @@ func checkTrace(name string, r io.Reader) error {
 	for _, n := range names {
 		fmt.Fprintf(os.Stderr, "  %-18s %d\n", n, counts[n])
 	}
-	return nil
+	return counts["store.retry"], nil
 }
 
 // eventName extracts the event name from a line ValidateLine accepted.

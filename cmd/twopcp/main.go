@@ -28,12 +28,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"twopcp"
@@ -41,6 +46,17 @@ import (
 	"twopcp/internal/par"
 	"twopcp/internal/schedule"
 	"twopcp/internal/tfile"
+)
+
+// Exit codes beyond the conventional 1 (failure) / 2 (usage):
+const (
+	// exitDrained: the run stopped gracefully on SIGTERM/SIGINT after
+	// writing a checkpoint; restart with -resume to continue bit-exactly.
+	exitDrained = 3
+	// exitQuarantine: Phase-1 blocks exhausted the retry budget on a
+	// permanent fault; the rest of the run is checkpointed, so fixing the
+	// fault and resuming recomputes only the quarantined blocks.
+	exitQuarantine = 4
 )
 
 func main() {
@@ -76,6 +92,12 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a JSON metrics-registry snapshot to this file after the run")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and a Prometheus /metrics endpoint on this address while the run executes (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a progress line (fit, sweeps, blocks, I/O, buffer hit rate) to stderr at this interval (0 = off)")
+		retries    = flag.Int("retry", 0, "max retries per operation for transient store/block faults (0 = resilience layer off)")
+		opTimeout  = flag.Duration("op-timeout", 0, "per-operation store deadline; slow operations fail with a retryable timeout (0 = none)")
+		faultRate  = flag.Float64("fault-rate", envFloat("TWOPCP_FAULT_RATE"), "chaos testing: per-op probability of an injected transient fault on store and block reads (default $TWOPCP_FAULT_RATE)")
+		faultWRate = flag.Float64("fault-write-rate", 0, "chaos testing: per-op probability of an injected transient fault on store writes")
+		faultSeed  = flag.Int64("fault-seed", envInt("TWOPCP_FAULT_SEED"), "chaos testing: fault-injection RNG seed (default $TWOPCP_FAULT_SEED)")
+		poison     = flag.String("fault-poison-blocks", "", "chaos testing: comma-separated Phase-1 block ids that fail permanently on every read")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -105,6 +127,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	poisonBlocks, err := parseBlockList(*poison)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := twopcp.Options{
 		Rank:                 *rank,
 		Partitions:           []int{*parts},
@@ -127,7 +153,33 @@ func main() {
 		Checkpoint:           checkpoint,
 		Resume:               resume,
 		CheckpointEverySteps: *ckptSteps,
+		Retry: twopcp.RetryPolicy{
+			MaxRetries: *retries,
+			OpTimeout:  *opTimeout,
+			Seed:       *seed,
+		},
+		Chaos: twopcp.Chaos{
+			ReadRate:     *faultRate,
+			WriteRate:    *faultWRate,
+			BlockRate:    *faultRate,
+			PoisonBlocks: poisonBlocks,
+			Seed:         *faultSeed,
+		},
 	}
+
+	// Graceful drain: the first SIGTERM/SIGINT asks the run to finish its
+	// in-flight step, write a checkpoint, and exit with code 3; a second
+	// signal kills the process the usual way (the handler resets itself).
+	stop := make(chan struct{})
+	opts.Stop = stop
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "twopcp: received %v, draining (finishing in-flight step, writing checkpoint)\n", s)
+		signal.Stop(sigc)
+		close(stop)
+	}()
 
 	// Telemetry: any of -trace/-metrics/-pprof/-progress switches the
 	// observer on; without them opts.Observer stays nil and the run pays
@@ -179,6 +231,18 @@ func main() {
 		}
 	}
 	if err != nil {
+		// Typed resilience outcomes get distinct exit codes so scripts can
+		// tell a drained or quarantined — and therefore resumable — run
+		// from a hard failure.
+		var qe *twopcp.QuarantineError
+		switch {
+		case errors.Is(err, twopcp.ErrInterrupted):
+			log.Print(err)
+			os.Exit(exitDrained)
+		case errors.As(err, &qe):
+			log.Print(err)
+			os.Exit(exitQuarantine)
+		}
 		log.Fatal(err)
 	}
 	if *metricsOut != "" {
@@ -222,6 +286,9 @@ func main() {
 	summary("data swaps : %d total, %.3f per virtual iteration (buffer hit rate %.1f%%)\n",
 		st.Swaps, st.SwapsPerIter, 100*st.BufferHitRate)
 	summary("store I/O  : %d bytes read, %d bytes written\n", st.BytesRead, st.BytesWritten)
+	if st.Retries > 0 {
+		summary("resilience : %d transient-fault retries absorbed\n", st.Retries)
+	}
 
 	if *outPrefix != "" {
 		for m, f := range res.Model.Factors {
@@ -240,6 +307,35 @@ func main() {
 			summary("wrote %s\n", *jsonOut)
 		}
 	}
+}
+
+// envFloat reads a float64 flag default from the environment (0 when
+// unset or unparseable — the flag's own validation is the error path).
+func envFloat(name string) float64 {
+	v, _ := strconv.ParseFloat(os.Getenv(name), 64)
+	return v
+}
+
+// envInt reads an int64 flag default from the environment.
+func envInt(name string) int64 {
+	v, _ := strconv.ParseInt(os.Getenv(name), 10, 64)
+	return v
+}
+
+// parseBlockList parses the -fault-poison-blocks comma-separated id list.
+func parseBlockList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-poison-blocks entry %q: %w", part, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
 }
 
 // startProgress launches the periodic progress reporter: one stderr line

@@ -281,7 +281,112 @@ func crashRecoveryScenario(t *testing.T, genArgs, decompArgs []string) {
 		if !ok {
 			t.Fatalf("result JSON has no run_stats object: %v", m)
 		}
-		for _, k := range []string{"phase0_ns", "phase1_ns", "phase2_ns", "phase1_sweeps"} {
+		for _, k := range []string{"phase0_ns", "phase1_ns", "phase2_ns", "phase1_sweeps", "retries"} {
+			delete(rs, k)
+		}
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatalf("result JSON differs:\nreference: %v\nresumed:   %v", ref, res)
+	}
+}
+
+// TestCLIGracefulDrain sends a real SIGTERM to a checkpointed run and
+// verifies the drain contract: the process writes its checkpoint, exits
+// with the distinct "drained" code 3, and a -resume run finishes
+// bit-identical to an uninterrupted one.
+func TestCLIGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	tensorgen := buildCmd(t, dir, "tensorgen")
+	twopcpBin := buildCmd(t, dir, "twopcp")
+
+	tpath := filepath.Join(dir, "x.tptl")
+	runCmd(t, tensorgen, "-kind", "lowrank", "-dims", "30x30x30", "-rank", "3",
+		"-noise", "0.3", "-tiles", "3x3x3", "-seed", "11", "-out", tpath)
+	args := []string{"-in", tpath, "-rank", "3", "-parts", "3", "-buffer", "0.5",
+		"-iters", "500", "-tol=-1", "-seed", "11"}
+
+	refJSON := filepath.Join(dir, "ref.json")
+	runCmd(t, twopcpBin, append(args, "-out-prefix", filepath.Join(dir, "ref"), "-json", refJSON)...)
+
+	// Start the checkpointed run and SIGTERM it once Phase 2 is underway.
+	ckpt := filepath.Join(dir, "ckpt")
+	cmd := exec.Command(twopcpBin, append(args, "-checkpoint", ckpt, "-checkpoint-steps", "1")...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	phase2 := filepath.Join(ckpt, "phase2.ckpt")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(phase2); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("no Phase-2 checkpoint appeared within 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v (run may have finished too early — enlarge the workload)", err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("drained run: err = %v, want exit code 3\nstderr: %s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 3 {
+		t.Fatalf("drained run exit code = %d, want 3\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Errorf("no drain notice on stderr:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(phase2); err != nil {
+		t.Fatalf("checkpoint missing after drain: %v", err)
+	}
+
+	// Resume must be bit-exact against the uninterrupted reference.
+	resJSON := filepath.Join(dir, "res.json")
+	runCmd(t, twopcpBin, append(args, "-resume", ckpt,
+		"-out-prefix", filepath.Join(dir, "res"), "-json", resJSON)...)
+	for m := 0; m < 3; m++ {
+		ref, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("ref-mode%d.csv", m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("res-mode%d.csv", m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, res) {
+			t.Fatalf("mode-%d factors differ between reference and drained+resumed run", m)
+		}
+	}
+	var ref, res map[string]any
+	refData, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resData, err := os.ReadFile(resJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(refData, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resData, &res); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []map[string]any{ref, res} {
+		rs, ok := m["run_stats"].(map[string]any)
+		if !ok {
+			t.Fatalf("result JSON has no run_stats object: %v", m)
+		}
+		for _, k := range []string{"phase0_ns", "phase1_ns", "phase2_ns", "phase1_sweeps", "retries"} {
 			delete(rs, k)
 		}
 	}

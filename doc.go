@@ -96,10 +96,12 @@
 // Options.Seed alone regardless of Workers, KernelWorkers, IOWorkers or
 // PrefetchDepth. This contract is also what makes crash recovery exact:
 // replaying the schedule from a checkpoint reproduces the uninterrupted
-// run bit for bit (next section), and what makes run traces comparable
-// across configurations: the telemetry layer only observes points this
-// contract fixes, so traces are deterministic too (see the Telemetry
-// contract below).
+// run bit for bit (next section), what makes retrying failed storage
+// operations invisible: a retried run computes the same bits as a
+// fault-free one (see Fault tolerance below), and what makes run traces
+// comparable across configurations: the telemetry layer only observes
+// points this contract fixes, so traces are deterministic too (see the
+// Telemetry contract below).
 //
 // # Solvers and constraints
 //
@@ -237,7 +239,69 @@
 // resumed run pointed at the same trace file appends to the pre-crash
 // event stream, metric counters are persisted in the Phase-2 checkpoint
 // and restored on resume, and a checkpoint.resume event marks the seam
-// (see the Telemetry contract below).
+// (see the Telemetry contract below). Durability covers the process
+// dying; storage that misbehaves while the process lives is the Fault
+// tolerance contract's job (next section).
+//
+// # Fault tolerance
+//
+// Options.Retry arms a resilience layer for storage that fails without
+// killing the process — transient I/O errors, slow or hung operations,
+// and blocks that never load (CLI: -retry, -op-timeout). Faults divide
+// into exactly two classes (blockstore.IsTransient): transient
+// (ErrTransient, ErrTimeout) and permanent (everything else), and each
+// class has one behavior:
+//
+//   - Transient faults are retried, up to Retry.MaxRetries per
+//     operation, with capped exponential backoff and deterministic
+//     seeded jitter. Both phases go through the same retry core
+//     (blockstore.Retryer): Phase 2's store reads and writes via the
+//     blockstore.Resilient wrapper, Phase 1's block loads and
+//     checkpoint saves directly. Per-op deadlines (Retry.OpTimeout) are
+//     enforced cooperatively — stores implementing DeadlineStore bound
+//     their own work and return an ErrTimeout-wrapped error — so there
+//     are no watchdog goroutines and no abandoned I/O. The buffer
+//     manager degrades rather than fails: a broken prefetch falls back
+//     to a synchronous demand fetch, and a failed asynchronous
+//     write-back is retried and, if its budget runs out, surfaces at
+//     the next step boundary AFTER an emergency checkpoint is written.
+//     A circuit breaker (Retry.BreakerThreshold consecutive permanent
+//     failures) flips the store to fail-fast so a dead backend
+//     surfaces in seconds, not after every caller burns its budget.
+//   - Permanent faults are never retried. In Phase 1 a block whose
+//     load fails permanently (or exhausts its budget) is quarantined:
+//     its siblings complete and checkpoint, the run fails with a typed
+//     *QuarantineError naming the blocks, the CLI exits with code 4,
+//     and a resume over healed storage recomputes only the quarantined
+//     blocks.
+//
+// The invariant that makes retries safe is the same one that makes
+// worker counts safe (see Determinism above): a retry can change what a
+// run survives, never what it computes. Failed attempts do not count in
+// Stats (Reads/Writes/Bytes count successful operations only), so
+// factors, FitTrace, swap counts and store traffic are bit-identical to
+// a fault-free run — scripts/chaos.sh and CI's chaos job enforce
+// bit-parity at injected fault rates of 0.1% and 1%, composed with the
+// SIGKILL crash-recovery scenario. Because the policy cannot change
+// results it is excluded from the checkpoint manifest fingerprint: a
+// resumed run may use a different retry policy (or none) than the run
+// that wrote the checkpoint.
+//
+// Graceful drain closes the loop for operator-initiated shutdown: when
+// Options.Stop is closed (the CLIs translate the first SIGTERM/SIGINT;
+// a second signal kills), both phases stop at the next block or step
+// boundary, write their checkpoint, and return an error wrapping
+// ErrInterrupted — exit code 3 — leaving a directory that resumes
+// bit-exactly.
+//
+// Recovery is observable, not silent: retries and breaker trips are
+// counted in Result.RunStats.Retries and blockstore Stats, and emitted
+// as store.retry / store.breaker trace events (schema-validated like
+// every event; see the Telemetry contract below). For a single-process
+// run, cmd/tracecheck -run-stats reconciles the trace's store.retry
+// count against run_stats.retries exactly. The armed-but-idle layer is
+// ~free: BenchmarkResilienceOverhead and BENCH_resilience.json gate it
+// at ≤ 2% over the unwrapped engine in CI.
 //
 // # Telemetry contract
 //
@@ -278,6 +342,10 @@
 // marks the boundary), and the registry's counters are snapshotted
 // into every Phase-2 checkpoint and restored on resume, so cumulative
 // metrics are exact across the interruption (see Durability above).
+// Recovery activity is part of the trace: store.retry and
+// store.breaker events record every absorbed fault, and
+// Result.RunStats.Retries reconciles with the trace's store.retry
+// count via cmd/tracecheck -run-stats (see Fault tolerance above).
 //
 // # Architecture
 //

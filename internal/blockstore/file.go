@@ -65,9 +65,16 @@ func (s *FileStore) unitPath(mode, part int) string {
 // write-back path at a single file fsync per Put.
 func (s *FileStore) Put(u *Unit) error {
 	path := s.unitPath(u.Mode, u.Part)
+	// Genuine filesystem errors on the write path are classified
+	// transient (wrapping ErrTransient alongside the cause, so errors.Is
+	// sees both): a retried Put starts over from a fresh temp file, so
+	// repeating is safe and often heals NFS-style hiccups.
+	transient := func(stage string, err error) error {
+		return fmt.Errorf("blockstore: put ⟨%d,%d⟩ (%s): %w: %w", u.Mode, u.Part, stage, ErrTransient, err)
+	}
 	f, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("blockstore: %w", err)
+		return transient("create", err)
 	}
 	tmp := f.Name()
 	var encodeErr error
@@ -75,28 +82,28 @@ func (s *FileStore) Put(u *Unit) error {
 		zw := gzip.NewWriter(f)
 		encodeErr = EncodeUnit(zw, u)
 		if err := zw.Close(); encodeErr == nil && err != nil {
-			encodeErr = fmt.Errorf("blockstore: gzip: %w", err)
+			encodeErr = fmt.Errorf("gzip: %w", err)
 		}
 	} else {
 		encodeErr = EncodeUnit(f, u)
 	}
 	if encodeErr == nil {
 		if err := f.Sync(); err != nil {
-			encodeErr = fmt.Errorf("blockstore: sync: %w", err)
+			encodeErr = fmt.Errorf("sync: %w", err)
 		}
 	}
 	if encodeErr != nil {
 		f.Close()
 		os.Remove(tmp)
-		return encodeErr
+		return transient("encode", encodeErr)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("blockstore: %w", err)
+		return transient("close", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("blockstore: %w", err)
+		return transient("rename", err)
 	}
 	var disk int64
 	if fi, err := os.Stat(path); err == nil {
@@ -123,7 +130,10 @@ func (s *FileStore) Get(mode, part int) (*Unit, error) {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("%w: ⟨%d,%d⟩", ErrNotFound, mode, part)
 		}
-		return nil, fmt.Errorf("blockstore: %w", err)
+		// Not a missing file, not damage — an open that failed for
+		// environmental reasons (fd pressure, a flaky mount) may succeed
+		// on retry.
+		return nil, fmt.Errorf("blockstore: get ⟨%d,%d⟩ (open): %w: %w", mode, part, ErrTransient, err)
 	}
 	defer f.Close()
 	corrupt := func(err error) error {
@@ -240,10 +250,12 @@ func (s *ChunkStore) chunkPath(vec []int) string {
 	return filepath.Join(s.dir, name+".tpdn")
 }
 
-// PutChunk writes the dense block stored at grid position vec.
+// PutChunk writes the dense block stored at grid position vec. Write
+// failures are transient (SaveDense writes a fresh file; repeating is
+// safe).
 func (s *ChunkStore) PutChunk(vec []int, t *tensor.Dense) error {
 	if err := tensor.SaveDense(s.chunkPath(vec), t); err != nil {
-		return err
+		return fmt.Errorf("blockstore: put chunk %v: %w: %w", vec, ErrTransient, err)
 	}
 	s.mu.Lock()
 	s.stats.Writes++
@@ -252,11 +264,16 @@ func (s *ChunkStore) PutChunk(vec []int, t *tensor.Dense) error {
 	return nil
 }
 
-// GetChunk reads the dense block stored at grid position vec.
+// GetChunk reads the dense block stored at grid position vec. A missing
+// chunk is permanent (it was never written — a caller bug); other read
+// failures are transient.
 func (s *ChunkStore) GetChunk(vec []int) (*tensor.Dense, error) {
 	t, err := tensor.LoadDense(s.chunkPath(vec))
 	if err != nil {
-		return nil, err
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("blockstore: chunk %v: %w", vec, err)
+		}
+		return nil, fmt.Errorf("blockstore: get chunk %v: %w: %w", vec, ErrTransient, err)
 	}
 	s.mu.Lock()
 	s.stats.Reads++

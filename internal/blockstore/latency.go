@@ -1,6 +1,7 @@
 package blockstore
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -63,4 +64,36 @@ func (s *LatencyStore) Waited() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.waited
+}
+
+// GetDeadline implements DeadlineStore: when the injected read latency
+// exceeds the budget, the store sleeps only the remaining budget and
+// fails with ErrTimeout (transient — the data is fine, the store was
+// slow); otherwise it sleeps the full latency and delegates, passing the
+// remaining budget down when the inner store also honors deadlines.
+func (s *LatencyStore) GetDeadline(mode, part int, budget time.Duration) (*Unit, error) {
+	if s.read >= budget {
+		s.delay(budget)
+		return nil, fmt.Errorf("%w: get ⟨%d,%d⟩ (%v latency over %v budget)",
+			ErrTimeout, mode, part, s.read, budget)
+	}
+	s.delay(s.read)
+	if ds, ok := s.inner.(DeadlineStore); ok {
+		return ds.GetDeadline(mode, part, budget-s.read)
+	}
+	return s.inner.Get(mode, part)
+}
+
+// PutDeadline implements DeadlineStore; see GetDeadline.
+func (s *LatencyStore) PutDeadline(u *Unit, budget time.Duration) error {
+	if s.write >= budget {
+		s.delay(budget)
+		return fmt.Errorf("%w: put ⟨%d,%d⟩ (%v latency over %v budget)",
+			ErrTimeout, u.Mode, u.Part, s.write, budget)
+	}
+	s.delay(s.write)
+	if ds, ok := s.inner.(DeadlineStore); ok {
+		return ds.PutDeadline(u, budget-s.write)
+	}
+	return s.inner.Put(u)
 }

@@ -1,0 +1,324 @@
+package blockstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"twopcp/internal/obs"
+)
+
+// RetryPolicy configures the resilience layer: how many times a transient
+// fault is retried, how backoff grows between attempts, the per-op
+// deadline, and when the circuit breaker gives up on the store entirely.
+// The zero value disables retries and deadlines (Enabled() == false);
+// MaxRetries > 0 or OpTimeout > 0 turns the layer on with sane defaults
+// for the unset knobs.
+//
+// The policy is an execution knob like Workers or PrefetchDepth: it can
+// change what a run survives, never what it computes. Retried operations
+// leave Stats' Reads/Writes/Bytes counters and the deterministic trace
+// events untouched (only successful operations count), so factors,
+// FitTrace and swap counts are bit-identical to a fault-free run — and
+// the policy is excluded from the runstate fingerprint, so a resumed run
+// may use a different policy than the run that wrote the checkpoint.
+type RetryPolicy struct {
+	// MaxRetries is the per-operation retry budget for transient faults;
+	// 0 disables retrying (the first error surfaces).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; it doubles per attempt up
+	// to MaxBackoff. Defaults: 1ms base, 100ms cap.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OpTimeout is the per-operation deadline, enforced cooperatively:
+	// stores implementing DeadlineStore (e.g. LatencyStore) bound their
+	// own work by it; stores without deadline support run to completion.
+	// 0 disables deadlines.
+	OpTimeout time.Duration
+	// BreakerThreshold is the number of consecutive operations that must
+	// fail permanently (a permanent fault, or a transient fault that
+	// exhausted its retry budget) before the breaker trips to fail-fast.
+	// Defaults to 8 when 0.
+	BreakerThreshold int
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+}
+
+// Enabled reports whether the policy does anything at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 || p.OpTimeout > 0 }
+
+// withDefaults fills the unset knobs.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 8
+	}
+	return p
+}
+
+// Retryer executes operations under a RetryPolicy: transient failures
+// (IsTransient) are retried up to the budget with capped exponential
+// backoff and deterministic seeded jitter; permanent failures surface
+// immediately. It is the retry core shared by ResilientStore and Phase
+// 1's per-block source reads, so both layers emit the same store.retry
+// events and count retries the same way.
+type Retryer struct {
+	pol     RetryPolicy
+	ob      *obs.Observer
+	retries *obs.Counter
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sleep    func(time.Duration) // test seam; defaults to time.Sleep
+	nRetries int64
+}
+
+// NewRetryer returns a retryer for pol. A nil observer is valid (metrics
+// and events are skipped).
+func NewRetryer(pol RetryPolicy, ob *obs.Observer) *Retryer {
+	pol = pol.withDefaults()
+	return &Retryer{
+		pol:     pol,
+		ob:      ob,
+		retries: ob.Counter("store.retries"),
+		rng:     rand.New(rand.NewSource(pol.Seed)),
+		sleep:   time.Sleep,
+	}
+}
+
+// Policy returns the (defaults-filled) policy the retryer runs under.
+func (r *Retryer) Policy() RetryPolicy { return r.pol }
+
+// Retries returns the cumulative number of retry attempts performed.
+func (r *Retryer) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nRetries
+}
+
+// Do runs op, retrying transient errors up to the budget. opName and
+// mode/part annotate the emitted store.retry events (Phase 1 passes the
+// block id as part with mode -1). The returned error is op's last error:
+// permanent immediately, or transient with the budget exhausted.
+func (r *Retryer) Do(opName string, mode, part int, op func() error) error {
+	err := op()
+	for attempt := 1; err != nil && IsTransient(err) && attempt <= r.pol.MaxRetries; attempt++ {
+		d := r.backoff(attempt)
+		r.note(opName, mode, part, attempt, d, err)
+		r.sleep(d)
+		err = op()
+	}
+	return err
+}
+
+// backoff returns the wait before retry `attempt` (1-based): exponential
+// from BaseBackoff, capped at MaxBackoff, with seeded jitter in
+// [d/2, d] so concurrent retries decorrelate reproducibly.
+func (r *Retryer) backoff(attempt int) time.Duration {
+	d := r.pol.MaxBackoff
+	if attempt-1 < 20 { // beyond 2^20× base the cap always wins
+		if e := r.pol.BaseBackoff << uint(attempt-1); e < d {
+			d = e
+		}
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+// note counts and traces one retry attempt.
+func (r *Retryer) note(opName string, mode, part, attempt int, backoff time.Duration, err error) {
+	r.mu.Lock()
+	r.nRetries++
+	r.mu.Unlock()
+	if r.retries != nil {
+		r.retries.Inc()
+	}
+	if r.ob.Tracing() {
+		r.ob.Emit("store.retry",
+			obs.Str("op", opName), obs.Int("mode", mode), obs.Int("part", part),
+			obs.Int("attempt", attempt), obs.I64("backoff_ns", int64(backoff)),
+			obs.Str("error", err.Error()))
+	}
+}
+
+// DeadlineStore is the optional interface through which ResilientStore
+// enforces per-op deadlines cooperatively: the store bounds its own work
+// by the budget (sleeping at most the remainder, returning an error
+// wrapping ErrTimeout when it expires) instead of being raced by a
+// watchdog goroutine — no goroutine leaks, no abandoned I/O mutating
+// state after the caller moved on. Stores that do not implement it run
+// their operations to completion; the deadline is then simply not
+// enforced at that layer.
+type DeadlineStore interface {
+	GetDeadline(mode, part int, budget time.Duration) (*Unit, error)
+	PutDeadline(u *Unit, budget time.Duration) error
+}
+
+// ResilientStore wraps a Store with the recovery mechanisms a remote or
+// failure-prone backend needs: per-op deadlines (cooperative, via
+// DeadlineStore), capped exponential backoff with deterministic seeded
+// jitter, a per-op retry budget for transient faults, and a circuit
+// breaker that trips to fail-fast once BreakerThreshold consecutive
+// operations have failed permanently. Retries and breaker trips are
+// counted in Stats (monotonically — ResetStats does not zero them, so
+// run totals reconcile with the trace) and emitted as store.retry /
+// store.breaker events.
+type ResilientStore struct {
+	inner Store
+	pol   RetryPolicy
+	retry *Retryer
+	ob    *obs.Observer
+	trips *obs.Counter
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	nTrips      int64
+}
+
+// Resilient wraps inner under pol. A nil observer is valid.
+func Resilient(inner Store, pol RetryPolicy, ob *obs.Observer) *ResilientStore {
+	return &ResilientStore{
+		inner: inner,
+		pol:   pol.withDefaults(),
+		retry: NewRetryer(pol, ob),
+		ob:    ob,
+		trips: ob.Counter("store.breaker_trips"),
+	}
+}
+
+// SetSleep replaces the backoff sleeper (test seam).
+func (s *ResilientStore) SetSleep(f func(time.Duration)) {
+	s.retry.mu.Lock()
+	s.retry.sleep = f
+	s.retry.mu.Unlock()
+}
+
+// checkBreaker fails fast while the breaker is open.
+func (s *ResilientStore) checkBreaker(opName string, mode, part int) error {
+	s.mu.Lock()
+	open := s.open
+	s.mu.Unlock()
+	if open {
+		return fmt.Errorf("%w: %s ⟨%d,%d⟩", ErrBreakerOpen, opName, mode, part)
+	}
+	return nil
+}
+
+// record updates the breaker after an operation's final outcome: success
+// closes the failure streak; a final failure (permanent, or transient
+// with the budget spent) lengthens it and trips the breaker at the
+// threshold. The breaker stays open until Reset — fail-fast is the point:
+// once the store is known dead, burning every caller's full retry budget
+// against it only delays the surfacing error.
+func (s *ResilientStore) record(opName string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.consecutive = 0
+		return
+	}
+	s.consecutive++
+	if s.consecutive >= s.pol.BreakerThreshold && !s.open {
+		s.open = true
+		s.nTrips++
+		if s.trips != nil {
+			s.trips.Inc()
+		}
+		if s.ob.Tracing() {
+			s.ob.Emit("store.breaker",
+				obs.Str("state", "open"), obs.Str("op", opName),
+				obs.Int("consecutive", s.consecutive))
+		}
+	}
+}
+
+// Reset closes the breaker and zeroes the failure streak, for callers
+// that have independently established the store is healthy again.
+func (s *ResilientStore) Reset() {
+	s.mu.Lock()
+	s.open = false
+	s.consecutive = 0
+	s.mu.Unlock()
+}
+
+// get runs one read attempt, threading the deadline when the inner store
+// cooperates.
+func (s *ResilientStore) get(mode, part int) (*Unit, error) {
+	if d := s.pol.OpTimeout; d > 0 {
+		if ds, ok := s.inner.(DeadlineStore); ok {
+			return ds.GetDeadline(mode, part, d)
+		}
+	}
+	return s.inner.Get(mode, part)
+}
+
+// put runs one write attempt, threading the deadline when the inner store
+// cooperates.
+func (s *ResilientStore) put(u *Unit) error {
+	if d := s.pol.OpTimeout; d > 0 {
+		if ds, ok := s.inner.(DeadlineStore); ok {
+			return ds.PutDeadline(u, d)
+		}
+	}
+	return s.inner.Put(u)
+}
+
+// Get implements Store.
+func (s *ResilientStore) Get(mode, part int) (*Unit, error) {
+	if err := s.checkBreaker("get", mode, part); err != nil {
+		return nil, err
+	}
+	var u *Unit
+	err := s.retry.Do("get", mode, part, func() error {
+		var e error
+		u, e = s.get(mode, part)
+		return e
+	})
+	s.record("get", err)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: get ⟨%d,%d⟩: %w", mode, part, err)
+	}
+	return u, nil
+}
+
+// Put implements Store.
+func (s *ResilientStore) Put(u *Unit) error {
+	if err := s.checkBreaker("put", u.Mode, u.Part); err != nil {
+		return err
+	}
+	err := s.retry.Do("put", u.Mode, u.Part, func() error {
+		return s.put(u)
+	})
+	s.record("put", err)
+	if err != nil {
+		return fmt.Errorf("blockstore: put ⟨%d,%d⟩: %w", u.Mode, u.Part, err)
+	}
+	return nil
+}
+
+// Stats implements Store: the inner store's counters plus this layer's
+// monotonic recovery counters.
+func (s *ResilientStore) Stats() Stats {
+	st := s.inner.Stats()
+	st.Retries += s.retry.Retries()
+	s.mu.Lock()
+	st.BreakerTrips += s.nTrips
+	s.mu.Unlock()
+	return st
+}
+
+// ResetStats implements Store. Only the inner store's I/O counters reset;
+// Retries/BreakerTrips stay monotonic (see Stats).
+func (s *ResilientStore) ResetStats() { s.inner.ResetStats() }
+
+// Close implements Store.
+func (s *ResilientStore) Close() error { return s.inner.Close() }

@@ -1,0 +1,364 @@
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"twopcp/internal/obs"
+)
+
+// noSleep replaces backoff sleeping in tests.
+func noSleep(time.Duration) {}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("wrap: %w", ErrTransient), true},
+		{fmt.Errorf("wrap: %w", ErrTimeout), true},
+		{fmt.Errorf("wrap: %w: %w", ErrTransient, errors.New("io")), true},
+		{fmt.Errorf("wrap: %w", ErrInjected), false},
+		{fmt.Errorf("wrap: %w", ErrNotFound), false},
+		{fmt.Errorf("wrap: %w", ErrCorrupt), false},
+		{fmt.Errorf("wrap: %w", ErrBreakerOpen), false},
+		{errors.New("unknown"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestResilientHealsTransientFaults: a sticky read outage shorter than the
+// retry budget heals invisibly — the caller sees success and the inner
+// store's I/O counters count only the successful operations.
+func TestResilientHealsTransientFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mem := NewMemStore()
+	faulty := NewFaultyStore(mem)
+	rs := Resilient(faulty, RetryPolicy{MaxRetries: 5, Seed: 7}, nil)
+	rs.SetSleep(noSleep)
+
+	u := testUnit(rng)
+	if err := rs.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	// Reads 1..3 fail transiently; retries 1..3 of the first Get absorb
+	// them (read 4 succeeds).
+	faulty.SetPlan(FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 3})
+	got, err := rs.Get(u.Mode, u.Part)
+	if err != nil {
+		t.Fatalf("Get through outage: %v", err)
+	}
+	if !unitsEqual(got, u) {
+		t.Fatal("Get returned different unit")
+	}
+	st := rs.Stats()
+	if st.Retries != 3 {
+		t.Fatalf("Stats.Retries = %d, want 3", st.Retries)
+	}
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("successful-op counters polluted by retries: Reads=%d Writes=%d, want 1/1", st.Reads, st.Writes)
+	}
+	if st.BreakerTrips != 0 {
+		t.Fatalf("BreakerTrips = %d, want 0", st.BreakerTrips)
+	}
+}
+
+// TestResilientBudgetExhausted: an outage longer than the budget surfaces
+// the transient error with full context after MaxRetries+1 attempts.
+func TestResilientBudgetExhausted(t *testing.T) {
+	mem := NewMemStore()
+	faulty := NewFaultyStore(mem)
+	rs := Resilient(faulty, RetryPolicy{MaxRetries: 2, Seed: 7}, nil)
+	rs.SetSleep(noSleep)
+	faulty.SetPlan(FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 1 << 40})
+
+	_, err := rs.Get(3, 4)
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	reads, _ := faulty.Fails()
+	if reads != 3 { // initial attempt + 2 retries
+		t.Fatalf("attempts = %d, want 3", reads)
+	}
+	if got := rs.Stats().Retries; got != 2 {
+		t.Fatalf("Stats.Retries = %d, want 2", got)
+	}
+}
+
+// TestResilientPermanentNotRetried: permanent faults surface immediately.
+func TestResilientPermanentNotRetried(t *testing.T) {
+	mem := NewMemStore()
+	faulty := NewFaultyStore(mem)
+	rs := Resilient(faulty, RetryPolicy{MaxRetries: 5, Seed: 7}, nil)
+	rs.SetSleep(noSleep)
+	faulty.SetPlan(FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 10, Permanent: true})
+
+	_, err := rs.Get(0, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	reads, _ := faulty.Fails()
+	if reads != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retries of a permanent fault)", reads)
+	}
+	// ErrNotFound is permanent too — a missing unit must not burn budget.
+	faulty.SetPlan(FaultPlan{})
+	if _, err := rs.Get(9, 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing unit: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestBreakerTripsAndResets: BreakerThreshold consecutive final failures
+// trip the breaker; subsequent ops fail fast with ErrBreakerOpen without
+// touching the store; Reset closes it again.
+func TestBreakerTripsAndResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mem := NewMemStore()
+	faulty := NewFaultyStore(mem)
+	rs := Resilient(faulty, RetryPolicy{MaxRetries: 1, BreakerThreshold: 3, Seed: 7}, nil)
+	rs.SetSleep(noSleep)
+	u := testUnit(rng)
+	if err := rs.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetPlan(FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 1 << 40, Permanent: true})
+
+	for i := 0; i < 3; i++ {
+		if _, err := rs.Get(u.Mode, u.Part); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	readsBefore, _ := faulty.Fails()
+	if _, err := rs.Get(u.Mode, u.Part); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after trip: err = %v, want ErrBreakerOpen", err)
+	}
+	if err := rs.Put(u); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("put after trip: err = %v, want ErrBreakerOpen", err)
+	}
+	if readsAfter, _ := faulty.Fails(); readsAfter != readsBefore {
+		t.Fatal("breaker-open op still reached the inner store")
+	}
+	if got := rs.Stats().BreakerTrips; got != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", got)
+	}
+
+	faulty.SetPlan(FaultPlan{})
+	rs.Reset()
+	if _, err := rs.Get(u.Mode, u.Part); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+// TestBreakerSuccessClosesStreak: interleaved successes keep the streak
+// from reaching the threshold.
+func TestBreakerSuccessClosesStreak(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mem := NewMemStore()
+	faulty := NewFaultyStore(mem)
+	rs := Resilient(faulty, RetryPolicy{MaxRetries: 1, BreakerThreshold: 2, Seed: 7}, nil)
+	rs.SetSleep(noSleep)
+	u := testUnit(rng)
+	if err := rs.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rs.Get(9, 9); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("miss %d: %v", i, err)
+		}
+		if _, err := rs.Get(u.Mode, u.Part); err != nil {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	if got := rs.Stats().BreakerTrips; got != 0 {
+		t.Fatalf("BreakerTrips = %d, want 0", got)
+	}
+}
+
+// TestRetryEventsAndCounters: store.retry events and the store.retries
+// counter reconcile exactly with Stats.Retries, and ResetStats leaves the
+// monotonic recovery counters alone.
+func TestRetryEventsAndCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var mu sync.Mutex
+	events := map[string]int{}
+	reg := obs.NewRegistry()
+	ob := &obs.Observer{
+		Metrics: reg,
+		OnEvent: func(e obs.Event) {
+			mu.Lock()
+			events[e.Name]++
+			mu.Unlock()
+		},
+	}
+	mem := NewMemStore()
+	faulty := NewFaultyStore(mem)
+	rs := Resilient(faulty, RetryPolicy{MaxRetries: 2, BreakerThreshold: 2, Seed: 7}, ob)
+	rs.SetSleep(noSleep)
+	u := testUnit(rng)
+	if err := rs.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	// Two transient reads healed by retries, then a permanent outage that
+	// trips the breaker after two exhausted budgets.
+	faulty.SetPlan(FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 2})
+	if _, err := rs.Get(u.Mode, u.Part); err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetPlan(FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 1 << 40})
+	for i := 0; i < 2; i++ {
+		if _, err := rs.Get(u.Mode, u.Part); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	st := rs.Stats()
+	if st.Retries != 6 { // 2 healed + 2×2 exhausted
+		t.Fatalf("Stats.Retries = %d, want 6", st.Retries)
+	}
+	if st.BreakerTrips != 1 {
+		t.Fatalf("Stats.BreakerTrips = %d, want 1", st.BreakerTrips)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events["store.retry"] != int(st.Retries) {
+		t.Fatalf("store.retry events = %d, want %d (reconcile with Stats.Retries)", events["store.retry"], st.Retries)
+	}
+	if events["store.breaker"] != 1 {
+		t.Fatalf("store.breaker events = %d, want 1", events["store.breaker"])
+	}
+	if got := reg.Counter("store.retries").Load(); got != st.Retries {
+		t.Fatalf("store.retries counter = %d, want %d", got, st.Retries)
+	}
+	if got := reg.Counter("store.breaker_trips").Load(); got != 1 {
+		t.Fatalf("store.breaker_trips counter = %d, want 1", got)
+	}
+
+	rs.ResetStats()
+	if after := rs.Stats(); after.Retries != st.Retries || after.BreakerTrips != st.BreakerTrips {
+		t.Fatalf("ResetStats zeroed monotonic recovery counters: %+v", after)
+	}
+}
+
+// TestBackoffDeterministicAndBounded: same seed, same backoff sequence;
+// every wait lies in [base·2^(k-1)/2, min(cap, base·2^(k-1))].
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	pol := RetryPolicy{MaxRetries: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Seed: 42}
+	seq := func() []time.Duration {
+		r := NewRetryer(pol, nil)
+		var ds []time.Duration
+		for a := 1; a <= 10; a++ {
+			ds = append(ds, r.backoff(a))
+		}
+		return ds
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff not deterministic at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+		exp := pol.BaseBackoff << uint(i)
+		if exp > pol.MaxBackoff {
+			exp = pol.MaxBackoff
+		}
+		if a[i] < exp/2 || a[i] > exp {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", i+1, a[i], exp/2, exp)
+		}
+	}
+}
+
+// TestFaultPlanDeterministic: the same seed injects faults at the same op
+// indices.
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() []int64 {
+		mem := NewMemStore()
+		faulty := NewFaultyStore(mem)
+		faulty.SetPlan(FaultPlan{Seed: 5, ReadRate: 0.3})
+		var failedAt []int64
+		for i := int64(1); i <= 100; i++ {
+			before, _ := faulty.Fails()
+			faulty.Get(9, 9) // misses are fine; we only watch injection
+			if after, _ := faulty.Fails(); after > before {
+				failedAt = append(failedAt, i)
+			}
+		}
+		return failedAt
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("0.3 read rate injected nothing in 100 ops")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fault counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d at op %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLatencyDeadline: LatencyStore implements DeadlineStore — an op whose
+// configured latency exceeds the budget sleeps only the budget and fails
+// with a retryable timeout; under budget it delegates normally.
+func TestLatencyDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mem := NewMemStore()
+	u := testUnit(rng)
+	if err := mem.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	slow := WithLatency(mem, 50*time.Millisecond, 50*time.Millisecond)
+
+	start := time.Now()
+	_, err := slow.GetDeadline(u.Mode, u.Part, 5*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("over-budget read: err = %v, want ErrTimeout", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("timeout must classify as transient (retryable)")
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("over-budget read slept %v — must sleep at most the remaining budget", elapsed)
+	}
+	if err := slow.PutDeadline(u, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("over-budget write: err = %v, want ErrTimeout", err)
+	}
+	if got, err := slow.GetDeadline(u.Mode, u.Part, time.Second); err != nil || !unitsEqual(got, u) {
+		t.Fatalf("under-budget read failed: %v", err)
+	}
+}
+
+// TestResilientDeadlineComposition: ResilientStore + OpTimeout over a
+// LatencyStore: a slow store fails fast with timeouts (counted as
+// retries), and the error that surfaces is the timeout, not a hang.
+func TestResilientDeadlineComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mem := NewMemStore()
+	u := testUnit(rng)
+	if err := mem.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	slow := WithLatency(mem, 30*time.Millisecond, 0)
+	rs := Resilient(slow, RetryPolicy{MaxRetries: 2, OpTimeout: 2 * time.Millisecond, Seed: 7}, nil)
+	rs.SetSleep(noSleep)
+
+	_, err := rs.Get(u.Mode, u.Part)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := rs.Stats().Retries; got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	// Writes are unaffected (write latency 0): they pass the deadline.
+	if err := rs.Put(u); err != nil {
+		t.Fatalf("fast write failed: %v", err)
+	}
+}

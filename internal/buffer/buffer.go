@@ -26,15 +26,27 @@
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"twopcp/internal/blockstore"
 	"twopcp/internal/grid"
 	"twopcp/internal/obs"
 	"twopcp/internal/schedule"
 )
+
+// ErrAsyncWriteBack marks errors surfaced from the background write-back
+// pipeline. When Acquire or FlushAll returns an error wrapping it, the
+// failed Put happened on an earlier, already-completed step — the
+// manager's resident state is still consistent with the last step
+// boundary, which is what lets the Phase-2 engine take an emergency
+// checkpoint before surfacing the error. The original store error is
+// wrapped alongside, so errors.Is classification (ErrInjected,
+// blockstore.IsTransient) still works through it.
+var ErrAsyncWriteBack = errors.New("buffer: background write-back failed")
 
 // Policy selects the replacement strategy.
 type Policy int
@@ -88,6 +100,12 @@ type Stats struct {
 	WriteBacks int64 // dirty units written to the store on eviction/flush
 	Overflows  int64 // times pinned data exceeded nominal capacity
 	Prefetches int64 // background fetches issued by Prefetch
+	// DegradedFetches counts prefetches whose background fetch failed and
+	// whose demanding Acquire fell back to a fresh synchronous fetch
+	// instead of surfacing the prefetch's error. Like Prefetches and
+	// Overflows it is exempt from the prefetch-transparency contract:
+	// always 0 in synchronous mode, and nonzero only under faults.
+	DegradedFetches int64
 }
 
 type entry struct {
@@ -105,17 +123,22 @@ type inflight struct {
 	unit  *blockstore.Unit
 	err   error
 	bytes int64 // capacity reservation held until the fetch completes
+	// prefetched marks fetches issued by Prefetch: their failures degrade
+	// to a synchronous retry in Acquire instead of poisoning the demand
+	// path (a dropped hint must never be worse than no hint).
+	prefetched bool
 }
 
 // Manager is the buffer manager. See the package comment for the
 // concurrency contract.
 type Manager struct {
-	store    blockstore.Store
-	pattern  *grid.Pattern
-	capacity int64
-	policy   Policy
-	workers  int
-	rank     int
+	store     blockstore.Store
+	pattern   *grid.Pattern
+	capacity  int64
+	policy    Policy
+	workers   int
+	wbRetries int
+	rank      int
 
 	mu       sync.Mutex
 	resident map[int]*entry // unit id → entry
@@ -154,6 +177,7 @@ type Manager struct {
 	cWriteBacks *obs.Counter
 	cOverflows  *obs.Counter
 	cPrefetches *obs.Counter
+	cDegraded   *obs.Counter
 	gUsed       *obs.Gauge
 
 	// Forward-policy state: the cyclic unit-access string (as unit ids),
@@ -186,6 +210,12 @@ type Config struct {
 	// Rank is the decomposition rank, used to estimate unit sizes for
 	// prefetch capacity reservations. Required when Workers > 0.
 	Rank int
+	// WriteBackRetries is the number of extra attempts a background
+	// write-back job makes on a transient Put failure (doubling backoff,
+	// 1ms..50ms) before poisoning the pipeline. The retries run inside
+	// the job, so the per-unit write-back ordering chain is untouched.
+	// 0 disables (the first failure surfaces, as before).
+	WriteBackRetries int
 	// Obs receives telemetry (buffer.fetch/evict/writeback trace events
 	// and mirrored counters). Nil disables it at ~zero cost.
 	Obs *obs.Observer
@@ -211,6 +241,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		capacity:  cfg.CapacityBytes,
 		policy:    cfg.Policy,
 		workers:   cfg.Workers,
+		wbRetries: cfg.WriteBackRetries,
 		rank:      cfg.Rank,
 		resident:  make(map[int]*entry),
 		infl:      make(map[int]*inflight),
@@ -223,6 +254,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		cWriteBacks: cfg.Obs.Counter("buffer.write_backs"),
 		cOverflows:  cfg.Obs.Counter("buffer.overflows"),
 		cPrefetches: cfg.Obs.Counter("buffer.prefetches"),
+		cDegraded:   cfg.Obs.Counter("buffer.degraded_fetches"),
 		gUsed:       cfg.Obs.Gauge("buffer.used_bytes"),
 	}
 	if cfg.Policy == Forward {
@@ -282,7 +314,7 @@ func (m *Manager) Prefetch(mode, part int) {
 	if m.closed || m.resident[id] != nil || m.infl[id] != nil || m.reserved+est > m.capacity {
 		return
 	}
-	inf := &inflight{done: make(chan struct{}), bytes: est}
+	inf := &inflight{done: make(chan struct{}), bytes: est, prefetched: true}
 	wb := m.wbPending[id]
 	job := func() {
 		defer m.ioWG.Done()
@@ -329,7 +361,7 @@ func (m *Manager) Acquire(mode, part int) (*blockstore.Unit, error) {
 	m.mu.Lock()
 	if err := m.wbErr; err != nil {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("buffer: background write-back failed: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrAsyncWriteBack, err)
 	}
 	m.clock++
 	myClock := m.clock
@@ -382,6 +414,19 @@ func (m *Manager) Acquire(mode, part int) (*blockstore.Unit, error) {
 			}
 		}
 		if inf.err != nil {
+			if inf.prefetched {
+				// A failed prefetch must never be worse than no prefetch:
+				// its reservation is already freed and the inflight entry
+				// removed above, so degrade to a fresh synchronous fetch
+				// by going around the loop (the store's own retry layer,
+				// if any, applies to that attempt). Only a demand fetch's
+				// error surfaces.
+				m.stats.DegradedFetches++
+				if m.cDegraded != nil {
+					m.cDegraded.Inc()
+				}
+				continue
+			}
 			m.mu.Unlock()
 			return nil, inf.err
 		}
@@ -537,7 +582,7 @@ func (m *Manager) evict(id int) (func(), error) {
 				if prev != nil {
 					<-prev
 				}
-				err := m.store.Put(u)
+				err := m.putWithRetry(u)
 				m.mu.Lock()
 				if err != nil && m.wbErr == nil {
 					m.wbErr = err
@@ -564,6 +609,26 @@ func (m *Manager) evict(id int) (func(), error) {
 	return job, nil
 }
 
+// putWithRetry writes a unit back, repeating transient failures with
+// doubling backoff (1ms, capped at 50ms) up to Config.WriteBackRetries
+// extra attempts. Retrying inside the write-back job keeps the wbPending
+// ordering chain intact: the unit's completion channel closes only after
+// the final attempt, so a re-fetch or successor write-back still waits
+// for the true outcome.
+func (m *Manager) putWithRetry(u *blockstore.Unit) error {
+	err := m.store.Put(u)
+	backoff := time.Millisecond
+	for i := 0; err != nil && blockstore.IsTransient(err) && i < m.wbRetries; i++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > 50*time.Millisecond {
+			backoff = 50 * time.Millisecond
+		}
+		err = m.store.Put(u)
+	}
+	return err
+}
+
 // Drain blocks until every background fetch and write-back has settled.
 // It must not race with new Acquire or Prefetch calls.
 func (m *Manager) Drain() {
@@ -583,7 +648,7 @@ func (m *Manager) FlushAll() error {
 	if m.wbErr != nil {
 		err := m.wbErr
 		m.mu.Unlock()
-		return fmt.Errorf("buffer: background write-back failed: %w", err)
+		return fmt.Errorf("%w: %w", ErrAsyncWriteBack, err)
 	}
 	// Deterministic order for reproducible store traffic.
 	ids := make([]int, 0, len(m.resident))

@@ -1,0 +1,197 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"twopcp/internal/blockstore"
+	"twopcp/internal/obs"
+)
+
+// TestDegradedPrefetchFallsBackToSyncFetch: a prefetch whose background
+// fetch fails must never be worse than no prefetch — Acquire degrades to
+// a fresh synchronous fetch and succeeds, counting DegradedFetches.
+func TestDegradedPrefetchFallsBackToSyncFetch(t *testing.T) {
+	p, mem, ub := fixture(t, []int{4, 4}, []int{2, 2}, 2)
+	faulty := blockstore.NewFaultyStore(mem)
+	faulty.FailRead = 1 // the prefetch's background read
+	reg := obs.NewRegistry()
+	m, err := NewManager(Config{
+		Store: faulty, Pattern: p, CapacityBytes: 10 * ub,
+		Policy: LRU, Workers: 2, Rank: 2,
+		Obs: &obs.Observer{Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	m.Prefetch(0, 0)
+	m.Drain()
+	u, err := m.Acquire(0, 0)
+	if err != nil {
+		t.Fatalf("Acquire after failed prefetch: %v", err)
+	}
+	if u.Mode != 0 || u.Part != 0 {
+		t.Fatalf("acquired wrong unit ⟨%d,%d⟩", u.Mode, u.Part)
+	}
+	m.Release(0, 0, false)
+	st := m.Stats()
+	if st.DegradedFetches != 1 {
+		t.Fatalf("DegradedFetches = %d, want 1", st.DegradedFetches)
+	}
+	if got := reg.Counter("buffer.degraded_fetches").Load(); got != 1 {
+		t.Fatalf("buffer.degraded_fetches counter = %d, want 1", got)
+	}
+	if st.Fetches != 1 {
+		t.Fatalf("Fetches = %d, want 1 (the successful demand fetch)", st.Fetches)
+	}
+}
+
+// TestDegradedFetchSurfacesDemandError: when the degraded synchronous
+// re-fetch also fails, that error surfaces from Acquire (no livelock).
+func TestDegradedFetchSurfacesDemandError(t *testing.T) {
+	p, mem, ub := fixture(t, []int{4, 4}, []int{2, 2}, 2)
+	faulty := blockstore.NewFaultyStore(mem)
+	faulty.SetPlan(blockstore.FaultPlan{ReadOutageFrom: 1, ReadOutageLen: 1 << 40})
+	m, err := NewManager(Config{
+		Store: faulty, Pattern: p, CapacityBytes: 10 * ub,
+		Policy: LRU, Workers: 2, Rank: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	m.Prefetch(0, 0)
+	m.Drain()
+	if _, err := m.Acquire(0, 0); !blockstore.IsTransient(err) {
+		t.Fatalf("Acquire = %v, want the demand fetch's transient error", err)
+	}
+	if st := m.Stats(); st.DegradedFetches != 1 {
+		t.Fatalf("DegradedFetches = %d, want 1", st.DegradedFetches)
+	}
+}
+
+// TestWriteBackRetryHeals: a transient write outage shorter than
+// WriteBackRetries heals inside the background write-back job — no
+// ErrAsyncWriteBack, and the written unit is intact in the store.
+func TestWriteBackRetryHeals(t *testing.T) {
+	p, mem, ub := fixture(t, []int{4, 4}, []int{2, 2}, 2)
+	faulty := blockstore.NewFaultyStore(mem)
+	m, err := NewManager(Config{
+		Store: faulty, Pattern: p, CapacityBytes: 1 * ub, // capacity 1: every new unit evicts
+		Policy: LRU, Workers: 2, Rank: 2,
+		WriteBackRetries: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	u, err := m.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.A.Set(0, 0, 42)
+	m.Release(0, 0, true)
+
+	// Writes 1..2 fail transiently; the write-back's retries absorb them.
+	faulty.SetPlan(blockstore.FaultPlan{WriteOutageFrom: 1, WriteOutageLen: 2})
+	if _, err := m.Acquire(0, 1); err != nil { // evicts dirty ⟨0,0⟩
+		t.Fatal(err)
+	}
+	m.Release(0, 1, false)
+	m.Drain()
+	if err := m.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after healed write-back: %v", err)
+	}
+	got, err := mem.Get(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A.At(0, 0) != 42 {
+		t.Fatalf("written-back unit lost the dirty update: A[0,0] = %g", got.A.At(0, 0))
+	}
+	if _, writes := faulty.Fails(); writes != 2 {
+		t.Fatalf("injected write failures = %d, want 2", writes)
+	}
+}
+
+// TestWriteBackBudgetExhaustedSurfaces: a write outage longer than the
+// retry budget surfaces as ErrAsyncWriteBack from the next Acquire (the
+// emergency-checkpoint trigger in the engine) and from FlushAll.
+func TestWriteBackBudgetExhaustedSurfaces(t *testing.T) {
+	p, mem, ub := fixture(t, []int{4, 4}, []int{2, 2}, 2)
+	faulty := blockstore.NewFaultyStore(mem)
+	m, err := NewManager(Config{
+		Store: faulty, Pattern: p, CapacityBytes: 1 * ub,
+		Policy: LRU, Workers: 2, Rank: 2,
+		WriteBackRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if _, err := m.Acquire(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(0, 0, true)
+	faulty.SetPlan(blockstore.FaultPlan{WriteOutageFrom: 1, WriteOutageLen: 1 << 40})
+	if _, err := m.Acquire(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(0, 1, false)
+	m.Drain()
+
+	// Acquire reports the failed write-back before advancing any state.
+	_, err = m.Acquire(1, 0)
+	if !errors.Is(err, ErrAsyncWriteBack) {
+		t.Fatalf("Acquire after exhausted write-back = %v, want ErrAsyncWriteBack", err)
+	}
+	if err := m.FlushAll(); !errors.Is(err, ErrAsyncWriteBack) {
+		t.Fatalf("FlushAll = %v, want ErrAsyncWriteBack", err)
+	}
+}
+
+// TestConcurrentResilientSandwich is the satellite -race test: the full
+// wrapper sandwich Resilient→Latency→Faulty→MemStore under a concurrent
+// Acquire/Prefetch/Release storm with seeded transient faults and op
+// deadlines. The retry layer heals every injected fault, so the hammer's
+// integrity assertions (every unit complete after the storm) must hold.
+func TestConcurrentResilientSandwich(t *testing.T) {
+	p, mem, ub := fixture(t, []int{12, 12, 12}, []int{3, 3, 3}, 2)
+	faulty := blockstore.NewFaultyStore(mem)
+	faulty.SetPlan(blockstore.FaultPlan{Seed: 99, ReadRate: 0.05, WriteRate: 0.05})
+	slow := blockstore.WithLatency(faulty, 20*time.Microsecond, 20*time.Microsecond)
+	rs := blockstore.Resilient(slow, blockstore.RetryPolicy{
+		MaxRetries:  20,
+		BaseBackoff: 10 * time.Microsecond,
+		MaxBackoff:  100 * time.Microsecond,
+		OpTimeout:   time.Second,
+		Seed:        7,
+	}, nil)
+	hammerManager(t, p, rs, 4*ub, 2)
+	if got := rs.Stats().BreakerTrips; got != 0 {
+		t.Fatalf("breaker tripped %d times under healable faults", got)
+	}
+}
+
+// TestConcurrentResilientSandwichFileStore mirrors the sandwich race test
+// over a FileStore base.
+func TestConcurrentResilientSandwichFileStore(t *testing.T) {
+	p, store, ub := fileFixture(t, []int{8, 8, 8}, []int{2, 2, 2}, 2)
+	defer store.Close()
+	faulty := blockstore.NewFaultyStore(store)
+	faulty.SetPlan(blockstore.FaultPlan{Seed: 3, ReadRate: 0.03, WriteRate: 0.03})
+	slow := blockstore.WithLatency(faulty, 10*time.Microsecond, 10*time.Microsecond)
+	rs := blockstore.Resilient(slow, blockstore.RetryPolicy{
+		MaxRetries:  20,
+		BaseBackoff: 10 * time.Microsecond,
+		MaxBackoff:  100 * time.Microsecond,
+		Seed:        11,
+	}, nil)
+	hammerManager(t, p, rs, 3*ub, 2)
+}

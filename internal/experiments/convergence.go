@@ -99,6 +99,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 			IOWorkers:       cfg.IO.IOWorkers,
 			Obs:             cfg.IO.Observer,
 			Solver:          solver,
+			Stop:            cfg.IO.Stop,
 		}
 		if cfg.IO.Checkpoint != "" {
 			// One checkpoint subdirectory per schedule: the traces are

@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"os"
 	"sync/atomic"
+
 	"twopcp/internal/obs"
+	"twopcp/internal/refine"
 )
 
 var tempSeq atomic.Int64
@@ -51,4 +53,14 @@ type IO struct {
 	// performs (nil disables it). Telemetry never changes results; see
 	// the obs package's determinism contract.
 	Observer *obs.Observer
+	// Stop, when non-nil, requests a graceful drain when closed: the
+	// in-flight engine run finishes its current step, checkpoints (when
+	// Checkpoint is set), and the experiment returns an error wrapping
+	// ErrStopped. Currently honored by the convergence experiment.
+	Stop <-chan struct{}
 }
+
+// ErrStopped marks a run drained early via IO.Stop; a Resume continues it
+// bit-exactly. It aliases the engine's sentinel so errors.Is works on
+// errors surfacing from either layer.
+var ErrStopped = refine.ErrStopped

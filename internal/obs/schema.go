@@ -125,6 +125,30 @@ var Schema = map[string][]FieldSpec{
 	"checkpoint.resume": {
 		{Name: "stage", Type: TypeStr},
 	},
+	// Resilience: one store.retry event per retry attempt (emitted by the
+	// Retryer before it backs off) and one store.breaker event when the
+	// circuit breaker changes state. Both record *recovery* from
+	// nondeterministic outside events — fault timing, probabilistic
+	// injection, I/O races — so their multiset is exempt from the
+	// cross-configuration determinism guarantee; the contract they do
+	// carry is reconciliation: the number of store.retry events in a
+	// single-process trace equals the run's Stats.Retries total
+	// (cmd/tracecheck -run-stats enforces it). mode/part are -1 when the
+	// retried operation is a Phase-1 block read (op "block"), which is
+	// addressed by block id in part.
+	"store.retry": {
+		{Name: "op", Type: TypeStr},
+		{Name: "mode", Type: TypeNum},
+		{Name: "part", Type: TypeNum},
+		{Name: "attempt", Type: TypeNum},
+		{Name: "backoff_ns", Type: TypeNum},
+		{Name: "error", Type: TypeStr},
+	},
+	"store.breaker": {
+		{Name: "state", Type: TypeStr},
+		{Name: "op", Type: TypeStr},
+		{Name: "consecutive", Type: TypeNum},
+	},
 }
 
 // ValidateLine checks one JSONL trace line against the Schema: it must be

@@ -12,10 +12,12 @@
 package phase1
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"twopcp/internal/blockstore"
@@ -25,6 +27,38 @@ import (
 	"twopcp/internal/obs"
 	"twopcp/internal/tensor"
 )
+
+// ErrStopped is returned by Run when Options.Stop was closed before every
+// block completed: the workers finished (and checkpointed) their in-flight
+// blocks, the producer handed out no further ones. A later run with the
+// same Checkpoint resumes exactly where the drain stopped.
+var ErrStopped = errors.New("phase1: stopped before completion")
+
+// QuarantineError reports the blocks Run could not decompose after
+// exhausting their retry budget. The sibling blocks' work is NOT lost:
+// with a Checkpointer configured every completed block is durably
+// recorded, so a later run recomputes only the quarantined blocks (the
+// quarantined ones are never checkpointed). Unwrap exposes the per-block
+// causes, so errors.Is/As classification (e.g. blockstore.ErrInjected)
+// sees through the aggregation.
+type QuarantineError struct {
+	// Blocks lists the quarantined linear block ids, ascending.
+	Blocks []int
+	// Errs holds the final error of each block, parallel to Blocks.
+	Errs []error
+}
+
+// Error implements error.
+func (e *QuarantineError) Error() string {
+	if len(e.Blocks) == 1 {
+		return fmt.Sprintf("phase1: block %d quarantined: %v", e.Blocks[0], e.Errs[0])
+	}
+	return fmt.Sprintf("phase1: %d blocks quarantined (first: block %d: %v)",
+		len(e.Blocks), e.Blocks[0], e.Errs[0])
+}
+
+// Unwrap exposes the per-block causes to errors.Is/As.
+func (e *QuarantineError) Unwrap() []error { return e.Errs }
 
 // Source yields the sub-tensor at a grid position. Implementations may be
 // in-memory views or out-of-core chunk readers. Block may return either a
@@ -168,6 +202,17 @@ type Options struct {
 	// multiset is worker-count invariant) and blocks/sweeps counters.
 	// Nil disables it at ~zero cost.
 	Obs *obs.Observer
+	// Retry is the transient-fault policy for block reads and checkpoint
+	// writes: each failing Source.Block or SaveBlock is retried up to the
+	// budget with backoff before the block is quarantined. The zero value
+	// disables retrying (first failure quarantines). Retries never change
+	// numerics: a block decomposed after three read retries is seeded and
+	// swept identically to one that read cleanly.
+	Retry blockstore.RetryPolicy
+	// Stop, when non-nil and closed, drains the run gracefully: workers
+	// finish (and checkpoint) the blocks they hold, no new blocks start,
+	// and Run returns ErrStopped.
+	Stop <-chan struct{}
 }
 
 // Result carries the Phase-1 sub-factors.
@@ -182,6 +227,14 @@ type Result struct {
 	// Sweeps records the per-block ALS sweep count: 0 for blocks restored
 	// from a checkpoint (nothing was recomputed) and for empty blocks.
 	Sweeps []int
+	// Quarantined lists the blocks that failed past their retry budget
+	// (ascending block id); empty on a clean run. When non-empty, Run
+	// also returns a *QuarantineError and the listed blocks' Sub entries
+	// must not be used.
+	Quarantined []int
+	// Retries counts the transient-fault retries performed under
+	// Options.Retry.
+	Retries int64
 }
 
 // TotalSweeps sums the per-block ALS sweep counts.
@@ -232,23 +285,25 @@ func Run(src Source, opts Options) (*Result, error) {
 		vec []int
 	}
 	jobs := make(chan job)
-	// quit is closed on the first worker error so the producer stops
-	// handing out jobs. Without it the unbuffered send below deadlocks
-	// once every worker has exited on error.
-	quit := make(chan struct{})
+	// retryer heals transient faults on the block-read and
+	// checkpoint-write paths; trace events address Phase-1 blocks with
+	// mode -1 and the block id in part.
+	retryer := blockstore.NewRetryer(opts.Retry, opts.Obs)
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		quitOnce sync.Once
-		firstErr error
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		qBlocks []int
+		qErrs   []error
 	)
-	fail := func(vec []int, err error) {
+	// quarantine records a block whose retry budget is spent and lets the
+	// worker move on: one poison block must not discard its siblings'
+	// work (they are individually checkpointed, so a later run recomputes
+	// only the quarantined ones).
+	quarantine := func(id int, vec []int, err error) {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = fmt.Errorf("phase1: block %v: %w", vec, err)
-		}
+		qBlocks = append(qBlocks, id)
+		qErrs = append(qErrs, fmt.Errorf("phase1: block %v: %w", vec, err))
 		mu.Unlock()
-		quitOnce.Do(func() { close(quit) })
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -261,8 +316,8 @@ func Run(src Source, opts Options) (*Result, error) {
 				if opts.Checkpoint != nil {
 					factors, fit, ok, err := opts.Checkpoint.LoadBlock(j.id)
 					if err != nil {
-						fail(j.vec, err)
-						return
+						quarantine(j.id, j.vec, err)
+						continue
 					}
 					if ok && blockShapeOK(factors, j.vec, p, opts.Rank) {
 						res.Sub[j.id] = factors
@@ -271,7 +326,12 @@ func Run(src Source, opts Options) (*Result, error) {
 						continue
 					}
 				}
-				block, err := src.Block(j.vec)
+				var block any
+				err := retryer.Do("block", -1, j.id, func() error {
+					var e error
+					block, e = src.Block(j.vec)
+					return e
+				})
 				if err == nil {
 					var factors []*mat.Matrix
 					var fit float64
@@ -282,7 +342,9 @@ func Run(src Source, opts Options) (*Result, error) {
 						res.Fits[j.id] = fit
 						res.Sweeps[j.id] = sweeps
 						if opts.Checkpoint != nil {
-							err = opts.Checkpoint.SaveBlock(j.id, factors, fit)
+							err = retryer.Do("save", -1, j.id, func() error {
+								return opts.Checkpoint.SaveBlock(j.id, factors, fit)
+							})
 						}
 						if err == nil {
 							blockDone(j.id, fit, sweeps, false)
@@ -290,24 +352,43 @@ func Run(src Source, opts Options) (*Result, error) {
 					}
 				}
 				if err != nil {
-					fail(j.vec, err)
-					return
+					quarantine(j.id, j.vec, err)
 				}
 			}
 		}()
 	}
+	stopped := false
 send:
 	for id, vec := range p.Positions() {
 		select {
 		case jobs <- job{id: id, vec: vec}:
-		case <-quit:
+		case <-opts.Stop:
+			// Graceful drain: stop handing out blocks; workers finish
+			// (and checkpoint) what they hold.
+			stopped = true
 			break send
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	res.Retries = retryer.Retries()
+	if len(qBlocks) > 0 {
+		// Workers finish in nondeterministic order; report ascending.
+		order := make([]int, len(qBlocks))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return qBlocks[order[a]] < qBlocks[order[b]] })
+		qe := &QuarantineError{Blocks: make([]int, len(order)), Errs: make([]error, len(order))}
+		for i, o := range order {
+			qe.Blocks[i] = qBlocks[o]
+			qe.Errs[i] = qErrs[o]
+		}
+		res.Quarantined = qe.Blocks
+		return res, qe
+	}
+	if stopped {
+		return res, ErrStopped
 	}
 	return res, nil
 }

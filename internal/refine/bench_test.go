@@ -171,3 +171,69 @@ func BenchmarkObsOverhead(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkResilienceOverhead measures what the retry layer costs the
+// Phase-2 engine on HEALTHY storage (a pure in-memory run, so nothing
+// hides the wrapper):
+//
+//   - off:   the store used directly — the disabled state everyone who
+//     never enables retries pays for (nothing wraps anything).
+//   - retry: the store behind blockstore.Resilient with a live retry
+//     budget, exactly how twopcp -retry wires it, but zero injected
+//     faults — so every op takes the first-attempt fast path. Acceptance:
+//     <= 2% over off (+ the measurement margin in BENCH_resilience.json;
+//     gated by cmd/benchgate as resilience-overhead).
+//
+// The fault-ABSORBING path is covered functionally (scripts/chaos.sh and
+// the chaos tests assert bit-identical output); this benchmark pins only
+// the price of having the safety net installed.
+//
+// Recorded baselines live in BENCH_resilience.json.
+func BenchmarkResilienceOverhead(b *testing.B) {
+	p1 := benchPhase1(b)
+	pol := blockstore.RetryPolicy{MaxRetries: 3, Seed: 1}
+	run := func(b *testing.B, resilient bool) {
+		var swaps int64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := Config{
+				Phase1:   p1,
+				Store:    blockstore.NewMemStore(),
+				Schedule: schedule.ZOrder, Policy: buffer.LRU,
+				BufferFraction: 0.5,
+				// 8 full Z-order cycles, same workload as the obs
+				// benchmark: long enough that the overhead ratio rises
+				// above scheduler jitter on shared runners.
+				MaxVirtualIters: 128,
+				Tol:             math.Inf(-1),
+				Seed:            5,
+			}
+			if resilient {
+				cfg.Store = blockstore.Resilient(cfg.Store, pol, nil)
+				cfg.Retry = pol
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := eng.Run()
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.StoreStats.Retries != 0 {
+				b.Fatalf("%d retries on healthy storage", res.StoreStats.Retries)
+			}
+			if swaps == 0 {
+				swaps = res.BufferStats.Fetches
+			} else if swaps != res.BufferStats.Fetches {
+				b.Fatalf("swap count drifted: %d vs %d", swaps, res.BufferStats.Fetches)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(swaps), "swaps")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("retry", func(b *testing.B) { run(b, true) })
+}

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +16,12 @@ import (
 	"twopcp/internal/runstate"
 	"twopcp/internal/schedule"
 )
+
+// ErrStopped is returned by Run when Config.Stop was closed: the engine
+// finished the in-flight schedule step, wrote a checkpoint at the step
+// boundary (when checkpointing is configured) and returned. A later run
+// with the same Checkpointer resumes bit-exactly from that boundary.
+var ErrStopped = errors.New("refine: stopped before completion")
 
 // InitKind selects how the full-factor partitions A(i)_(ki) are seeded.
 type InitKind int
@@ -113,6 +120,17 @@ type Config struct {
 	// into the Phase-2 state and restored on resume. Nil disables it at
 	// ~zero cost.
 	Obs *obs.Observer
+	// Retry threads the resilience policy into the buffer manager: its
+	// MaxRetries budget bounds the in-job retries of background
+	// write-backs. (Per-Get/Put retrying itself lives in the store stack —
+	// wrap Store with blockstore.Resilient; the engine is agnostic to
+	// it.) Like the parallelism knobs, Retry cannot change what the run
+	// computes.
+	Retry blockstore.RetryPolicy
+	// Stop, when non-nil and closed, drains the run gracefully: the
+	// in-flight step finishes, a checkpoint is written at the boundary
+	// (when Checkpoint is set) and Run returns ErrStopped.
+	Stop <-chan struct{}
 }
 
 // Result reports a Phase-2 run.
@@ -252,14 +270,15 @@ func New(cfg Config) (*Engine, error) {
 		capacity = int64(cfg.BufferFraction * float64(schedule.TotalBytes(p, cfg.Phase1.Rank)))
 	}
 	mgr, err := buffer.NewManager(buffer.Config{
-		Store:         cfg.Store,
-		Pattern:       p,
-		CapacityBytes: capacity,
-		Policy:        cfg.Policy,
-		Schedule:      e.sched,
-		Workers:       cfg.IOWorkers,
-		Rank:          cfg.Phase1.Rank,
-		Obs:           cfg.Obs,
+		Store:            cfg.Store,
+		Pattern:          p,
+		CapacityBytes:    capacity,
+		Policy:           cfg.Policy,
+		Schedule:         e.sched,
+		Workers:          cfg.IOWorkers,
+		Rank:             cfg.Phase1.Rank,
+		WriteBackRetries: cfg.Retry.MaxRetries,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -455,12 +474,43 @@ func (e *Engine) Run() (*Result, error) {
 
 	for !done && res.VirtualIters < e.cfg.MaxVirtualIters {
 		for si := startStep; si < len(e.sched.Steps); si++ {
+			// Graceful drain: a close of Stop is honored at the step
+			// boundary — the position the checkpoint format can represent —
+			// so the state written here resumes bit-exactly.
+			if e.cfg.Stop != nil {
+				select {
+				case <-e.cfg.Stop:
+					if e.cfg.Checkpoint != nil {
+						if err := e.saveCheckpoint(si, pos, updates, res, prevFit, warmupLeft); err != nil {
+							return nil, fmt.Errorf("%w: drain checkpoint failed: %w", ErrStopped, err)
+						}
+					}
+					return nil, ErrStopped
+				default:
+				}
+			}
 			step := &e.sched.Steps[si]
 			// Acquire the step's units in schedule order.
 			units := make([]*blockstore.Unit, len(step.Accesses))
 			for ai, a := range step.Accesses {
 				u, err := e.mgr.Acquire(a.Mode, a.Part)
 				if err != nil {
+					// A surfaced background write-back failure reports at
+					// the top of the *next* Acquire, before any buffer
+					// state mutates: when it surfaces on the step's first
+					// access, the engine and buffer are still exactly at
+					// the boundary after step si-1, so an emergency
+					// checkpoint of that boundary is consistent — the
+					// checkpoint's factors come from curA, not from the
+					// store the write-back failed against. Mid-step fetch
+					// failures (ai > 0, or a demand Get error) have
+					// already advanced the buffer clock and cannot be
+					// checkpointed; they surface as-is.
+					if ai == 0 && e.cfg.Checkpoint != nil && errors.Is(err, buffer.ErrAsyncWriteBack) {
+						if ckErr := e.saveCheckpoint(si, pos, updates, res, prevFit, warmupLeft); ckErr == nil {
+							return nil, fmt.Errorf("refine: emergency checkpoint written at step %d: %w", si, err)
+						}
+					}
 					return nil, err
 				}
 				units[ai] = u

@@ -41,6 +41,9 @@ type ResultState struct {
 	BufferHitRate float64 `json:"buffer_hit_rate,omitempty"`
 	Evictions     int64   `json:"evictions,omitempty"`
 	WriteBacks    int64   `json:"write_backs,omitempty"`
+	// Retries counts transient-fault retries absorbed across the run
+	// (omitempty keeps pre-resilience result files byte-compatible).
+	Retries int64 `json:"retries,omitempty"`
 	// Factors are the full per-mode factor matrices A(i).
 	Factors []*mat.Matrix `json:"-"`
 }

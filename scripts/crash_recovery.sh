@@ -20,6 +20,14 @@
 # resume that lands mid-Phase-2 skips Phase 0 and restores its recorded
 # outcome from the manifest. CI runs a tucker pass in the accel job.
 #
+# TWOPCP_FAULT_RATE=0.01 reruns the whole scenario on chaos-degraded
+# storage: every twopcp invocation (reference, killed, resumed) reads the
+# rate from the environment via the -fault-rate flag default and injects
+# seeded transient faults into store and block reads. The script adds a
+# retry budget so the faults heal, and the kill/resume diff must STILL be
+# bit-for-bit — recovery correctness is independent of storage health.
+# CI runs a faulted pass in the chaos job.
+#
 # TWOPCP_TRACE=1 additionally runs the killed and resumed runs with
 # -trace into one shared file: because OpenTrace appends, the resumed
 # run must EXTEND the pre-crash event stream (two run.start events, a
@@ -59,7 +67,13 @@ fi
 # kill always lands between checkpoints.
 args=(-in "$work/x.tptl" -rank 4 -parts 3 -buffer 0.5 -iters 600 -tol=-1 -seed 11
   -constraint "$constraint" -lambda "$lambda" -accelerator "$accelerator")
-echo "== constraint: $constraint (lambda $lambda)   accelerator: $accelerator"
+fault_rate="${TWOPCP_FAULT_RATE:-0}"
+if [ "$fault_rate" != 0 ]; then
+  # The binary picks the rate up from $TWOPCP_FAULT_RATE itself; the script
+  # only has to grant a retry budget so the injected faults heal.
+  args+=(-retry 8)
+fi
+echo "== constraint: $constraint (lambda $lambda)   accelerator: $accelerator   fault rate: $fault_rate"
 
 echo "== reference (uninterrupted) run"
 "$work/twopcp" "${args[@]}" -out-prefix "$work/ref" -json "$work/ref.json" >/dev/null
@@ -108,20 +122,21 @@ for m in 0 1 2; do
     exit 1
   }
 done
-# Wall-clock fields legitimately differ, and a resumed run reports fewer
-# Phase-1 sweeps (checkpoint-restored blocks recompute nothing); every
-# other field of run_stats (fit, trace, swaps, hit rate, store traffic,
-# iteration counts) must match exactly.
+# Wall-clock fields legitimately differ, a resumed run reports fewer
+# Phase-1 sweeps (checkpoint-restored blocks recompute nothing), and retry
+# counts depend on which ops each attempt happened to issue under fault
+# injection; every other field of run_stats (fit, trace, swaps, hit rate,
+# store traffic, iteration counts) must match exactly.
 if command -v jq >/dev/null 2>&1; then
-  strip='del(.run_stats.phase0_ns, .run_stats.phase1_ns, .run_stats.phase2_ns, .run_stats.phase1_sweeps)'
+  strip='del(.run_stats.phase0_ns, .run_stats.phase1_ns, .run_stats.phase2_ns, .run_stats.phase1_sweeps, .run_stats.retries)'
   diff <(jq -S "$strip" "$work/ref.json") \
        <(jq -S "$strip" "$work/res.json") || {
     echo "FAIL: result JSON differs between reference and resumed run" >&2
     exit 1
   }
 else
-  diff <(grep -v '_ns"\|phase1_sweeps' "$work/ref.json") \
-       <(grep -v '_ns"\|phase1_sweeps' "$work/res.json") || {
+  diff <(grep -v '_ns"\|phase1_sweeps\|"retries"' "$work/ref.json") \
+       <(grep -v '_ns"\|phase1_sweeps\|"retries"' "$work/res.json") || {
     echo "FAIL: result JSON differs between reference and resumed run" >&2
     exit 1
   }

@@ -89,4 +89,11 @@ type RunStats struct {
 	// steps that never ran; everything else here is depth-invariant.
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
+	// Retries counts transient-fault retries absorbed by the resilience
+	// layer across both phases (0 when Options.Retry is disabled or no
+	// faults occurred). Unlike every counter above it is NOT part of the
+	// determinism contract — faults are environmental — but it reconciles
+	// exactly with the store.retry events in a single-process trace
+	// (cmd/tracecheck -run-stats checks this).
+	Retries int64 `json:"retries"`
 }

@@ -1,6 +1,7 @@
 package twopcp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -134,6 +135,26 @@ type Options struct {
 	// telemetry at ~zero cost. Telemetry never influences the run:
 	// results are bit-identical with any observer configuration.
 	Observer *Observer
+	// Retry configures the resilience layer: transient store and block
+	// faults are retried with capped exponential backoff (seeded jitter),
+	// per-operation deadlines bound slow I/O, and a circuit breaker trips
+	// to fail-fast after repeated permanent faults. Retries never change
+	// what the run computes — factors, FitTrace and the Result's I/O
+	// counters are bit-identical to a fault-free run (only successful
+	// operations count). The zero value disables the layer entirely.
+	// Excluded from the checkpoint fingerprint: a run may be resumed with
+	// different retry settings. See the "Fault tolerance" section of the
+	// package documentation.
+	Retry RetryPolicy
+	// Stop, when non-nil, requests a graceful drain when closed: the run
+	// finishes its in-flight step, writes a checkpoint (when Checkpoint is
+	// set) and returns an error wrapping ErrInterrupted. The CLIs close it
+	// on SIGTERM/SIGINT.
+	Stop <-chan struct{}
+	// Chaos injects seeded faults for resilience testing; the zero value
+	// injects nothing. Excluded from the checkpoint fingerprint. See the
+	// Chaos type.
+	Chaos Chaos
 }
 
 // Result reports a two-phase decomposition: the numerical outputs at the
@@ -317,6 +338,12 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	out = &Result{}
 	out.RunStats.Blocks = p.NumBlocks()
 
+	// Chaos block-read faults wrap the source before Phase 1 sees it; the
+	// injection RNG is independent of the run's numerics, so a healed run
+	// is bit-identical to a fault-free one.
+	if opts.Chaos.BlockRate > 0 || len(opts.Chaos.PoisonBlocks) > 0 {
+		src = phase1.NewFaultySource(src, opts.Chaos.BlockRate, opts.Chaos.Seed, opts.Chaos.PoisonBlocks)
+	}
 	p1opts := phase1.Options{
 		Rank:     opts.Rank,
 		MaxIters: opts.Phase1MaxIters,
@@ -325,6 +352,8 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		Workers:  opts.Workers,
 		Solver:   solver,
 		Obs:      ob,
+		Retry:    opts.Retry,
+		Stop:     opts.Stop,
 	}
 	// Phase 0: the accelerator's warm start (or sampled solver) only
 	// influences Phase-1 block decompositions. Once a resumed manifest has
@@ -359,9 +388,13 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	}
 	p1, err := phase1.Run(src, p1opts)
 	if err != nil {
+		if errors.Is(err, phase1.ErrStopped) {
+			err = fmt.Errorf("%w: drained during phase 1: %w", ErrInterrupted, err)
+		}
 		return nil, nil, false, err
 	}
 	out.RunStats.Phase1Time = time.Since(start)
+	out.RunStats.Retries = p1.Retries
 	out.RunStats.Phase1Sweeps = p1.TotalSweeps()
 	if rs != nil {
 		if err := rs.BeginPhase2(); err != nil {
@@ -378,6 +411,25 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	} else {
 		store = blockstore.NewMemStore()
 	}
+	// Phase-2 store stack, inside out: base store → chaos fault injector
+	// (testing only) → resilience wrapper (retries, deadlines, breaker) →
+	// instrumentation. The resilience layer sits below instrumentation so
+	// the Reads/Writes/Bytes counters record only successful operations —
+	// that is what keeps a healed run's Result bit-identical to a
+	// fault-free run's.
+	engineStore := store
+	if opts.Chaos.storeFaults() {
+		fs := blockstore.NewFaultyStore(engineStore)
+		fs.SetPlan(blockstore.FaultPlan{
+			Seed:      opts.Chaos.Seed,
+			ReadRate:  opts.Chaos.ReadRate,
+			WriteRate: opts.Chaos.WriteRate,
+		})
+		engineStore = fs
+	}
+	if opts.Retry.Enabled() {
+		engineStore = blockstore.Resilient(engineStore, opts.Retry, ob)
+	}
 	// The instrumented wrapper feeds the registry's raw blockstore
 	// counters and traces Puts; Phase 2 reads through the Quiet view so
 	// prefetch-issued Gets (whose count varies with PrefetchDepth) stay
@@ -385,7 +437,7 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	// events carry the read information instead.
 	cfg := refine.Config{
 		Phase1:          p1,
-		Store:           blockstore.Instrument(store, ob).Quiet(),
+		Store:           blockstore.Instrument(engineStore, ob).Quiet(),
 		Schedule:        opts.Schedule,
 		Policy:          opts.Replacement,
 		BufferFraction:  opts.BufferFraction,
@@ -398,6 +450,8 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 		Solver:          solver,
 		Obs:             ob,
 	}
+	cfg.Retry = opts.Retry
+	cfg.Stop = opts.Stop
 	if rs != nil {
 		cfg.Checkpoint = rs
 		cfg.CheckpointEverySteps = opts.CheckpointEverySteps
@@ -410,6 +464,9 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	r, err := eng.Run()
 	if err != nil {
 		store.Close()
+		if errors.Is(err, refine.ErrStopped) {
+			err = fmt.Errorf("%w: drained during phase 2: %w", ErrInterrupted, err)
+		}
 		return nil, nil, false, err
 	}
 	// Close surfaces durability errors the store deferred (FileStore
@@ -433,6 +490,7 @@ func run(src phase1.Source, p *Pattern, opts Options, inputKind string) (out *Re
 	out.RunStats.WriteBacks = r.BufferStats.WriteBacks
 	out.RunStats.BytesRead = r.StoreStats.BytesRead
 	out.RunStats.BytesWritten = r.StoreStats.BytesWritten
+	out.RunStats.Retries += r.StoreStats.Retries
 	if ob != nil && ob.Metrics != nil {
 		// Final authoritative gauges mirroring Result.RunStats: the raw
 		// blockstore counters are monotonic and include setup seeding
