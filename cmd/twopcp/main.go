@@ -4,6 +4,7 @@
 // Usage:
 //
 //	twopcp -in tensor.tpdn -rank 10 [flags]
+//	twopcp submit|status|watch|cancel ...   (client mode, against twopcpd)
 //
 // The input format (dense .tpdn / sparse .tpsp / tiled .tptl) is detected
 // from the file magic. Tiled inputs run fully out-of-core: Phase 1 reads
@@ -23,46 +24,46 @@
 // checkpointed durably (per Phase-1 block, and per Phase-2 schedule step
 // batch), and a killed run restarted with -resume <dir> skips completed
 // work and finishes with bit-for-bit identical factors, fit trace and swap
-// counts. See the README's "Crash recovery" walkthrough.
+// counts. See docs/crash-recovery.md.
+//
+// The submit, status, watch and cancel subcommands talk to a running
+// twopcpd daemon instead of decomposing locally; see docs/service.md and
+// docs/API.md.
 package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
-	"time"
 
 	"twopcp"
 	"twopcp/internal/buffer"
-	"twopcp/internal/par"
+	"twopcp/internal/cli"
 	"twopcp/internal/schedule"
-	"twopcp/internal/tfile"
-)
-
-// Exit codes beyond the conventional 1 (failure) / 2 (usage):
-const (
-	// exitDrained: the run stopped gracefully on SIGTERM/SIGINT after
-	// writing a checkpoint; restart with -resume to continue bit-exactly.
-	exitDrained = 3
-	// exitQuarantine: Phase-1 blocks exhausted the retry budget on a
-	// permanent fault; the rest of the run is checkpointed, so fixing the
-	// fault and resuming recomputes only the quarantined blocks.
-	exitQuarantine = 4
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("twopcp: ")
 
+	// Client subcommands are dispatched by the first argument; anything
+	// else (including no arguments) is the classic local-run flag form.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "submit", "status", "watch", "cancel":
+			os.Exit(clientMain(os.Args[1], os.Args[2:]))
+		}
+	}
+	runLocal()
+}
+
+// runLocal is the classic CLI path: parse the run flags, decompose the
+// input in this process, print the summary.
+func runLocal() {
 	var (
 		in         = flag.String("in", "", "input tensor file (.tpdn dense or .tpsp sparse; required)")
 		rank       = flag.Int("rank", 10, "decomposition rank F")
@@ -94,9 +95,9 @@ func main() {
 		progress   = flag.Duration("progress", 0, "print a progress line (fit, sweeps, blocks, I/O, buffer hit rate) to stderr at this interval (0 = off)")
 		retries    = flag.Int("retry", 0, "max retries per operation for transient store/block faults (0 = resilience layer off)")
 		opTimeout  = flag.Duration("op-timeout", 0, "per-operation store deadline; slow operations fail with a retryable timeout (0 = none)")
-		faultRate  = flag.Float64("fault-rate", envFloat("TWOPCP_FAULT_RATE"), "chaos testing: per-op probability of an injected transient fault on store and block reads (default $TWOPCP_FAULT_RATE)")
+		faultRate  = flag.Float64("fault-rate", cli.EnvFloat("TWOPCP_FAULT_RATE"), "chaos testing: per-op probability of an injected transient fault on store and block reads (default $TWOPCP_FAULT_RATE)")
 		faultWRate = flag.Float64("fault-write-rate", 0, "chaos testing: per-op probability of an injected transient fault on store writes")
-		faultSeed  = flag.Int64("fault-seed", envInt("TWOPCP_FAULT_SEED"), "chaos testing: fault-injection RNG seed (default $TWOPCP_FAULT_SEED)")
+		faultSeed  = flag.Int64("fault-seed", cli.EnvInt("TWOPCP_FAULT_SEED"), "chaos testing: fault-injection RNG seed (default $TWOPCP_FAULT_SEED)")
 		poison     = flag.String("fault-poison-blocks", "", "chaos testing: comma-separated Phase-1 block ids that fail permanently on every read")
 	)
 	flag.Parse()
@@ -170,85 +171,33 @@ func main() {
 	// Graceful drain: the first SIGTERM/SIGINT asks the run to finish its
 	// in-flight step, write a checkpoint, and exit with code 3; a second
 	// signal kills the process the usual way (the handler resets itself).
-	stop := make(chan struct{})
-	opts.Stop = stop
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
-	go func() {
-		s := <-sigc
-		fmt.Fprintf(os.Stderr, "twopcp: received %v, draining (finishing in-flight step, writing checkpoint)\n", s)
-		signal.Stop(sigc)
-		close(stop)
-	}()
+	opts.Stop = cli.InstallDrain("twopcp")
 
 	// Telemetry: any of -trace/-metrics/-pprof/-progress switches the
 	// observer on; without them opts.Observer stays nil and the run pays
 	// essentially nothing. Telemetry never influences the computation —
 	// results are bit-identical either way.
-	var rec *twopcp.Recorder
-	var reg *twopcp.Registry
-	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" || *progress > 0 {
-		ob := &twopcp.Observer{}
-		if *traceOut != "" {
-			var err error
-			rec, err = twopcp.OpenTrace(*traceOut)
-			if err != nil {
-				log.Fatal(err)
-			}
-			ob.Trace = rec
-		}
-		if *metricsOut != "" || *pprofAddr != "" || *progress > 0 {
-			reg = twopcp.NewRegistry()
-			ob.Metrics = reg
-			par.SetDispatchCounter(reg.Counter("par.dispatches"))
-			defer par.SetDispatchCounter(nil)
-		}
-		opts.Observer = ob
+	tel, err := cli.Telemetry{
+		TracePath:   *traceOut,
+		MetricsPath: *metricsOut,
+		PprofAddr:   *pprofAddr,
+		Progress:    *progress,
+	}.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *pprofAddr != "" {
-		// The blank net/http/pprof import registers its handlers on
-		// http.DefaultServeMux; add the Prometheus exposition beside them.
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			w.Write(reg.PrometheusText())
-		})
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
-	}
-	stopProgress := func() {}
-	if *progress > 0 {
-		stopProgress = startProgress(reg, *progress)
-	}
+	opts.Observer = tel.Observer
 
-	res, dims, err := decomposeFile(*in, opts)
-	stopProgress()
-	if rec != nil {
-		if cerr := rec.Close(); cerr != nil {
-			log.Printf("trace: %v", cerr)
-		}
+	res, dims, err := twopcp.DecomposeFile(*in, opts)
+	if cerr := tel.Close(); cerr != nil {
+		log.Printf("telemetry: %v", cerr)
 	}
 	if err != nil {
 		// Typed resilience outcomes get distinct exit codes so scripts can
 		// tell a drained or quarantined — and therefore resumable — run
 		// from a hard failure.
-		var qe *twopcp.QuarantineError
-		switch {
-		case errors.Is(err, twopcp.ErrInterrupted):
-			log.Print(err)
-			os.Exit(exitDrained)
-		case errors.As(err, &qe):
-			log.Print(err)
-			os.Exit(exitQuarantine)
-		}
-		log.Fatal(err)
-	}
-	if *metricsOut != "" {
-		if err := reg.WriteSnapshot(*metricsOut); err != nil {
-			log.Fatal(err)
-		}
+		log.Print(err)
+		os.Exit(cli.ExitCode(err))
 	}
 
 	// The whole human-readable summary goes to stderr: stdout is reserved
@@ -293,7 +242,7 @@ func main() {
 	if *outPrefix != "" {
 		for m, f := range res.Model.Factors {
 			path := fmt.Sprintf("%s-mode%d.csv", *outPrefix, m)
-			if err := writeCSV(path, f); err != nil {
+			if err := cli.WriteFactorCSV(path, f); err != nil {
 				log.Fatal(err)
 			}
 			summary("wrote %s (%d×%d)\n", path, f.Rows, f.Cols)
@@ -307,19 +256,6 @@ func main() {
 			summary("wrote %s\n", *jsonOut)
 		}
 	}
-}
-
-// envFloat reads a float64 flag default from the environment (0 when
-// unset or unparseable — the flag's own validation is the error path).
-func envFloat(name string) float64 {
-	v, _ := strconv.ParseFloat(os.Getenv(name), 64)
-	return v
-}
-
-// envInt reads an int64 flag default from the environment.
-func envInt(name string) int64 {
-	v, _ := strconv.ParseInt(os.Getenv(name), 10, 64)
-	return v
 }
 
 // parseBlockList parses the -fault-poison-blocks comma-separated id list.
@@ -336,56 +272,6 @@ func parseBlockList(s string) ([]int, error) {
 		ids = append(ids, id)
 	}
 	return ids, nil
-}
-
-// startProgress launches the periodic progress reporter: one stderr line
-// per tick with the run's live position (Phase-1 blocks and sweeps, then
-// Phase-2 fit and iterations) and I/O counters. Returns its stop func.
-func startProgress(reg *twopcp.Registry, every time.Duration) func() {
-	const mb = 1.0 / (1 << 20)
-	blocks := reg.Counter("phase1.blocks_done")
-	sweeps := reg.Counter("phase1.sweeps")
-	iters := reg.Gauge("phase2.virtual_iters")
-	fit := reg.Gauge("phase2.fit")
-	fetches := reg.Counter("buffer.fetches")
-	hits := reg.Counter("buffer.hits")
-	bytesRead := reg.Counter("blockstore.bytes_read")
-	bytesWritten := reg.Counter("blockstore.bytes_written")
-	start := time.Now()
-	report := func() {
-		hitRate := 0.0
-		if tot := hits.Load() + fetches.Load(); tot > 0 {
-			hitRate = float64(hits.Load()) / float64(tot)
-		}
-		fmt.Fprintf(os.Stderr,
-			"progress %8s  blocks=%d sweeps=%d  iters=%g fit=%.6f  read=%.1fMB written=%.1fMB hit=%.1f%%\n",
-			time.Since(start).Round(time.Second),
-			blocks.Load(), sweeps.Load(), iters.Load(), fit.Load(),
-			float64(bytesRead.Load())*mb, float64(bytesWritten.Load())*mb,
-			100*hitRate)
-	}
-	done := make(chan struct{})
-	finished := make(chan struct{})
-	go func() {
-		defer close(finished)
-		tick := time.NewTicker(every)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-				report()
-			}
-		}
-	}()
-	return func() {
-		close(done)
-		<-finished
-		// One final line so even runs shorter than the tick interval leave
-		// a progress record.
-		report()
-	}
 }
 
 // writeResultJSON records the run's deterministic outputs (plus timings)
@@ -411,71 +297,4 @@ func writeResultJSON(path string, dims []int, res *twopcp.Result) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// decomposeFile sniffs the tensor format and runs the pipeline.
-func decomposeFile(path string, opts twopcp.Options) (*twopcp.Result, []int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	magic := make([]byte, 4)
-	if _, err := f.Read(magic); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("read magic: %w", err)
-	}
-	f.Close()
-	switch string(magic) {
-	case tfile.Magic:
-		res, err := twopcp.DecomposeTiledFile(path, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		dims := make([]int, len(res.Model.Factors))
-		for m, f := range res.Model.Factors {
-			dims[m] = f.Rows
-		}
-		return res, dims, nil
-	case "TPDN":
-		x, err := twopcp.LoadDense(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := twopcp.Decompose(x, opts)
-		return res, x.Dims, err
-	case "TPSP":
-		x, err := twopcp.LoadCOO(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := twopcp.DecomposeSparse(x, opts)
-		return res, x.Dims, err
-	default:
-		return nil, nil, fmt.Errorf("unrecognized tensor magic %q (want TPDN, TPSP or TPTL)", magic)
-	}
-}
-
-func writeCSV(path string, m *twopcp.Matrix) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			if j > 0 {
-				if _, err := fmt.Fprint(f, ","); err != nil {
-					return err
-				}
-			}
-			if _, err := fmt.Fprintf(f, "%g", v); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(f); err != nil {
-			return err
-		}
-	}
-	return f.Close()
 }

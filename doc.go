@@ -347,15 +347,32 @@
 // Result.RunStats.Retries reconciles with the trace's store.retry
 // count via cmd/tracecheck -run-stats (see Fault tolerance above).
 //
+// # Running as a service
+//
+// cmd/twopcpd serves decompositions over HTTP: submit a Spec (the same
+// knobs as Options, JSON-encoded), watch progress as a Server-Sent
+// Events stream, download the factors as CSV. The service layer
+// (internal/jobs) adds no numerics of its own — jobs run through
+// DecomposeFile, so a job's factors are bit-identical to the same file
+// decomposed locally — and inherits the contracts above: job records
+// are fsync'd with the runstate machinery (Durability), SIGTERM drains
+// every running job through Options.Stop and exits 3 (the CLI drain
+// contract), permanent faults land jobs in a quarantined state (the
+// exit-4 analog, Fault tolerance), and per-job event streams fan out
+// through FanOut so slow watchers never block a run (Telemetry). A
+// restarted daemon requeues and resumes in-flight jobs bit-exactly.
+// docs/service.md is the walkthrough; docs/API.md the wire contract.
+//
 // # Architecture
 //
 // The public API wraps the internal packages: tensor (dense/sparse tensors,
 // MTTKRP), cpals (in-memory ALS), grid (partitioning), sfc + schedule
 // (traversal orders), blockstore + buffer (out-of-core data units and
 // replacement policies), runstate (durable manifests and checkpoints),
-// phase1/refine (the two phases), mapreduce + haten2
-// (the MapReduce substrate and the paper's comparison baseline) and
-// experiments (regenerating every table and figure of the paper). See
-// DESIGN.md for the full inventory and EXPERIMENTS.md for reproduction
-// results.
+// phase1/refine (the two phases), jobs + cli (the twopcpd service layer
+// and the shared CLI plumbing), mapreduce + haten2 (the MapReduce
+// substrate and the paper's comparison baseline) and experiments
+// (regenerating every table and figure of the paper). docs/ARCHITECTURE.md
+// holds the full layer map and the daemon request lifecycle; the
+// walkthroughs live in docs/ and are indexed from README.md.
 package twopcp

@@ -1,0 +1,322 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Route is one API endpoint: the Go 1.22 mux pattern it registers under
+// and a short summary. The table below is the single source of truth for
+// the daemon's surface — the server builds its mux from it, and the
+// docs test in the root package cross-checks docs/API.md against it in
+// both directions, so an endpoint cannot be added, removed or renamed
+// without the documentation moving in lockstep.
+type Route struct {
+	// Method is the HTTP method.
+	Method string
+	// Pattern is the path pattern ({id}, {mode} wildcards).
+	Pattern string
+	// Summary is a one-line description (mirrored in docs/API.md).
+	Summary string
+
+	handler func(*Server, http.ResponseWriter, *http.Request)
+}
+
+// Routes is the daemon's complete HTTP API surface.
+var Routes = []Route{
+	{"GET", "/healthz", "liveness probe", (*Server).handleHealth},
+	{"GET", "/v1/jobs", "list all jobs", (*Server).handleList},
+	{"POST", "/v1/jobs", "submit a job (JSON spec referencing a tensor path)", (*Server).handleSubmit},
+	{"POST", "/v1/jobs/upload", "submit a job with the tensor bytes as the request body", (*Server).handleUpload},
+	{"GET", "/v1/jobs/{id}", "job status", (*Server).handleGet},
+	{"GET", "/v1/jobs/{id}/events", "stream job progress events (SSE)", (*Server).handleEvents},
+	{"POST", "/v1/jobs/{id}/cancel", "cancel a queued or running job (checkpointing first)", (*Server).handleCancel},
+	{"POST", "/v1/jobs/{id}/resume", "requeue a canceled/interrupted/quarantined/failed job", (*Server).handleResume},
+	{"GET", "/v1/jobs/{id}/result", "result summary JSON (done jobs)", (*Server).handleResult},
+	{"GET", "/v1/jobs/{id}/factors/{mode}", "download one factor matrix as CSV (done jobs)", (*Server).handleFactor},
+}
+
+// Server serves the jobs API over a Manager.
+type Server struct {
+	m *Manager
+}
+
+// SpecHeader is the request header carrying the JSON-encoded Spec on
+// upload submissions (POST /v1/jobs/upload), whose body is the raw
+// tensor bytes.
+const SpecHeader = "X-Twopcp-Spec"
+
+// NewServer returns a Server over m.
+func NewServer(m *Manager) *Server { return &Server{m: m} }
+
+// Handler builds the API handler from the Routes table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, r := range Routes {
+		h := r.handler
+		mux.HandleFunc(r.Method+" "+r.Pattern, func(w http.ResponseWriter, req *http.Request) {
+			h(s, w, req)
+		})
+	}
+	return mux
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr writes the JSON error envelope. Not-found, draining and
+// validation errors map to 404, 503 and 400/409 at the call sites.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errStatus maps manager errors to HTTP statuses: unknown job → 404,
+// draining → 503, anything else → the fallback.
+func errStatus(err error, fallback int) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	}
+	return fallback
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.m.List()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	job, err := s.m.Submit(spec, nil)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if h := r.Header.Get(SpecHeader); h != "" {
+		if err := json.Unmarshal([]byte(h), &spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad %s header: %w", SpecHeader, err))
+			return
+		}
+	} else if err := specFromQuery(r, &spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.m.Submit(spec, r.Body)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job)
+}
+
+// specFromQuery fills the few spec fields expressible as query
+// parameters (?rank=10&iters=50&seed=1) for curl-friendly uploads
+// without the JSON header.
+func specFromQuery(r *http.Request, spec *Spec) error {
+	q := r.URL.Query()
+	geti := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad query parameter %s=%q", name, v)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := geti("rank", &spec.Rank); err != nil {
+		return err
+	}
+	if err := geti("parts", &spec.Parts); err != nil {
+		return err
+	}
+	if err := geti("iters", &spec.MaxIters); err != nil {
+		return err
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad query parameter seed=%q", v)
+		}
+		spec.Seed = n
+	}
+	if v := q.Get("schedule"); v != "" {
+		spec.Schedule = v
+	}
+	if v := q.Get("replacement"); v != "" {
+		spec.Replacement = v
+	}
+	return nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Cancel(id); err != nil {
+		writeErr(w, errStatus(err, http.StatusConflict), err)
+		return
+	}
+	job, err := s.m.Get(id)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	job, err := s.m.Resume(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusConflict), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	if job.State != StateDone || job.Result == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s has no result (state %q)", job.ID, job.State))
+		return
+	}
+	// Same shape as the CLI's -json output, so result files diff cleanly
+	// against local runs.
+	writeJSON(w, http.StatusOK, struct {
+		Dims         []int     `json:"dims"`
+		Fit          float64   `json:"fit"`
+		VirtualIters int       `json:"virtual_iters"`
+		Converged    bool      `json:"converged"`
+		FitTrace     []float64 `json:"fit_trace"`
+		RunStats     any       `json:"run_stats"`
+	}{job.Dims, job.Result.Fit, job.Result.VirtualIters, job.Result.Converged,
+		job.Result.FitTrace, job.Result.RunStats})
+}
+
+func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.m.Get(id)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	if job.State != StateDone {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s has no factors (state %q)", id, job.State))
+		return
+	}
+	mode, err := strconv.Atoi(r.PathValue("mode"))
+	if err != nil || mode < 0 || mode >= job.Modes {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has modes 0..%d", id, job.Modes-1))
+		return
+	}
+	f, err := os.Open(s.m.Store().FactorPath(id, mode))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "text/csv")
+	http.ServeContent(w, r, fmt.Sprintf("factors-mode%d.csv", mode), time.Time{}, f)
+}
+
+// handleEvents streams the job's event feed as Server-Sent Events: each
+// event is one SSE message whose event field is the trace event name and
+// whose data field is the event's one-line JSON. The stream opens with a
+// synthetic job.state snapshot and ends after a terminal job.state event
+// (or when the client disconnects). A ": keepalive" comment goes out
+// during idle stretches so proxies keep the connection open.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.m.Get(id)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	ch, cancel, err := s.m.Watch(id, 256)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Opening snapshot so a late subscriber knows where the job stands
+	// even if no further events ever arrive.
+	fmt.Fprintf(w, "event: job.state\ndata: {\"state\":%q}\n\n", job.State)
+	flusher.Flush()
+	if job.State.Terminal() {
+		return
+	}
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Name, e.JSON())
+			flusher.Flush()
+			if e.Name == "job.state" {
+				if j, err := s.m.Get(id); err == nil && j.State.Terminal() {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerEndpoints drives every route in the Routes table through a
+// real HTTP round trip — the coverage check at the end fails if a route
+// is added to the table without a request here, keeping this test (and
+// through the docs test, docs/API.md) honest about the full surface.
+func TestServerEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	tensor := filepath.Join(dir, "x.tptl")
+	writeTensor(t, tensor, 1, 12, 12, 12)
+	_, m := newTestManager(t, filepath.Join(dir, "data"), 2)
+	defer m.Drain()
+
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	hit := make(map[string]bool)
+	record := func(method, pattern string) { hit[method+" "+pattern] = true }
+
+	// GET /healthz
+	record("GET", "/healthz")
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	// POST /v1/jobs — path submission.
+	record("POST", "/v1/jobs")
+	spec := Spec{Input: tensor, Rank: 2, Seed: 7}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	decodeBody(t, resp, http.StatusCreated, &job)
+	if job.ID == "" || job.Spec.Parts != 2 {
+		t.Fatalf("submitted job = %+v", job)
+	}
+	// Bad spec → 400 with the JSON error envelope.
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"rank":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	decodeBody(t, resp, http.StatusBadRequest, &apiErr)
+	if apiErr.Error == "" {
+		t.Fatal("400 without error envelope")
+	}
+
+	// POST /v1/jobs/upload — tensor bytes in the body, spec in the header.
+	record("POST", "/v1/jobs/upload")
+	raw, err := os.ReadFile(tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs/upload", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, _ := json.Marshal(Spec{Rank: 2, Seed: 7})
+	req.Header.Set(SpecHeader, string(specJSON))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uploaded Job
+	decodeBody(t, resp, http.StatusCreated, &uploaded)
+	if uploaded.Spec.Input == "" {
+		t.Fatal("upload job has no stored input path")
+	}
+
+	// GET /v1/jobs/{id} — poll both jobs to done.
+	record("GET", "/v1/jobs/{id}")
+	waitHTTPState(t, ts.URL, job.ID, StateDone)
+	waitHTTPState(t, ts.URL, uploaded.ID, StateDone)
+	// Unknown ID → 404.
+	if code := statusOf(t, ts.URL+"/v1/jobs/j999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", code)
+	}
+
+	// GET /v1/jobs — both jobs listed.
+	record("GET", "/v1/jobs")
+	var list struct {
+		Jobs []*Job `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("list = %d jobs, want 2", len(list.Jobs))
+	}
+
+	// GET /v1/jobs/{id}/result — same shape as the CLI's -json output.
+	record("GET", "/v1/jobs/{id}/result")
+	var result struct {
+		Dims     []int     `json:"dims"`
+		Fit      float64   `json:"fit"`
+		FitTrace []float64 `json:"fit_trace"`
+		RunStats map[string]any
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/result", &result)
+	if len(result.Dims) != 3 || result.Fit < 0.9 || len(result.FitTrace) == 0 {
+		t.Fatalf("result = %+v", result)
+	}
+
+	// GET /v1/jobs/{id}/factors/{mode} — byte-identical to the on-disk CSV.
+	record("GET", "/v1/jobs/{id}/factors/{mode}")
+	for mode := 0; mode < 3; mode++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/factors/%d", ts.URL, job.ID, mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("factor %d: status %d err %v", mode, resp.StatusCode, err)
+		}
+		want, err := os.ReadFile(m.Store().FactorPath(job.ID, mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("downloaded mode-%d factors differ from stored CSV", mode)
+		}
+	}
+	if code := statusOf(t, ts.URL+"/v1/jobs/"+job.ID+"/factors/9"); code != http.StatusNotFound {
+		t.Fatalf("out-of-range mode status = %d, want 404", code)
+	}
+
+	// GET /v1/jobs/{id}/events — a done job's stream opens with its
+	// terminal state and closes immediately.
+	record("GET", "/v1/jobs/{id}/events")
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(sse), "event: job.state") || !strings.Contains(string(sse), `"done"`) {
+		t.Fatalf("terminal SSE stream = %q", sse)
+	}
+
+	// POST /v1/jobs/{id}/cancel + /resume: submit a long job, cancel it
+	// mid-run over HTTP, then resume it over HTTP.
+	record("POST", "/v1/jobs/{id}/cancel")
+	record("POST", "/v1/jobs/{id}/resume")
+	big := filepath.Join(dir, "big.tptl")
+	writeTensor(t, big, 11, 30, 30, 30)
+	body, _ = json.Marshal(longSpec(big))
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var longJob Job
+	decodeBody(t, resp, http.StatusCreated, &longJob)
+
+	// Watch the long job's live SSE stream while it runs.
+	events := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + longJob.ID + "/events")
+		if err != nil {
+			events <- ""
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		var lines []string
+		for sc.Scan() && len(lines) < 50 {
+			if l := sc.Text(); l != "" {
+				lines = append(lines, l)
+			}
+		}
+		events <- strings.Join(lines, "\n")
+	}()
+
+	waitHTTPState(t, ts.URL, longJob.ID, StateRunning)
+	waitCheckpoint(t, m.Store(), longJob.ID)
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+longJob.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterCancel Job
+	decodeBody(t, resp, http.StatusOK, &afterCancel)
+	waitHTTPState(t, ts.URL, longJob.ID, StateCanceled)
+
+	select {
+	case stream := <-events:
+		if !strings.Contains(stream, "event:") {
+			t.Fatalf("live SSE stream carried no events:\n%s", stream)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("live SSE watcher never returned")
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+longJob.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed Job
+	decodeBody(t, resp, http.StatusOK, &resumed)
+	if resumed.State != StateQueued {
+		t.Fatalf("resumed state = %q, want queued", resumed.State)
+	}
+	done := waitHTTPState(t, ts.URL, longJob.ID, StateDone)
+	if done.Result == nil {
+		t.Fatal("resumed job finished without a result")
+	}
+	// Resuming a done job → 409.
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+longJob.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("resume done job status = %d, want 409", resp.StatusCode)
+	}
+
+	// Every route in the table must have been exercised above.
+	for _, r := range Routes {
+		if !hit[r.Method+" "+r.Pattern] {
+			t.Errorf("route %s %s not exercised by this test", r.Method, r.Pattern)
+		}
+	}
+	if len(hit) != len(Routes) {
+		t.Errorf("test hits %d patterns, table has %d routes", len(hit), len(Routes))
+	}
+}
+
+// TestServerUploadQueryParams covers the curl-friendly query-parameter
+// spec form of the upload endpoint.
+func TestServerUploadQueryParams(t *testing.T) {
+	dir := t.TempDir()
+	tensor := filepath.Join(dir, "x.tptl")
+	writeTensor(t, tensor, 2, 12, 12, 12)
+	_, m := newTestManager(t, filepath.Join(dir, "data"), 1)
+	defer m.Drain()
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	raw, err := os.ReadFile(tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/upload?rank=2&seed=9&iters=50",
+		"application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	decodeBody(t, resp, http.StatusCreated, &job)
+	if job.Spec.Rank != 2 || job.Spec.Seed != 9 || job.Spec.MaxIters != 50 {
+		t.Fatalf("query-param spec = %+v", job.Spec)
+	}
+	waitHTTPState(t, ts.URL, job.ID, StateDone)
+
+	// GET on the upload path falls through to the {id} route and 404s as
+	// an unknown job — the JSON error envelope either way.
+	if code := statusOf(t, ts.URL+"/v1/jobs/upload?rank=x"); code != http.StatusNotFound {
+		t.Fatalf("GET upload = %d, want 404", code)
+	}
+}
+
+// getJSON fetches url and decodes the 200 response into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, v)
+}
+
+// decodeBody asserts the status and decodes the JSON body into v.
+func decodeBody(t *testing.T, resp *http.Response, want int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("status = %d, want %d\nbody: %s", resp.StatusCode, want, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decode: %v\nbody: %s", err, body)
+	}
+}
+
+// statusOf returns the status code of a GET.
+func statusOf(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// waitHTTPState polls the status endpoint until the job reaches one of
+// the wanted states.
+func waitHTTPState(t *testing.T, base, id string, want ...State) *Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var job Job
+		getJSON(t, base+"/v1/jobs/"+id, &job)
+		for _, s := range want {
+			if job.State == s {
+				return &job
+			}
+		}
+		if job.State.Terminal() {
+			t.Fatalf("job %s reached %q (error %q), want one of %v", id, job.State, job.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want one of %v", id, job.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "sync"
+
+// FanOut broadcasts a run's event stream to dynamically attached
+// subscribers. It is the bridge between the single synchronous
+// Observer.OnEvent callback a run exposes and the many listeners a
+// service front-end needs (one SSE stream per watching client): install
+// fo.Publish as the OnEvent sink (or call Publish from an existing one)
+// and each Subscribe call receives every subsequent event on its own
+// channel.
+//
+// The contract mirrors OnEvent's: Publish must never block the emitting
+// worker. Each subscriber therefore gets a buffered channel, and when a
+// subscriber falls behind (its buffer is full) events for that subscriber
+// are dropped and counted rather than queued without bound — a slow
+// client throttles nobody, it just observes less. Dropped counts are
+// reported per subscriber so a front-end can tell a client its stream
+// gapped. Telemetry observes the run and never influences it; FanOut
+// preserves that by construction.
+type FanOut struct {
+	mu   sync.Mutex
+	next int
+	subs map[int]*subscriber
+}
+
+// subscriber is one attached listener: its event channel and the number
+// of events dropped because the channel was full.
+type subscriber struct {
+	ch      chan Event
+	dropped int64
+}
+
+// NewFanOut returns an empty fan-out with no subscribers.
+func NewFanOut() *FanOut {
+	return &FanOut{subs: make(map[int]*subscriber)}
+}
+
+// Publish delivers e to every current subscriber without blocking:
+// subscribers whose buffer is full miss the event (their drop count
+// increments). Safe for concurrent use with Subscribe and itself — it
+// is designed to be installed as an Observer.OnEvent callback.
+func (f *FanOut) Publish(e Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Subscribe attaches a listener and returns its event channel plus a
+// cancel function. The channel buffers buf events (minimum 1); events
+// published while the buffer is full are dropped for this subscriber
+// only. cancel detaches the listener, closes the channel after the
+// detach (so a range over the channel terminates), and returns how many
+// events the subscriber missed. cancel is idempotent.
+func (f *FanOut) Subscribe(buf int) (<-chan Event, func() (dropped int64)) {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &subscriber{ch: make(chan Event, buf)}
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	f.subs[id] = s
+	f.mu.Unlock()
+	var once sync.Once
+	var dropped int64
+	cancel := func() int64 {
+		once.Do(func() {
+			f.mu.Lock()
+			delete(f.subs, id)
+			dropped = s.dropped
+			f.mu.Unlock()
+			// Safe to close only after the detach: Publish holds the
+			// mutex while sending, so no send can race the close.
+			close(s.ch)
+		})
+		return dropped
+	}
+	return s.ch, cancel
+}
+
+// Subscribers reports how many listeners are currently attached.
+func (f *FanOut) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}

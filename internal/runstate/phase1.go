@@ -41,7 +41,7 @@ func (r *Run) SaveBlock(id int, factors []*mat.Matrix, fit float64) error {
 	}
 	name := fmt.Sprintf("p1-block-%d.ckpt", id)
 	data := frame(blockMagic, buf.Bytes())
-	if err := writeFileAtomic(r.dir, name, data); err != nil {
+	if err := WriteFileAtomic(r.dir, name, data); err != nil {
 		return err
 	}
 	r.noteCheckpointWrite(name, len(data))

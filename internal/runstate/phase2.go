@@ -88,7 +88,7 @@ func (r *Run) SavePhase2(st *Phase2State) error {
 		return err
 	}
 	data := frame(phase2Magic, payload)
-	if err := writeFileAtomic(r.dir, "phase2.ckpt", data); err != nil {
+	if err := WriteFileAtomic(r.dir, "phase2.ckpt", data); err != nil {
 		return err
 	}
 	r.noteCheckpointWrite("phase2.ckpt", len(data))

@@ -66,7 +66,7 @@ func (r *Run) SaveResult(st *ResultState) error {
 		return err
 	}
 	data := frame(resultMagic, payload)
-	if err := writeFileAtomic(r.dir, "result.ckpt", data); err != nil {
+	if err := WriteFileAtomic(r.dir, "result.ckpt", data); err != nil {
 		return err
 	}
 	r.noteCheckpointWrite("result.ckpt", len(data))

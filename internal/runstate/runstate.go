@@ -213,7 +213,7 @@ func Open(dir string, meta Meta, numBlocks int, resume bool) (*Run, error) {
 	}
 	r := &Run{dir: dir, resumed: resume, done: make(map[int]bool)}
 	path := r.manifestPath()
-	// A SIGKILL can land between writeFileAtomic's CreateTemp and rename;
+	// A SIGKILL can land between WriteFileAtomic's CreateTemp and rename;
 	// no writer is live at Open time, so any temp file here is dead weight
 	// from a previous crash.
 	if err := r.removeFiles(isTempFile); err != nil {
@@ -326,7 +326,7 @@ func (r *Run) saveManifestLocked() error {
 	if r.cManifest != nil {
 		r.cManifest.Inc()
 	}
-	return writeFileAtomic(r.dir, "manifest.json", append(env, '\n'))
+	return WriteFileAtomic(r.dir, "manifest.json", append(env, '\n'))
 }
 
 func loadManifest(path string) (*manifestBody, error) {
@@ -376,7 +376,7 @@ func isStaleCheckpoint(name string) bool {
 		strings.HasPrefix(name, "p1-block-") || isTempFile(name)
 }
 
-// isTempFile matches writeFileAtomic's in-flight temp names.
+// isTempFile matches WriteFileAtomic's in-flight temp names.
 func isTempFile(name string) bool { return strings.Contains(name, ".tmp-") }
 
 // removeFiles deletes every directory entry matching the predicate.
@@ -421,10 +421,13 @@ func (r *Run) markBlockDone(id int) error {
 	return r.saveManifestLocked()
 }
 
-// writeFileAtomic durably installs data at dir/name: temp file, fsync,
-// rename, directory fsync. Readers observe either the previous complete
-// file or the new complete file, and the rename survives a crash.
-func writeFileAtomic(dir, name string, data []byte) error {
+// WriteFileAtomic durably installs data at dir/name with the package's
+// standard discipline: temp file, fsync, rename, directory fsync. Readers
+// observe either the previous complete file or the new complete file, and
+// the rename survives a crash. It is exported so sibling durability layers
+// (the jobs store) install their records with exactly the same guarantees
+// as run manifests.
+func WriteFileAtomic(dir, name string, data []byte) error {
 	f, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("runstate: %w", err)

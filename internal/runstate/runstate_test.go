@@ -326,7 +326,7 @@ func TestFreshOpenRemovesStaleFiles(t *testing.T) {
 }
 
 // TestOpenSweepsOrphanedTempFiles: a SIGKILL can land between
-// writeFileAtomic's CreateTemp and rename; both fresh and resumed Opens
+// WriteFileAtomic's CreateTemp and rename; both fresh and resumed Opens
 // must clear the orphans so they never accumulate across crashes.
 func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
 	dir := t.TempDir()

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Service smoke: run the decomposition daemon end to end through the real
+# binaries — submit a job over HTTP, watch it run, SIGTERM the daemon
+# mid-job (it must drain: checkpoint, exit 3), restart it over the same
+# data directory (it must resume the job without client action), and
+# verify the finished factors are bit-for-bit identical to a local CLI
+# run of the same spec. This is the operational story docs/service.md
+# tells, executed literally.
+#
+# Usage: scripts/service_smoke.sh   (from the repo root; CI runs it as
+# the service job in .github/workflows/ci.yml)
+set -euo pipefail
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/twopcp-service.XXXXXX")"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build binaries"
+go build -o "$work/twopcp" ./cmd/twopcp
+go build -o "$work/twopcpd" ./cmd/twopcpd
+go build -o "$work/tensorgen" ./cmd/tensorgen
+
+port=7163
+admin_port=7164
+server="http://localhost:$port"
+data="$work/data"
+
+start_daemon() {
+  "$work/twopcpd" -data "$data" -listen "localhost:$port" -admin "localhost:$admin_port" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    curl -fs "$server/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "daemon died during startup" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "daemon did not become healthy" >&2
+  exit 1
+}
+
+echo "== generate input and local reference run"
+"$work/tensorgen" -kind lowrank -dims 30x30x30 -rank 2 -noise 0 \
+  -tiles 2x2x2 -seed 11 -out "$work/x.tptl"
+# Same spec the job will carry: long enough (tol disabled) that the drain
+# lands mid-run, checkpointing every schedule step.
+common_flags=(-rank 3 -parts 3 -buffer 0.5 -iters 500 -tol=-1 -seed 11)
+"$work/twopcp" -in "$work/x.tptl" "${common_flags[@]}" -out-prefix "$work/ref"
+
+echo "== start daemon and submit"
+start_daemon
+job="$("$work/twopcp" submit -server "$server" -in "$work/x.tptl" \
+  "${common_flags[@]}" -checkpoint-steps 1)"
+echo "submitted $job"
+
+echo "== wait for the job to start checkpointing, scrape /metrics"
+ckpt="$data/$job/ckpt/phase2.ckpt"
+for _ in $(seq 1 300); do
+  [ -f "$ckpt" ] && break
+  sleep 0.1
+done
+[ -f "$ckpt" ] || { echo "job never reached a Phase-2 checkpoint" >&2; exit 1; }
+curl -fs "http://localhost:$admin_port/metrics" | tee "$work/prom.txt" | head -n 5
+grep -q '^twopcp_jobs_running 1' "$work/prom.txt" \
+  || { echo "/metrics does not show the running job" >&2; exit 1; }
+
+echo "== SIGTERM the daemon mid-job (drain contract: checkpoint, exit 3)"
+kill -TERM "$daemon_pid"
+rc=0; wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" -eq 3 ] || { echo "drained daemon exited $rc, want 3" >&2; exit 1; }
+state="$(grep -o '"state": *"[a-z]*"' "$data/$job/job.json")"
+echo "durable record after drain: $state"
+case "$state" in
+  *interrupted*|*running*|*queued*) ;; # all three auto-requeue on restart
+  *) echo "unexpected post-drain state: $state" >&2; exit 1 ;;
+esac
+
+echo "== restart the daemon; the job must resume and finish on its own"
+start_daemon
+for _ in $(seq 1 600); do
+  state="$("$work/twopcp" status -server "$server" "$job" | grep -o '"state": *"[a-z]*"' | head -n 1)"
+  case "$state" in
+    *done*) break ;;
+    *failed*|*quarantined*|*canceled*) echo "job landed in $state" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+case "$state" in *done*) ;; *) echo "job never finished (last state: $state)" >&2; exit 1 ;; esac
+
+echo "== download factors, diff against the local reference run"
+for m in 0 1 2; do
+  curl -fs "$server/v1/jobs/$job/factors/$m" -o "$work/svc-mode$m.csv"
+  cmp "$work/svc-mode$m.csv" "$work/ref-mode$m.csv" \
+    || { echo "factor mode $m differs from the local CLI run" >&2; exit 1; }
+done
+
+kill -TERM "$daemon_pid"; rc=0; wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" -eq 3 ] || { echo "idle drain exited $rc, want 3" >&2; exit 1; }
+
+echo "service smoke OK: drain exited 3, restart resumed, factors bit-identical"

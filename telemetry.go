@@ -27,7 +27,20 @@ type (
 	Event = obs.Event
 	// Field is one typed key/value payload entry of an Event.
 	Field = obs.Field
+	// FanOut broadcasts an event stream to dynamically attached
+	// subscribers — the bridge between the single synchronous
+	// Observer.OnEvent callback and the many listeners a long-running
+	// service needs (cmd/twopcpd streams one SSE feed per watching client
+	// off it). Install FanOut.Publish as the OnEvent sink; Subscribe
+	// attaches a listener. Publish never blocks the run: subscribers that
+	// fall behind drop events (counted per subscriber) instead of
+	// queueing without bound, preserving the contract that telemetry
+	// observes a run but never influences it.
+	FanOut = obs.FanOut
 )
+
+// NewFanOut returns an empty event fan-out with no subscribers.
+func NewFanOut() *FanOut { return obs.NewFanOut() }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }

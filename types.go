@@ -46,6 +46,7 @@ const (
 // (Options.Constraint). The zero value is the unconstrained default.
 type Constraint int
 
+// The solver families selectable through Options.Constraint.
 const (
 	// ConstraintNone runs plain least-squares ALS — the historical
 	// behavior, bit-for-bit unchanged.
@@ -92,6 +93,7 @@ func ParseConstraint(s string) (Constraint, error) {
 // behavior.
 type Accelerator int
 
+// The Phase-0 strategies selectable through Options.Accelerator.
 const (
 	// AccelNone disables Phase 0.
 	AccelNone Accelerator = iota
