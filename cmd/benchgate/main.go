@@ -510,6 +510,71 @@ func evaluate(meas map[string]*measurement, baselineDir string, tol float64, abs
 		missing("phase0-sketch-speedup", "BENCH_phase0_sketch.json")
 	}
 
+	// --- Factor serving (BENCH_serve.json) ---
+	if sv, err := loadJSON(baselineDir, "BENCH_serve.json"); err == nil {
+		if pr, ok := meas["BenchmarkPointRead"]; ok {
+			// The acceptance criterion is the roadmap's interactive-latency
+			// bar: >= 1M single-cell reconstructs/sec on one core, i.e.
+			// <= 1000 ns per point read. The bound is fixed (not
+			// baseline-relative) — ~10x headroom over the recorded ns/op
+			// absorbs runner variance, so the gate holds on any CI box.
+			basePoint, _ := digFloat(sv, "results", "point_read", "ns_per_op")
+			const pointLimit = 1000.0
+			add(gate{
+				Name: "serve-point-read-rate", Measured: pr.NsPerOp, Baseline: basePoint,
+				Limit: pointLimit, Pass: pr.NsPerOp <= pointLimit,
+				Detail: fmt.Sprintf("point read %.0f ns/op = %.2fM reconstructs/sec; must sustain >= 1M/sec (<= 1000 ns/op)", pr.NsPerOp, 1e3/pr.NsPerOp),
+			})
+			if baseAllocs, ok := digFloat(sv, "results", "point_read", "allocs_per_op"); ok && pr.hasAllocs {
+				// The baseline records 0, so the ceil'd limit stays 0 for
+				// any tolerance: one allocation on the steady-state read
+				// path fails the gate exactly.
+				gtol := gateTol(sv, "serve-point-read-allocs", tol)
+				limit := math.Ceil(baseAllocs * (1 + gtol))
+				add(gate{
+					Name: "serve-point-read-allocs", Measured: pr.AllocsPerOp, Baseline: baseAllocs,
+					Limit: limit, Tolerance: gtol, Pass: pr.AllocsPerOp <= limit,
+					Detail: "steady-state point reads must not allocate; a rise means the workspace pool or row cache leaked",
+				})
+			}
+			if absolute && basePoint > 0 {
+				gtol := gateTol(sv, "serve-point-read-abs-ns", tol)
+				limit := basePoint * (1 + gtol)
+				add(gate{
+					Name: "serve-point-read-abs-ns", Measured: pr.NsPerOp, Tolerance: gtol,
+					Baseline: basePoint, Limit: limit, Pass: pr.NsPerOp <= limit,
+				})
+			}
+		} else {
+			missing("serve-point-read-rate", "BenchmarkPointRead measurement")
+		}
+		if tk, ok := meas["BenchmarkTopK"]; ok {
+			if baseAllocs, ok := digFloat(sv, "results", "topk", "allocs_per_op"); ok && tk.hasAllocs {
+				gtol := gateTol(sv, "serve-topk-allocs", tol)
+				limit := math.Ceil(baseAllocs * (1 + gtol))
+				add(gate{
+					Name: "serve-topk-allocs", Measured: tk.AllocsPerOp, Baseline: baseAllocs,
+					Limit: limit, Tolerance: gtol, Pass: tk.AllocsPerOp <= limit,
+					Detail: "top-k sweeps reuse the caller's result slice and the pooled heap; a rise means the partial sort regressed",
+				})
+			}
+			if absolute {
+				if base, ok := digFloat(sv, "results", "topk", "ns_per_op"); ok {
+					gtol := gateTol(sv, "serve-topk-abs-ns", tol)
+					limit := base * (1 + gtol)
+					add(gate{
+						Name: "serve-topk-abs-ns", Measured: tk.NsPerOp, Tolerance: gtol,
+						Baseline: base, Limit: limit, Pass: tk.NsPerOp <= limit,
+					})
+				}
+			}
+		} else {
+			missing("serve-topk-allocs", "BenchmarkTopK measurement")
+		}
+	} else {
+		missing("serve-point-read-rate", "BENCH_serve.json")
+	}
+
 	return gates, nil
 }
 

@@ -1,0 +1,250 @@
+// Command loadtest drives the factor-serving query engine at load and
+// reports sustained throughput — the proof behind the "serves heavy
+// traffic" half of the roadmap's north star.
+//
+// Usage:
+//
+//	loadtest [-dims 64x64x64] [-rank 16] [-seed 1] [-workers N]
+//	         [-duration 2s] [-k 10] [-min-qps 0] [-snap factors.snap]
+//
+// Without -snap, a deterministic random model of the given shape is
+// written to a temporary factor snapshot first, so the run exercises the
+// full mmap-open path. With -snap, an existing snapshot (e.g. one
+// exported by `twopcp export-snapshot` or written by a done daemon job)
+// is served instead.
+//
+// The harness first cross-checks a sample of point reads against a naive
+// reference reconstruction, then runs three timed phases: single-cell
+// point reads across all workers (the headline ops/sec), top-k sweeps,
+// and nearest-neighbor sweeps. A nonzero -min-qps turns the point-read
+// figure into a gate: the process exits 1 below it (CI smoke uses this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twopcp/internal/factorsnap"
+	"twopcp/internal/mat"
+	"twopcp/internal/serve"
+)
+
+func main() {
+	dimsFlag := flag.String("dims", "64x64x64", "synthetic model shape, DxDx... (ignored with -snap)")
+	rank := flag.Int("rank", 16, "synthetic model rank (ignored with -snap)")
+	seed := flag.Int64("seed", 1, "synthetic model seed (ignored with -snap)")
+	workers := flag.Int("workers", 0, "concurrent query goroutines (0 = GOMAXPROCS)")
+	duration := flag.Duration("duration", 2*time.Second, "timed length of each phase")
+	k := flag.Int("k", 10, "k for the top-k and nearest-neighbor phases")
+	minQPS := flag.Float64("min-qps", 0, "fail (exit 1) if point reads/sec fall below this")
+	snapPath := flag.String("snap", "", "serve an existing snapshot instead of a synthetic one")
+	flag.Parse()
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	path := *snapPath
+	if path == "" {
+		dims, err := parseDims(*dimsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "loadtest-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "factors.snap")
+		if err := writeSynthetic(path, dims, *rank, *seed); err != nil {
+			fatal(err)
+		}
+	}
+
+	mdl, err := serve.Open(path, serve.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer mdl.Close()
+	dims := mdl.Dims()
+	fmt.Printf("model: dims %v rank %d (%d modes), %d workers\n", dims, mdl.Rank(), mdl.Modes(), *workers)
+
+	if err := sanityCheck(mdl, path); err != nil {
+		fatal(err)
+	}
+
+	// Per-worker coordinate streams, precomputed so the timed loop
+	// measures the query engine, not the RNG.
+	const nCoords = 4096
+	coords := make([][][]int, *workers)
+	for w := range coords {
+		rng := rand.New(rand.NewSource(int64(w) + 100))
+		coords[w] = make([][]int, nCoords)
+		for i := range coords[w] {
+			at := make([]int, len(dims))
+			for n := range at {
+				at[n] = rng.Intn(dims[n])
+			}
+			coords[w][i] = at
+		}
+	}
+
+	pointQPS := timed("point-read", *workers, *duration, func(w, i int) {
+		if _, err := mdl.Reconstruct(coords[w][i%nCoords]); err != nil {
+			panic(err)
+		}
+	})
+	timed(fmt.Sprintf("topk(k=%d)", *k), *workers, *duration, func(w, i int) {
+		at := coords[w][i%nCoords]
+		if _, err := mdl.TopK(len(dims)-1, at, *k, nil); err != nil {
+			panic(err)
+		}
+	})
+	timed(fmt.Sprintf("nn(k=%d)", *k), *workers, *duration, func(w, i int) {
+		at := coords[w][i%nCoords]
+		if _, err := mdl.NN(0, at[0], *k, nil); err != nil {
+			panic(err)
+		}
+	})
+
+	if *minQPS > 0 && pointQPS < *minQPS {
+		fmt.Fprintf(os.Stderr, "loadtest: point-read throughput %.0f qps below the %.0f qps floor\n", pointQPS, *minQPS)
+		os.Exit(1)
+	}
+}
+
+// timed runs fn across workers for the configured duration and reports
+// aggregate throughput.
+func timed(name string, workers int, d time.Duration, fn func(worker, i int)) float64 {
+	var ops int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; ; i++ {
+				// Check the clock in batches; a per-op select would
+				// dominate sub-100ns queries.
+				if i%1024 == 0 {
+					select {
+					case <-stop:
+						atomic.AddInt64(&ops, local)
+						return
+					default:
+					}
+				}
+				fn(w, i)
+				local++
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	qps := float64(ops) / elapsed
+	fmt.Printf("%-14s %12d ops in %6.2fs  =  %12.0f ops/sec\n", name, ops, elapsed, qps)
+	return qps
+}
+
+// sanityCheck cross-checks a sample of Model point reads against a naive
+// reconstruction over the raw snapshot, guarding the harness against
+// measuring a fast-but-wrong path.
+func sanityCheck(mdl *serve.Model, path string) error {
+	snap, err := factorsnap.Open(path)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	dims := mdl.Dims()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		at := make([]int, len(dims))
+		for n := range at {
+			at[n] = rng.Intn(dims[n])
+		}
+		got, err := mdl.Reconstruct(at)
+		if err != nil {
+			return err
+		}
+		want := 0.0
+		for f := 0; f < snap.Rank; f++ {
+			v := snap.Lambda[f]
+			for n, m := range snap.Factors {
+				v *= m.At(at[n], f)
+			}
+			want += v
+		}
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if s := abs(want); s > 1 {
+			scale = s
+		}
+		if diff > 1e-9*scale {
+			return fmt.Errorf("sanity check: Reconstruct(%v) = %g, naive reference %g", at, got, want)
+		}
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// writeSynthetic builds a deterministic random model and snapshots it.
+func writeSynthetic(path string, dims []int, rank int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	lambda := make([]float64, rank)
+	for f := range lambda {
+		lambda[f] = rng.Float64() + 0.5
+	}
+	factors := make([]*mat.Matrix, len(dims))
+	for n, d := range dims {
+		m := mat.New(d, rank)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		factors[n] = m
+	}
+	return factorsnap.Write(path, lambda, factors, nil)
+}
+
+// parseDims parses "64x64x64".
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("bad -dims %q", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -dims %q", s)
+		}
+		dims[i] = n
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@
 //
 //	twopcp -in tensor.tpdn -rank 10 [flags]
 //	twopcp submit|status|watch|cancel ...   (client mode, against twopcpd)
+//	twopcp export-snapshot -checkpoint dir -out factors.snap
 //
 // The input format (dense .tpdn / sparse .tpsp / tiled .tptl) is detected
 // from the file magic. Tiled inputs run fully out-of-core: Phase 1 reads
@@ -29,6 +30,10 @@
 // The submit, status, watch and cancel subcommands talk to a running
 // twopcpd daemon instead of decomposing locally; see docs/service.md and
 // docs/API.md.
+//
+// The export-snapshot subcommand packages a completed checkpointed run's
+// factors into the mmap-able factor-snapshot format the query layer
+// serves; see docs/serving.md.
 package main
 
 import (
@@ -56,6 +61,8 @@ func main() {
 		switch os.Args[1] {
 		case "submit", "status", "watch", "cancel":
 			os.Exit(clientMain(os.Args[1], os.Args[2:]))
+		case "export-snapshot":
+			os.Exit(exportSnapshotMain(os.Args[2:]))
 		}
 	}
 	runLocal()

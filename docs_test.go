@@ -93,7 +93,7 @@ func TestDocsLinks(t *testing.T) {
 // doc comment. CI also runs staticcheck, but this keeps the
 // exported-comment discipline enforced by plain `go test` everywhere.
 func TestGodocCoverage(t *testing.T) {
-	for _, dir := range []string{".", "internal/jobs", "internal/cli"} {
+	for _, dir := range []string{".", "internal/jobs", "internal/cli", "internal/factorsnap", "internal/serve"} {
 		pkg := parseDocPackage(t, dir)
 		if pkg.Doc == "" {
 			t.Errorf("%s: package %s has no package comment", dir, pkg.Name)

@@ -9,11 +9,12 @@
 package cli
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux for Serve
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -187,22 +188,38 @@ func (h *Handle) Close() error {
 }
 
 // Serve starts the admin HTTP listener on addr in the background:
-// net/http/pprof (via its blank-import registration on the default mux)
-// plus the registry's Prometheus exposition at /metrics (when reg is
-// non-nil). Listen errors are logged, not fatal — a colliding admin port
-// must not kill a long decomposition.
+// net/http/pprof plus the registry's Prometheus exposition at /metrics
+// (when reg is non-nil). Each call builds its own mux, so Serve is
+// idempotent — a second call (daemon restart in tests, CLI and daemon in
+// one process) starts another listener instead of panicking on a
+// duplicate http.DefaultServeMux registration. Listen errors are logged,
+// not fatal — a colliding admin port must not kill a long decomposition.
 func Serve(addr string, reg *twopcp.Registry) {
+	mux := adminMux(reg)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("admin server: %v", err)
+		}
+	}()
+}
+
+// adminMux builds the admin endpoint set on a fresh mux: the pprof
+// handlers registered explicitly (never via http.DefaultServeMux) and
+// /metrics when reg is non-nil.
+func adminMux(reg *twopcp.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if reg != nil {
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			w.Write(reg.PrometheusText())
 		})
 	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Printf("pprof server: %v", err)
-		}
-	}()
+	return mux
 }
 
 // startProgress launches the periodic progress reporter: one stderr line
@@ -264,22 +281,36 @@ func WriteFactorCSV(path string, m *twopcp.Matrix) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := writeFactorRows(w, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFactorRows emits the CSV body: one row per line, %g values,
+// comma-separated, "\n" line ends.
+func writeFactorRows(w *bufio.Writer, m *twopcp.Matrix) error {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
 			if j > 0 {
-				if _, err := fmt.Fprint(f, ","); err != nil {
+				if err := w.WriteByte(','); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(f, "%g", v); err != nil {
+			if _, err := fmt.Fprintf(w, "%g", v); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintln(f); err != nil {
+		if err := w.WriteByte('\n'); err != nil {
 			return err
 		}
 	}
-	return f.Close()
+	return nil
 }

@@ -1,0 +1,172 @@
+package factorsnap
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twopcp/internal/mat"
+	"twopcp/internal/runstate"
+)
+
+// randFactors builds deterministic pseudo-random factors, including
+// values that stress float64 round-tripping (negatives, subnormals,
+// extreme exponents).
+func randFactors(seed int64, rank int, dims ...int) []*mat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*mat.Matrix, len(dims))
+	for n, d := range dims {
+		m := mat.New(d, rank)
+		for i := range m.Data {
+			m.Data[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+		out[n] = m
+	}
+	if len(out[0].Data) >= 4 {
+		out[0].Data[0] = 0
+		out[0].Data[1] = math.SmallestNonzeroFloat64
+		out[0].Data[2] = -math.MaxFloat64
+		out[0].Data[3] = math.Copysign(0, -1)
+	}
+	return out
+}
+
+func TestRoundTripBitExact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "factors.snap")
+	factors := randFactors(7, 5, 12, 9, 4)
+	lambda := []float64{1.5, -2.25, 3e-7, 4e11, 1}
+	meta := &runstate.Meta{InputKind: "tiled", Dims: []int{12, 9, 4}, Rank: 5, Seed: 42, Schedule: "sfc"}
+
+	if err := Write(path, lambda, factors, meta); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	if s.Rank != 5 {
+		t.Fatalf("rank = %d, want 5", s.Rank)
+	}
+	if len(s.Dims) != 3 || s.Dims[0] != 12 || s.Dims[1] != 9 || s.Dims[2] != 4 {
+		t.Fatalf("dims = %v", s.Dims)
+	}
+	for f, v := range lambda {
+		if b := math.Float64bits(s.Lambda[f]); b != math.Float64bits(v) {
+			t.Fatalf("lambda[%d] = %x, want %x", f, b, math.Float64bits(v))
+		}
+	}
+	for n, want := range factors {
+		got := s.Factors[n]
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("factor %d shape %dx%d, want %dx%d", n, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i, v := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(v) {
+				t.Fatalf("factor %d value %d: %x, want %x", n, i, math.Float64bits(got.Data[i]), math.Float64bits(v))
+			}
+		}
+	}
+	if s.Meta == nil || s.Meta.Seed != 42 || s.Meta.InputKind != "tiled" || s.Meta.Rank != 5 {
+		t.Fatalf("meta did not round-trip: %+v", s.Meta)
+	}
+}
+
+func TestOpenMissingIsNotExist(t *testing.T) {
+	_, err := Open(filepath.Join(t.TempDir(), "nope.snap"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "factors.snap")
+	if err := Write(path, []float64{1, 1}, randFactors(3, 2, 6, 5), nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(name string, off int) {
+		t.Run(name, func(t *testing.T) {
+			bad := append([]byte(nil), clean...)
+			bad[off] ^= 0x40
+			p := filepath.Join(dir, name+".snap")
+			if err := os.WriteFile(p, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(p); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Open after flipping byte %d: err = %v, want ErrCorrupt", off, err)
+			}
+		})
+	}
+	flip("magic", 0)
+	flip("header", preambleLen+2)
+	flip("data", len(clean)-5)
+
+	t.Run("truncated", func(t *testing.T) {
+		p := filepath.Join(dir, "short.snap")
+		if err := os.WriteFile(p, clean[:len(clean)-9], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open truncated: err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestRewriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "factors.snap")
+	if err := Write(path, []float64{1}, randFactors(1, 1, 3, 3), nil); err != nil {
+		t.Fatalf("first Write: %v", err)
+	}
+	second := randFactors(2, 2, 4, 5)
+	if err := Write(path, []float64{2, 3}, second, nil); err != nil {
+		t.Fatalf("second Write: %v", err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if s.Rank != 2 || s.Dims[0] != 4 || s.Dims[1] != 5 {
+		t.Fatalf("second write not visible: rank %d dims %v", s.Rank, s.Dims)
+	}
+	// The atomic-install discipline must not leave temp droppings behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "factors.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only factors.snap", names)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.snap")
+	if err := Write(path, nil, nil, nil); err == nil {
+		t.Fatal("Write with no factors succeeded")
+	}
+	f := randFactors(1, 3, 4)
+	if err := Write(path, []float64{1, 2}, f, nil); err == nil {
+		t.Fatal("Write with mismatched lambda length succeeded")
+	}
+	g := randFactors(1, 2, 4)
+	if err := Write(path, []float64{1, 2, 3}, []*mat.Matrix{f[0], g[0]}, nil); err == nil {
+		t.Fatal("Write with mismatched factor widths succeeded")
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !(unix && (amd64 || arm64 || riscv64 || ppc64le || loong64 || 386 || arm || mipsle || mips64le))
+
+// Portable open path: read the whole file and decode factor values onto
+// the heap. Used on windows and on big-endian platforms where the on-disk
+// little-endian layout cannot be reinterpreted in place.
+
+package factorsnap
+
+import "os"
+
+// openBytes reads the whole file; mapped is false so decode copies.
+func openBytes(path string) (raw []byte, cleanup func() error, mapped bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return b, nil, false, nil
+}
+
+// floatView is unreachable on the fallback path (decode copies instead);
+// it exists so factorsnap.go compiles on every platform.
+func floatView(b []byte) []float64 { return decodeFloats(b) }

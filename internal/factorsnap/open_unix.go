@@ -1,0 +1,47 @@
+//go:build unix && (amd64 || arm64 || riscv64 || ppc64le || loong64 || 386 || arm || mipsle || mips64le)
+
+// Memory-mapped open path for little-endian unix platforms: the snapshot's
+// data section is native float64 layout, so factor matrices become views
+// over the read-only mapping with zero copies.
+
+package factorsnap
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// openBytes maps path read-only. The returned cleanup func unmaps; mapped
+// is true so decode builds zero-copy views.
+func openBytes(path string) (raw []byte, cleanup func() error, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	size := int(st.Size())
+	if size == 0 {
+		return nil, func() error { return nil }, true, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, true, nil
+}
+
+// floatView reinterprets an 8-byte-aligned little-endian block as
+// []float64 without copying. The data section starts on an 8-byte
+// boundary of a page-aligned mapping and every factor block is a multiple
+// of 8 bytes, so the alignment precondition always holds.
+func floatView(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEventsTerminalRace pins handleEvents' subscribe-before-snapshot
+// ordering. The handler must subscribe to the job's fan-out BEFORE
+// snapshotting its state: a terminal transition landing in between is
+// then caught by the (later) snapshot. The pre-fix handler snapshotted
+// first, so a job that went terminal inside the window published its
+// final job.state event to a fan-out with no subscribers and the stream
+// looped on 15-second keepalives forever.
+//
+// testHookEventsSubscribed sits exactly in that window, so the test
+// drives the transition deterministically: against the pre-fix ordering
+// (where the hook's position corresponds to after-Get/before-Watch) this
+// request never terminates and the read below times out.
+func TestEventsTerminalRace(t *testing.T) {
+	dir := t.TempDir()
+	big := filepath.Join(dir, "big.tptl")
+	writeTensor(t, big, 31, 30, 30, 30)
+	small := filepath.Join(dir, "x.tptl")
+	writeTensor(t, small, 32, 12, 12, 12)
+	_, m := newTestManager(t, filepath.Join(dir, "data"), 1)
+	defer m.Drain()
+
+	// Occupy the single worker so the second job provably stays queued —
+	// a queued job's Cancel transitions it terminal synchronously.
+	blocker, err := m.Submit(longSpec(big), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+	queued, err := m.Submit(Spec{Input: small, Rank: 2, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testHookEventsSubscribed = func() {
+		if err := m.Cancel(queued.ID); err != nil {
+			t.Errorf("cancel inside the subscribe window: %v", err)
+		}
+	}
+	defer func() { testHookEventsSubscribed = func() {} }()
+
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	// Shorter than the handler's 15s keepalive tick: a handler that
+	// misses the terminal transition and falls into the keepalive loop
+	// fails this read instead of hanging the test.
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + queued.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("SSE stream did not terminate after an in-window terminal transition: %v", err)
+	}
+	if !strings.Contains(string(body), `"canceled"`) {
+		t.Fatalf("terminal stream = %q, want a canceled job.state event", body)
+	}
+
+	if err := m.Cancel(blocker.ID); err != nil {
+		t.Fatalf("cancel blocker: %v", err)
+	}
+	waitState(t, m, blocker.ID, StateCanceled)
+}

@@ -4,14 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sync"
 	"time"
 
 	"twopcp"
 	"twopcp/internal/cli"
+	"twopcp/internal/factorsnap"
 	"twopcp/internal/obs"
 	"twopcp/internal/par"
+	"twopcp/internal/runstate"
+	"twopcp/internal/serve"
 )
 
 // ErrDraining is returned by Submit once the manager has begun (or
@@ -40,7 +44,8 @@ type Manager struct {
 	jobs    map[string]*Job
 	fans    map[string]*obs.FanOut
 	running map[string]*runHandle
-	order   []string // job IDs in creation order, for List
+	models  map[string]*serve.Model // lazily opened query models for done jobs
+	order   []string                // job IDs in creation order, for List
 
 	queue    chan string
 	drainC   chan struct{}
@@ -84,6 +89,7 @@ func NewManager(store *Store, cfg Config) (*Manager, error) {
 		jobs:    make(map[string]*Job),
 		fans:    make(map[string]*obs.FanOut),
 		running: make(map[string]*runHandle),
+		models:  make(map[string]*serve.Model),
 		queue:   make(chan string, queueCap),
 		drainC:  make(chan struct{}),
 	}
@@ -312,6 +318,12 @@ func (m *Manager) Drain() {
 	}
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.mu.Lock()
+	for id, mdl := range m.models {
+		delete(m.models, id)
+		mdl.Close()
+	}
+	m.mu.Unlock()
 }
 
 // worker is one pool goroutine: pull a queued job, run it, repeat until
@@ -351,6 +363,12 @@ func (m *Manager) runJob(id string) {
 	m.running[id] = r
 	if m.jobsRunning != nil {
 		m.jobsRunning.Set(float64(len(m.running)))
+	}
+	// A re-run is about to replace the job's outputs; drop any cached
+	// query model so readers never see a stale snapshot.
+	if mdl := m.models[id]; mdl != nil {
+		delete(m.models, id)
+		mdl.Close()
 	}
 	job.State = StateRunning
 	job.Started = m.clock()
@@ -430,16 +448,71 @@ func (m *Manager) runJob(id string) {
 	m.publishState(job)
 }
 
-// writeFactors exports the result's factor matrices as CSV into the job
-// directory, through the same writer as the CLI's -out-prefix — the
-// bytes a client downloads match a local run's export exactly.
+// writeFactors exports the result's factor matrices into the job
+// directory: the CSVs a client downloads (through the same writer as the
+// CLI's -out-prefix, so the bytes match a local run's export exactly)
+// plus the mmap-able factor snapshot the query endpoints serve.
 func (m *Manager) writeFactors(id string, res *twopcp.Result) error {
 	for mode, f := range res.Model.Factors {
 		if err := cli.WriteFactorCSV(m.store.FactorPath(id, mode), f); err != nil {
 			return err
 		}
 	}
-	return nil
+	// Stamp the snapshot with the run's option fingerprint when the
+	// checkpoint manifest has one (it always should; a missing manifest
+	// degrades to an unstamped snapshot rather than a failed job).
+	var meta *runstate.Meta
+	if mt, err := runstate.ReadMeta(m.store.CheckpointDir(id)); err == nil {
+		meta = &mt
+	}
+	return factorsnap.Write(m.store.SnapshotPath(id), res.Model.Lambda, res.Model.Factors, meta)
+}
+
+// QueryModel returns the query engine over a done job's factor snapshot,
+// opening (and caching) it on first use. Jobs finished by an older daemon
+// without a snapshot are healed transparently: the factors are recovered
+// from the result checkpoint and the snapshot is written before opening.
+func (m *Manager) QueryModel(id string) (*serve.Model, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if job.State != StateDone {
+		return nil, fmt.Errorf("jobs: job %s is %s; queries need a done job", id, job.State)
+	}
+	if mdl := m.models[id]; mdl != nil {
+		return mdl, nil
+	}
+	path := m.store.SnapshotPath(id)
+	mdl, err := serve.Open(path, serve.Config{})
+	if errors.Is(err, fs.ErrNotExist) {
+		st, rerr := runstate.ReadResult(m.store.CheckpointDir(id))
+		if rerr != nil {
+			return nil, fmt.Errorf("jobs: job %s has no factor snapshot and no recoverable result: %w", id, rerr)
+		}
+		// Checkpointed factors carry λ folded in (the pipeline normalizes
+		// before saving), so the recovered model's weights are all ones —
+		// the same convention resultFromState uses.
+		lambda := make([]float64, st.Factors[0].Cols)
+		for f := range lambda {
+			lambda[f] = 1
+		}
+		var meta *runstate.Meta
+		if mt, merr := runstate.ReadMeta(m.store.CheckpointDir(id)); merr == nil {
+			meta = &mt
+		}
+		if werr := factorsnap.Write(path, lambda, st.Factors, meta); werr != nil {
+			return nil, werr
+		}
+		mdl, err = serve.Open(path, serve.Config{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.models[id] = mdl
+	return mdl, nil
 }
 
 // publishState emits a synthetic job.state event to the job's fan-out so

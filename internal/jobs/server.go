@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
+
+	"twopcp/internal/serve"
 )
 
 // Route is one API endpoint: the Go 1.22 mux pattern it registers under
@@ -39,6 +43,10 @@ var Routes = []Route{
 	{"POST", "/v1/jobs/{id}/resume", "requeue a canceled/interrupted/quarantined/failed job", (*Server).handleResume},
 	{"GET", "/v1/jobs/{id}/result", "result summary JSON (done jobs)", (*Server).handleResult},
 	{"GET", "/v1/jobs/{id}/factors/{mode}", "download one factor matrix as CSV (done jobs)", (*Server).handleFactor},
+	{"GET", "/v1/jobs/{id}/query/cell", "reconstruct one tensor cell from the factor snapshot (done jobs)", (*Server).handleQueryCell},
+	{"GET", "/v1/jobs/{id}/query/block", "reconstruct a dense sub-block from the factor snapshot (done jobs)", (*Server).handleQueryBlock},
+	{"GET", "/v1/jobs/{id}/query/topk", "top-k entities in one mode by reconstructed score (done jobs)", (*Server).handleQueryTopK},
+	{"GET", "/v1/jobs/{id}/query/nn", "nearest neighbors of an entity in factor-row space (done jobs)", (*Server).handleQueryNN},
 }
 
 // Server serves the jobs API over a Manager.
@@ -72,12 +80,16 @@ type apiError struct {
 }
 
 // writeJSON writes v as the JSON response body with the given status.
+// Encode failures after the header is out cannot reach the client, so
+// they go to the error log instead of vanishing.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("jobs: encode %d response: %v", status, err)
+	}
 }
 
 // writeErr writes the JSON error envelope. Not-found, draining and
@@ -247,7 +259,11 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	}
 	mode, err := strconv.Atoi(r.PathValue("mode"))
 	if err != nil || mode < 0 || mode >= job.Modes {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has modes 0..%d", id, job.Modes-1))
+		if job.Modes == 0 {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has no factor matrices", id))
+		} else {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has modes 0..%d", id, job.Modes-1))
+		}
 		return
 	}
 	f, err := os.Open(s.m.Store().FactorPath(id, mode))
@@ -260,14 +276,34 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	http.ServeContent(w, r, fmt.Sprintf("factors-mode%d.csv", mode), time.Time{}, f)
 }
 
+// testHookEventsSubscribed runs between handleEvents' fan-out subscribe
+// and its state snapshot — the window the terminal-race regression test
+// widens deterministically. A no-op outside tests.
+var testHookEventsSubscribed = func() {}
+
 // handleEvents streams the job's event feed as Server-Sent Events: each
 // event is one SSE message whose event field is the trace event name and
 // whose data field is the event's one-line JSON. The stream opens with a
 // synthetic job.state snapshot and ends after a terminal job.state event
 // (or when the client disconnects). A ": keepalive" comment goes out
 // during idle stretches so proxies keep the connection open.
+//
+// Subscription order matters: the handler subscribes to the fan-out
+// BEFORE snapshotting the job state. A terminal transition that lands in
+// between is then caught by the snapshot (fetched after), and one that
+// lands after the snapshot arrives through the channel — either way the
+// stream terminates. Snapshotting first left a window where the terminal
+// job.state event was published to a fan-out with no subscribers and the
+// handler looped on keepalives forever.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	ch, cancel, err := s.m.Watch(id, 256)
+	if err != nil {
+		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	defer cancel()
+	testHookEventsSubscribed()
 	job, err := s.m.Get(id)
 	if err != nil {
 		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
@@ -278,12 +314,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
-	ch, cancel, err := s.m.Watch(id, 256)
-	if err != nil {
-		writeErr(w, errStatus(err, http.StatusInternalServerError), err)
-		return
-	}
-	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -319,4 +349,194 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// maxBlockCells caps one block-reconstruct response; larger requests
+// should page, not hold a worker and a contiguous buffer of this size.
+const maxBlockCells = 1 << 20
+
+// queryModel resolves the request's job to its query model, writing the
+// error response (404 unknown, 409 not done, 500 unreadable snapshot)
+// itself when it returns nil.
+func (s *Server) queryModel(w http.ResponseWriter, r *http.Request) (*serve.Model, string) {
+	id := r.PathValue("id")
+	mdl, err := s.m.QueryModel(id)
+	if err != nil {
+		status := errStatus(err, http.StatusConflict)
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		} else if job, gerr := s.m.Get(id); gerr == nil && job.State == StateDone {
+			// Done job whose snapshot could not be opened or rebuilt.
+			status = http.StatusInternalServerError
+		}
+		writeErr(w, status, err)
+		return nil, id
+	}
+	return mdl, id
+}
+
+// parseIntList parses a comma-separated index list ("3,0,7"). When skip
+// is non-negative, the entry at that position must be "*" (a placeholder
+// for the swept mode) and parses as -1.
+func parseIntList(s string, skip int) ([]int, error) {
+	if s == "" {
+		return nil, errors.New("empty index list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		if i == skip {
+			if p != "*" {
+				return nil, fmt.Errorf("position %d is the swept mode; write it as *", i)
+			}
+			out[i] = -1
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad index %q", p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// queryInt reads an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %s=%q", name, v)
+	}
+	return n, nil
+}
+
+func (s *Server) handleQueryCell(w http.ResponseWriter, r *http.Request) {
+	mdl, _ := s.queryModel(w, r)
+	if mdl == nil {
+		return
+	}
+	at, err := parseIntList(r.URL.Query().Get("at"), -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("at: %w", err))
+		return
+	}
+	v, err := mdl.Reconstruct(at)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		At    []int   `json:"at"`
+		Value float64 `json:"value"`
+	}{at, v})
+}
+
+func (s *Server) handleQueryBlock(w http.ResponseWriter, r *http.Request) {
+	mdl, _ := s.queryModel(w, r)
+	if mdl == nil {
+		return
+	}
+	q := r.URL.Query()
+	lo, err := parseIntList(q.Get("lo"), -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("lo: %w", err))
+		return
+	}
+	hi, err := parseIntList(q.Get("hi"), -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("hi: %w", err))
+		return
+	}
+	if len(lo) == len(hi) {
+		cells := 1
+		for n := range lo {
+			if hi[n] > lo[n] {
+				cells *= hi[n] - lo[n]
+			}
+		}
+		if cells > maxBlockCells {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("block of %d cells exceeds the %d-cell limit; page the request", cells, maxBlockCells))
+			return
+		}
+	}
+	vals, err := mdl.ReconstructBlock(lo, hi, nil)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Lo     []int     `json:"lo"`
+		Hi     []int     `json:"hi"`
+		Values []float64 `json:"values"`
+	}{lo, hi, vals})
+}
+
+func (s *Server) handleQueryTopK(w http.ResponseWriter, r *http.Request) {
+	mdl, _ := s.queryModel(w, r)
+	if mdl == nil {
+		return
+	}
+	mode, err := queryInt(r, "mode", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	at, err := parseIntList(r.URL.Query().Get("at"), mode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("at: %w", err))
+		return
+	}
+	res, err := mdl.TopK(mode, at, k, nil)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Mode    int            `json:"mode"`
+		At      []int          `json:"at"`
+		K       int            `json:"k"`
+		Results []serve.Scored `json:"results"`
+	}{mode, at, k, res})
+}
+
+func (s *Server) handleQueryNN(w http.ResponseWriter, r *http.Request) {
+	mdl, _ := s.queryModel(w, r)
+	if mdl == nil {
+		return
+	}
+	mode, err := queryInt(r, "mode", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	index, err := queryInt(r, "index", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := mdl.NN(mode, index, k, nil)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Mode    int            `json:"mode"`
+		Index   int            `json:"index"`
+		K       int            `json:"k"`
+		Results []serve.Scored `json:"results"`
+	}{mode, index, k, res})
 }

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"twopcp/internal/serve"
 )
 
 // TestServerEndpoints drives every route in the Routes table through a
@@ -144,6 +146,100 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("out-of-range mode status = %d, want 404", code)
 	}
 
+	// GET /v1/jobs/{id}/query/* — the factor-snapshot query endpoints,
+	// cross-checked against the library API over the same snapshot file.
+	record("GET", "/v1/jobs/{id}/query/cell")
+	record("GET", "/v1/jobs/{id}/query/block")
+	record("GET", "/v1/jobs/{id}/query/topk")
+	record("GET", "/v1/jobs/{id}/query/nn")
+	if _, err := os.Stat(m.Store().SnapshotPath(job.ID)); err != nil {
+		t.Fatalf("done job wrote no factor snapshot: %v", err)
+	}
+	mdl, err := serve.Open(m.Store().SnapshotPath(job.ID), serve.Config{})
+	if err != nil {
+		t.Fatalf("open snapshot: %v", err)
+	}
+	defer mdl.Close()
+
+	var cell struct {
+		At    []int   `json:"at"`
+		Value float64 `json:"value"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/query/cell?at=3,4,5", &cell)
+	wantCell, err := mdl.Reconstruct([]int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSON float64 encoding round-trips exactly, so == is the right check.
+	if cell.Value != wantCell {
+		t.Fatalf("query/cell = %g, want %g", cell.Value, wantCell)
+	}
+
+	var block struct {
+		Values []float64 `json:"values"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/query/block?lo=1,2,3&hi=3,5,6", &block)
+	wantBlock, err := mdl.ReconstructBlock([]int{1, 2, 3}, []int{3, 5, 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Values) != len(wantBlock) {
+		t.Fatalf("query/block returned %d values, want %d", len(block.Values), len(wantBlock))
+	}
+	for i := range wantBlock {
+		if block.Values[i] != wantBlock[i] {
+			t.Fatalf("query/block[%d] = %g, want %g", i, block.Values[i], wantBlock[i])
+		}
+	}
+
+	var topk struct {
+		Results []serve.Scored `json:"results"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/query/topk?mode=0&at=*,2,3&k=5", &topk)
+	wantTopK, err := mdl.TopK(0, []int{-1, 2, 3}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk.Results) != 5 {
+		t.Fatalf("query/topk returned %d results, want 5", len(topk.Results))
+	}
+	for i, r := range topk.Results {
+		if r != wantTopK[i] {
+			t.Fatalf("query/topk[%d] = %+v, want %+v", i, r, wantTopK[i])
+		}
+	}
+
+	var nn struct {
+		Results []serve.Scored `json:"results"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/query/nn?mode=1&index=4&k=5", &nn)
+	wantNN, err := mdl.NN(1, 4, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn.Results) != 5 {
+		t.Fatalf("query/nn returned %d results, want 5", len(nn.Results))
+	}
+	for i, r := range nn.Results {
+		if r.Index == 4 {
+			t.Fatal("query/nn returned the query entity itself")
+		}
+		if r != wantNN[i] {
+			t.Fatalf("query/nn[%d] = %+v, want %+v", i, r, wantNN[i])
+		}
+	}
+
+	// Query error surface: unknown job → 404, malformed coordinates → 400.
+	if code := statusOf(t, ts.URL+"/v1/jobs/j999999/query/cell?at=0,0,0"); code != http.StatusNotFound {
+		t.Fatalf("query on unknown job = %d, want 404", code)
+	}
+	if code := statusOf(t, ts.URL+"/v1/jobs/"+job.ID+"/query/cell?at=zap"); code != http.StatusBadRequest {
+		t.Fatalf("query with bad coordinates = %d, want 400", code)
+	}
+	if code := statusOf(t, ts.URL+"/v1/jobs/"+job.ID+"/query/cell?at=99,0,0"); code != http.StatusBadRequest {
+		t.Fatalf("query out of range = %d, want 400", code)
+	}
+
 	// GET /v1/jobs/{id}/events — a done job's stream opens with its
 	// terminal state and closes immediately.
 	record("GET", "/v1/jobs/{id}/events")
@@ -176,6 +272,11 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	var longJob Job
 	decodeBody(t, resp, http.StatusCreated, &longJob)
+
+	// Queries against a job that is not done → 409.
+	if code := statusOf(t, ts.URL+"/v1/jobs/"+longJob.ID+"/query/cell?at=0,0,0"); code != http.StatusConflict {
+		t.Fatalf("query on unfinished job = %d, want 409", code)
+	}
 
 	// Watch the long job's live SSE stream while it runs.
 	events := make(chan string, 1)

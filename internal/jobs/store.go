@@ -103,6 +103,12 @@ func (s *Store) FactorPath(id string, mode int) string {
 	return filepath.Join(s.Dir(id), fmt.Sprintf("factors-mode%d.csv", mode))
 }
 
+// SnapshotPath returns where a done job's factor snapshot (the mmap-able
+// query-serving file) lives.
+func (s *Store) SnapshotPath(id string) string {
+	return filepath.Join(s.Dir(id), "factors.snap")
+}
+
 // HasCheckpoint reports whether the job's checkpoint directory holds a
 // resumable run manifest — the resume-or-fresh predicate the manager
 // evaluates before every run.

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFanOutDropAccounting pins the drop-accounting contract a slow SSE
+// subscriber relies on: with a full buffer, Publish drops instead of
+// blocking, and delivered + dropped equals published.
+func TestFanOutDropAccounting(t *testing.T) {
+	fan := NewFanOut()
+	ch, cancel := fan.Subscribe(1)
+	for i := 0; i < 5; i++ {
+		fan.Publish(Event{Name: "e", TS: int64(i)})
+	}
+	// Buffer of 1, no reader: exactly one delivered, four dropped.
+	if got := len(ch); got != 1 {
+		t.Fatalf("buffered events = %d, want 1", got)
+	}
+	if dropped := cancel(); dropped != 4 {
+		t.Fatalf("cancel() = %d dropped, want 4", dropped)
+	}
+	// The dropped count must be stable after cancel — the SSE handler
+	// reads it once the stream ends, possibly more than once.
+	if dropped := cancel(); dropped != 4 {
+		t.Fatalf("second cancel() = %d dropped, want 4 (idempotent)", dropped)
+	}
+	// The channel closes so a ranging consumer terminates.
+	for range ch {
+	}
+	// Publishing after cancel must neither panic nor change the count.
+	fan.Publish(Event{Name: "late"})
+	if dropped := cancel(); dropped != 4 {
+		t.Fatalf("cancel() after late publish = %d dropped, want 4", dropped)
+	}
+	if n := fan.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers() = %d after cancel, want 0", n)
+	}
+}
+
+// TestFanOutConcurrentDropAccounting hammers Publish, Subscribe and
+// cancel concurrently (meaningful under -race): for every subscriber
+// attached for the whole publishing window, received + dropped must
+// equal the total published — no event is lost without being counted.
+func TestFanOutConcurrentDropAccounting(t *testing.T) {
+	const (
+		publishers = 4
+		perPub     = 2000
+		readers    = 6
+		churners   = 4
+	)
+	fan := NewFanOut()
+
+	// Steady subscribers: attach before publishing starts, read slowly,
+	// cancel after publishing ends.
+	type tally struct {
+		received int64
+		dropped  int64
+	}
+	tallies := make([]tally, readers)
+	var readerWG sync.WaitGroup
+	cancels := make([]func() int64, readers)
+	done := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		ch, cancel := fan.Subscribe(i + 1) // assorted buffer depths
+		cancels[i] = cancel
+		readerWG.Add(1)
+		go func(i int, ch <-chan Event) {
+			defer readerWG.Done()
+			for range ch {
+				atomic.AddInt64(&tallies[i].received, 1)
+			}
+		}(i, ch)
+	}
+
+	// Churners subscribe and cancel mid-stream; their counts are not
+	// asserted (their windows are partial) but they must not corrupt
+	// anyone else's accounting or trip the race detector.
+	var churnWG sync.WaitGroup
+	for i := 0; i < churners; i++ {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ch, cancel := fan.Subscribe(2)
+				select {
+				case <-ch: // consume at most one event (or the close)
+				case <-done: // publishing over; don't wait for an event
+				}
+				cancel()
+			}
+		}()
+	}
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPub; i++ {
+				fan.Publish(Event{Name: "e", TS: int64(p*perPub + i)})
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	close(done)
+	churnWG.Wait()
+
+	const total = publishers * perPub
+	for i, cancel := range cancels {
+		tallies[i].dropped = cancel()
+	}
+	readerWG.Wait() // channels closed by cancel; drain the last reads
+	for i := range tallies {
+		got := atomic.LoadInt64(&tallies[i].received) + tallies[i].dropped
+		if got != total {
+			t.Errorf("subscriber %d: received %d + dropped %d = %d, want %d",
+				i, tallies[i].received, tallies[i].dropped, got, total)
+		}
+	}
+}

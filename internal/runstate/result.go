@@ -80,11 +80,27 @@ func (r *Run) SaveResult(st *ResultState) error {
 // when the file is damaged and ErrNoManifest-style absence when the run
 // never completed.
 func (r *Run) LoadResult() (*ResultState, error) {
-	data, err := os.ReadFile(r.resultPath())
+	st, err := readResultFile(r.resultPath())
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("runstate: run is marked done but %s is missing", filepath.Base(r.resultPath()))
+	}
+	return st, err
+}
+
+// ReadResult loads the completed result checkpoint from a run directory
+// without opening the run — the read-only path snapshot exporters and the
+// job daemon's self-heal use to recover factors from a finished
+// checkpoint. A missing result file surfaces fs.ErrNotExist via
+// errors.Is; a damaged one fails with ErrCorrupt.
+func ReadResult(dir string) (*ResultState, error) {
+	return readResultFile(filepath.Join(dir, "result.ckpt"))
+}
+
+// readResultFile decodes one result.ckpt: CRC frame, JSON header, binary
+// factor matrices.
+func readResultFile(path string) (*ResultState, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, fmt.Errorf("runstate: run is marked done but %s is missing", filepath.Base(r.resultPath()))
-		}
 		return nil, fmt.Errorf("runstate: read result: %w", err)
 	}
 	payload, err := unframe(resultMagic, data)

@@ -359,6 +359,19 @@ func loadManifest(path string) (*manifestBody, error) {
 	return &body, nil
 }
 
+// ReadMeta returns the option fingerprint recorded in dir's manifest
+// without opening the run — the read-only path snapshot exporters use to
+// stamp derived artifacts with the options that produced them. It fails
+// with ErrNoManifest when dir holds no run and ErrCorrupt when the
+// manifest is damaged.
+func ReadMeta(dir string) (Meta, error) {
+	body, err := loadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return Meta{}, err
+	}
+	return body.Meta, nil
+}
+
 // HasManifest reports whether dir holds a run manifest — the
 // resume-or-create predicate for callers that manage a family of
 // checkpoint subdirectories (an interrupted multi-run suite may have

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheShards is the fixed shard count of the combined-row cache. Shards
+// cut lock contention under concurrent queries; 16 keeps the per-shard
+// maps small without oversharding tiny caches.
+const cacheShards = 16
+
+// rowKey identifies one cached λ-combined entity row.
+type rowKey struct {
+	mode, index int
+}
+
+// rowCache is a sharded LRU of λ-combined entity rows ([]float64 of
+// length rank). Each shard holds its own lock, map, and recency list, so
+// concurrent readers on different entities rarely contend.
+type rowCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[rowKey]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+// cacheEntry is the list payload: the key (for eviction) plus the row.
+type cacheEntry struct {
+	key rowKey
+	row []float64
+}
+
+// newRowCache builds a cache holding at most capRows rows in total,
+// spread evenly across shards (every shard keeps at least one row).
+func newRowCache(capRows int) *rowCache {
+	per := capRows / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &rowCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].m = make(map[rowKey]*list.Element, per)
+		c.shards[i].ll = list.New()
+	}
+	return c
+}
+
+// shard picks the shard for a key.
+func (c *rowCache) shard(k rowKey) *cacheShard {
+	return &c.shards[uint(k.mode*31+k.index)%cacheShards]
+}
+
+// get returns the cached row for (mode, index) and bumps its recency.
+// The returned slice is shared — callers must not write it.
+func (c *rowCache) get(mode, index int) ([]float64, bool) {
+	k := rowKey{mode, index}
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if ok {
+		s.ll.MoveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.Value.(*cacheEntry).row, true
+}
+
+// put inserts a row, evicting the shard's least-recently-used entry when
+// full. A concurrent duplicate insert keeps the existing row.
+func (c *rowCache) put(mode, index int, row []float64) {
+	k := rowKey{mode, index}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[k]; ok {
+		s.ll.MoveToFront(e)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		old := s.ll.Back()
+		if old != nil {
+			s.ll.Remove(old)
+			delete(s.m, old.Value.(*cacheEntry).key)
+		}
+	}
+	s.m[k] = s.ll.PushFront(&cacheEntry{key: k, row: row})
+}

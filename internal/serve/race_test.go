@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates inside paths that are
+// allocation-free in regular builds.
+const raceEnabled = true

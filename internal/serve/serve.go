@@ -1,0 +1,517 @@
+// Package serve answers interactive queries against a completed CP
+// decomposition: the read path that turns computed factors into a
+// low-latency service (the "serves heavy traffic" half of the roadmap's
+// north star).
+//
+// A Model wraps a Kruskal model (λ plus one factor matrix per mode),
+// usually a zero-copy view over a factorsnap file, and serves three query
+// families:
+//
+//   - Reconstruct / ReconstructBlock — X̂[i₁…i_N] = Σ_f λ_f Π_n A⁽ⁿ⁾[i_n,f],
+//     a rank-length dot product per cell; sub-blocks batch the two
+//     innermost modes into one mat.MulInto GEMM per slab.
+//   - TopK — the k highest-scoring entities in one mode against a fixed
+//     entity in every other mode (a single matrix·vector sweep with a
+//     bounded partial sort, never a full sort).
+//   - NN — nearest neighbors of an entity in factor-row space, using
+//     precomputed squared row norms so each candidate costs one dot
+//     product.
+//
+// Queries are allocation-free at steady state: scratch lives in pooled
+// workspaces (sync.Pool), hot λ-combined entity rows sit in a small
+// sharded LRU, and result slices are caller-supplied append targets. The
+// Model is safe for concurrent use.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"twopcp/internal/factorsnap"
+	"twopcp/internal/mat"
+)
+
+// DefaultCacheRows is the per-model combined-row cache capacity used when
+// Config.CacheRows is zero.
+const DefaultCacheRows = 4096
+
+// Config tunes a Model.
+type Config struct {
+	// CacheRows caps the λ-combined entity-row LRU (total rows across all
+	// shards). Zero means DefaultCacheRows; negative disables the cache.
+	CacheRows int
+}
+
+// Scored is one ranked query result. For TopK, Score is the reconstructed
+// score (descending); for NN it is the squared Euclidean distance in
+// factor-row space (ascending).
+type Scored struct {
+	// Index is the entity's row index in the queried mode.
+	Index int `json:"index"`
+	// Score orders the result (see the query's contract for its meaning).
+	Score float64 `json:"score"`
+}
+
+// Model is an immutable, concurrency-safe query engine over one Kruskal
+// model.
+type Model struct {
+	dims    []int
+	rank    int
+	lambda  []float64
+	factors []*mat.Matrix
+	sqnorms [][]float64 // per-mode squared factor-row norms, for NN
+
+	cache *rowCache
+	pool  sync.Pool
+	snap  *factorsnap.Snapshot // owned mapping when opened from a file
+}
+
+// workspace is the per-query scratch a Model pools. All slices grow on
+// demand and are reused across queries, so the steady state allocates
+// nothing.
+type workspace struct {
+	w       []float64  // λ-combined weight vector (rank)
+	heapIdx []int      // bounded partial-sort heap: indices
+	heapVal []float64  // bounded partial-sort heap: keys
+	a, b, c mat.Matrix // block-reconstruct GEMM operands and output
+	odo     []int      // outer-mode odometer for block iteration
+}
+
+// New builds a Model over λ and one factor matrix per mode. The factors
+// are referenced, not copied — they must stay immutable while the Model
+// is in use. len(lambda) must equal the factors' shared column count.
+func New(lambda []float64, factors []*mat.Matrix, cfg Config) (*Model, error) {
+	if len(factors) == 0 {
+		return nil, errors.New("serve: no factor matrices")
+	}
+	rank := factors[0].Cols
+	if len(lambda) != rank {
+		return nil, fmt.Errorf("serve: %d lambda weights for rank %d", len(lambda), rank)
+	}
+	m := &Model{
+		dims:    make([]int, len(factors)),
+		rank:    rank,
+		lambda:  lambda,
+		factors: factors,
+		sqnorms: make([][]float64, len(factors)),
+	}
+	for n, f := range factors {
+		if f.Cols != rank {
+			return nil, fmt.Errorf("serve: factor %d has %d cols, want %d", n, f.Cols, rank)
+		}
+		m.dims[n] = f.Rows
+		sq := make([]float64, f.Rows)
+		for i := 0; i < f.Rows; i++ {
+			row := f.Row(i)
+			s := 0.0
+			for _, v := range row {
+				s += v * v
+			}
+			sq[i] = s
+		}
+		m.sqnorms[n] = sq
+	}
+	capRows := cfg.CacheRows
+	if capRows == 0 {
+		capRows = DefaultCacheRows
+	}
+	if capRows > 0 {
+		m.cache = newRowCache(capRows)
+	}
+	m.pool.New = func() any {
+		return &workspace{w: make([]float64, rank)}
+	}
+	return m, nil
+}
+
+// Open maps the factorsnap file at path and builds a Model over its
+// zero-copy factor views. Close releases the mapping.
+func Open(path string, cfg Config) (*Model, error) {
+	snap, err := factorsnap.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(snap.Lambda, snap.Factors, cfg)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	m.snap = snap
+	return m, nil
+}
+
+// Close releases the underlying snapshot mapping, if any. The Model must
+// not be used afterwards.
+func (m *Model) Close() error {
+	if m.snap == nil {
+		return nil
+	}
+	s := m.snap
+	m.snap = nil
+	return s.Close()
+}
+
+// Modes returns the number of tensor modes.
+func (m *Model) Modes() int { return len(m.dims) }
+
+// Rank returns the number of rank-one components.
+func (m *Model) Rank() int { return m.rank }
+
+// Dims returns a copy of the mode sizes.
+func (m *Model) Dims() []int {
+	out := make([]int, len(m.dims))
+	copy(out, m.dims)
+	return out
+}
+
+// checkCoords validates one index per mode, skipping the mode equal to
+// skip (pass -1 to validate all).
+func (m *Model) checkCoords(at []int, skip int) error {
+	if len(at) != len(m.dims) {
+		return fmt.Errorf("serve: %d coordinates for %d modes", len(at), len(m.dims))
+	}
+	for n, i := range at {
+		if n == skip {
+			continue
+		}
+		if i < 0 || i >= m.dims[n] {
+			return fmt.Errorf("serve: mode-%d index %d out of range [0,%d)", n, i, m.dims[n])
+		}
+	}
+	return nil
+}
+
+// combinedRow returns the λ-combined row for one entity: λ_f·A⁽ᵐᵒᵈᵉ⁾[i,f].
+// Hot rows come from the sharded LRU; misses compute and insert. The
+// returned slice is shared and must not be written.
+func (m *Model) combinedRow(mode, i int) []float64 {
+	if m.cache != nil {
+		if row, ok := m.cache.get(mode, i); ok {
+			return row
+		}
+	}
+	src := m.factors[mode].Row(i)
+	row := make([]float64, m.rank)
+	for f := range row {
+		row[f] = m.lambda[f] * src[f]
+	}
+	if m.cache != nil {
+		m.cache.put(mode, i, row)
+	}
+	return row
+}
+
+// Reconstruct returns the model's value at one cell, X̂[at] =
+// Σ_f λ_f Π_n A⁽ⁿ⁾[at_n, f]. at supplies one index per mode.
+func (m *Model) Reconstruct(at []int) (float64, error) {
+	if err := m.checkCoords(at, -1); err != nil {
+		return 0, err
+	}
+	ws := m.pool.Get().(*workspace)
+	w := ws.w
+	copy(w, m.combinedRow(0, at[0]))
+	for n := 1; n < len(m.dims); n++ {
+		row := m.factors[n].Row(at[n])
+		for f := range w {
+			w[f] *= row[f]
+		}
+	}
+	s := 0.0
+	for _, v := range w {
+		s += v
+	}
+	m.pool.Put(ws)
+	return s, nil
+}
+
+// ReconstructBlock fills dst (reused when its capacity suffices) with the
+// dense sub-block lo ≤ i < hi, laid out row-major with the last mode
+// fastest. The two innermost modes are batched into one mat.MulInto GEMM
+// per outer-index combination; outer modes iterate an odometer.
+func (m *Model) ReconstructBlock(lo, hi []int, dst []float64) ([]float64, error) {
+	N := len(m.dims)
+	if len(lo) != N || len(hi) != N {
+		return nil, fmt.Errorf("serve: block bounds have %d/%d entries for %d modes", len(lo), len(hi), N)
+	}
+	vol := 1
+	for n := 0; n < N; n++ {
+		if lo[n] < 0 || hi[n] > m.dims[n] || lo[n] >= hi[n] {
+			return nil, fmt.Errorf("serve: mode-%d range [%d,%d) invalid for dim %d", n, lo[n], hi[n], m.dims[n])
+		}
+		vol *= hi[n] - lo[n]
+	}
+	if cap(dst) < vol {
+		dst = make([]float64, vol)
+	}
+	dst = dst[:vol]
+
+	ws := m.pool.Get().(*workspace)
+	defer m.pool.Put(ws)
+
+	if N == 1 {
+		for i := lo[0]; i < hi[0]; i++ {
+			row := m.combinedRow(0, i)
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			dst[i-lo[0]] = s
+		}
+		return dst, nil
+	}
+
+	// GEMM over the two innermost modes: for each outer-index combo with
+	// combined weight w, the slab is (A⁽ᴺ⁻²⁾[loA:hiA] ⊙ w) · Bᵀ where
+	// B = A⁽ᴺ⁻¹⁾[loB:hiB]. mat has no A·Bᵀ kernel, so B's rows are staged
+	// transposed once per call and each slab is one MulInto.
+	ra := hi[N-2] - lo[N-2]
+	rb := hi[N-1] - lo[N-1]
+	bt := wsMat(&ws.b, m.rank, rb)
+	fb := m.factors[N-1]
+	for j := 0; j < rb; j++ {
+		row := fb.Row(lo[N-1] + j)
+		for f := 0; f < m.rank; f++ {
+			bt.Data[f*rb+j] = row[f]
+		}
+	}
+	a := wsMat(&ws.a, ra, m.rank)
+	c := wsMat(&ws.c, ra, rb)
+	fa := m.factors[N-2]
+
+	w := ws.w
+	if cap(ws.odo) < N {
+		ws.odo = make([]int, N)
+	}
+	odo := ws.odo[:N]
+	copy(odo, lo)
+	out := 0
+	for {
+		// Combined weight over λ and the outer modes at the current odometer.
+		copy(w, m.lambda)
+		for n := 0; n < N-2; n++ {
+			row := m.factors[n].Row(odo[n])
+			for f := range w {
+				w[f] *= row[f]
+			}
+		}
+		for i := 0; i < ra; i++ {
+			row := fa.Row(lo[N-2] + i)
+			ar := a.Data[i*m.rank : (i+1)*m.rank]
+			for f := range ar {
+				ar[f] = row[f] * w[f]
+			}
+		}
+		mat.MulInto(c, a, bt)
+		copy(dst[out:out+ra*rb], c.Data)
+		out += ra * rb
+
+		// Advance the outer odometer (modes 0..N-3), last of them fastest.
+		n := N - 3
+		for ; n >= 0; n-- {
+			odo[n]++
+			if odo[n] < hi[n] {
+				break
+			}
+			odo[n] = lo[n]
+		}
+		if n < 0 {
+			break
+		}
+	}
+	return dst, nil
+}
+
+// TopK appends to dst the k entities of the target mode with the highest
+// reconstructed scores against the fixed entities in at (one index per
+// mode; at[mode] is ignored), ordered by descending score. Passing a dst
+// with capacity ≥ k keeps the call allocation-free. k is clamped to the
+// mode's size.
+func (m *Model) TopK(mode int, at []int, k int, dst []Scored) ([]Scored, error) {
+	if mode < 0 || mode >= len(m.dims) {
+		return nil, fmt.Errorf("serve: mode %d out of range [0,%d)", mode, len(m.dims))
+	}
+	if err := m.checkCoords(at, mode); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+	}
+	if k > m.dims[mode] {
+		k = m.dims[mode]
+	}
+
+	ws := m.pool.Get().(*workspace)
+	defer m.pool.Put(ws)
+	w := ws.w
+	seeded := false
+	for n := range m.dims {
+		if n == mode {
+			continue
+		}
+		if !seeded {
+			copy(w, m.combinedRow(n, at[n]))
+			seeded = true
+			continue
+		}
+		row := m.factors[n].Row(at[n])
+		for f := range w {
+			w[f] *= row[f]
+		}
+	}
+	if !seeded { // single-mode model: score against λ alone
+		copy(w, m.lambda)
+	}
+
+	ws.resetHeap(k)
+	target := m.factors[mode]
+	for j := 0; j < m.dims[mode]; j++ {
+		row := target.Row(j)
+		s := 0.0
+		for f, v := range row {
+			s += v * w[f]
+		}
+		ws.heapOffer(j, s, k)
+	}
+	return ws.drainDescending(dst), nil
+}
+
+// NN appends to dst the k nearest neighbors of entity index in the given
+// mode, by squared Euclidean distance between factor rows (ascending; the
+// query entity itself is excluded). Passing a dst with capacity ≥ k keeps
+// the call allocation-free. k is clamped to the remaining entity count.
+func (m *Model) NN(mode, index, k int, dst []Scored) ([]Scored, error) {
+	if mode < 0 || mode >= len(m.dims) {
+		return nil, fmt.Errorf("serve: mode %d out of range [0,%d)", mode, len(m.dims))
+	}
+	if index < 0 || index >= m.dims[mode] {
+		return nil, fmt.Errorf("serve: mode-%d index %d out of range [0,%d)", mode, index, m.dims[mode])
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: k must be positive, got %d", k)
+	}
+	if k > m.dims[mode]-1 {
+		k = m.dims[mode] - 1
+	}
+	if k == 0 {
+		return dst[:0], nil
+	}
+
+	ws := m.pool.Get().(*workspace)
+	defer m.pool.Put(ws)
+	f := m.factors[mode]
+	q := f.Row(index)
+	qn := m.sqnorms[mode][index]
+
+	// Keep the k smallest distances by heaping on the negated distance:
+	// the shared bounded heap retains the k largest keys.
+	ws.resetHeap(k)
+	for j := 0; j < m.dims[mode]; j++ {
+		if j == index {
+			continue
+		}
+		row := f.Row(j)
+		dot := 0.0
+		for i, v := range row {
+			dot += v * q[i]
+		}
+		d := qn + m.sqnorms[mode][j] - 2*dot
+		if d < 0 {
+			d = 0 // rounding can push an exact-duplicate row slightly negative
+		}
+		ws.heapOffer(j, -d, k)
+	}
+	dst = ws.drainDescending(dst)
+	for i := range dst {
+		dst[i].Score = -dst[i].Score
+	}
+	return dst, nil
+}
+
+// wsMat resizes a workspace matrix to r×c, reusing its backing slice when
+// capacity allows.
+func wsMat(m *mat.Matrix, r, c int) *mat.Matrix {
+	if cap(m.Data) < r*c {
+		m.Data = make([]float64, r*c)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+	return m
+}
+
+// resetHeap prepares the workspace's bounded min-heap for up to k entries.
+func (ws *workspace) resetHeap(k int) {
+	if cap(ws.heapIdx) < k {
+		ws.heapIdx = make([]int, 0, k)
+		ws.heapVal = make([]float64, 0, k)
+	}
+	ws.heapIdx = ws.heapIdx[:0]
+	ws.heapVal = ws.heapVal[:0]
+}
+
+// heapOffer considers (idx, val) for the bounded heap of the k largest
+// values. The heap root is the current minimum; a better candidate
+// replaces it and sifts down.
+func (ws *workspace) heapOffer(idx int, val float64, k int) {
+	h := len(ws.heapVal)
+	if h < k {
+		ws.heapIdx = append(ws.heapIdx, idx)
+		ws.heapVal = append(ws.heapVal, val)
+		// Sift up.
+		i := h
+		for i > 0 {
+			p := (i - 1) / 2
+			if ws.heapVal[p] <= ws.heapVal[i] {
+				break
+			}
+			ws.heapVal[p], ws.heapVal[i] = ws.heapVal[i], ws.heapVal[p]
+			ws.heapIdx[p], ws.heapIdx[i] = ws.heapIdx[i], ws.heapIdx[p]
+			i = p
+		}
+		return
+	}
+	if val <= ws.heapVal[0] {
+		return
+	}
+	ws.heapVal[0], ws.heapIdx[0] = val, idx
+	ws.siftDown(0)
+}
+
+// siftDown restores the min-heap property from position i.
+func (ws *workspace) siftDown(i int) {
+	n := len(ws.heapVal)
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < n && ws.heapVal[l] < ws.heapVal[min] {
+			min = l
+		}
+		if r < n && ws.heapVal[r] < ws.heapVal[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		ws.heapVal[min], ws.heapVal[i] = ws.heapVal[i], ws.heapVal[min]
+		ws.heapIdx[min], ws.heapIdx[i] = ws.heapIdx[i], ws.heapIdx[min]
+		i = min
+	}
+}
+
+// drainDescending empties the heap into dst (reset to length zero first)
+// ordered by descending value. The heap arrays are consumed in place:
+// popping the min repeatedly fills dst back to front.
+func (ws *workspace) drainDescending(dst []Scored) []Scored {
+	n := len(ws.heapVal)
+	if cap(dst) < n {
+		dst = make([]Scored, n)
+	}
+	dst = dst[:n]
+	for size := n; size > 0; size-- {
+		dst[size-1] = Scored{Index: ws.heapIdx[0], Score: ws.heapVal[0]}
+		ws.heapVal[0] = ws.heapVal[size-1]
+		ws.heapIdx[0] = ws.heapIdx[size-1]
+		ws.heapVal = ws.heapVal[:size-1]
+		ws.heapIdx = ws.heapIdx[:size-1]
+		ws.siftDown(0)
+	}
+	return dst
+}

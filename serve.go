@@ -1,0 +1,34 @@
+package twopcp
+
+import (
+	"twopcp/internal/factorsnap"
+	"twopcp/internal/serve"
+)
+
+// FactorModel is the interactive query engine over a decomposed model:
+// cell and sub-block reconstruction, top-k scoring in a mode, and
+// nearest neighbors in factor-row space. Obtain one with OpenFactorModel
+// (zero-copy over a snapshot file) or build the snapshot first with
+// WriteFactorSnapshot. Safe for concurrent use; queries are
+// allocation-free at steady state.
+type FactorModel = serve.Model
+
+// Scored is one ranked FactorModel query result: the entity's row index
+// in the queried mode plus its score (reconstructed score for TopK,
+// squared Euclidean distance for NN).
+type Scored = serve.Scored
+
+// WriteFactorSnapshot serializes a decomposed model to the compact,
+// versioned, mmap-able factor-snapshot format at path (written
+// atomically, CRC-protected). The daemon produces the same file for
+// every done job; this is the library entry point for local results.
+func WriteFactorSnapshot(path string, model *KTensor) error {
+	return factorsnap.Write(path, model.Lambda, model.Factors, nil)
+}
+
+// OpenFactorModel opens the factor snapshot at path as a query engine.
+// On little-endian unix platforms the factors are zero-copy views over
+// the mapped file; Close releases the mapping.
+func OpenFactorModel(path string) (*FactorModel, error) {
+	return serve.Open(path, serve.Config{})
+}
